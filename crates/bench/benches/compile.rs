@@ -1,0 +1,57 @@
+//! Criterion benchmarks: AshN pulse compilation and KAK throughput.
+//!
+//! These quantify the compile-time cost of the "complex yet reduced"
+//! instruction set: the closed-form ND path is microseconds; the numerical
+//! EA path (invariant-matching search) is the slow one the paper's
+//! calibration discussion trades against.
+
+use ashn_core::scheme::AshnScheme;
+use ashn_gates::kak::{kak, weyl_coordinates};
+use ashn_gates::weyl::WeylPoint;
+use ashn_math::randmat::haar_unitary;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_kak(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let gates: Vec<_> = (0..32).map(|_| haar_unitary(4, &mut rng)).collect();
+    let mut i = 0;
+    c.bench_function("kak_haar_random", |b| {
+        b.iter(|| {
+            i = (i + 1) % gates.len();
+            black_box(kak(&gates[i]));
+        })
+    });
+    let mut j = 0;
+    c.bench_function("weyl_coordinates", |b| {
+        b.iter(|| {
+            j = (j + 1) % gates.len();
+            black_box(weyl_coordinates(&gates[j]));
+        })
+    });
+}
+
+fn bench_ashn_compile(c: &mut Criterion) {
+    let scheme = AshnScheme::new(0.0);
+    // ND-region target: closed form.
+    c.bench_function("ashn_compile_nd_region", |b| {
+        b.iter(|| black_box(scheme.compile(WeylPoint::new(0.6, 0.25, 0.1)).unwrap()))
+    });
+    // EA-region target: numerical invariant matching.
+    let mut group = c.benchmark_group("ashn_compile_ea");
+    group.sample_size(10);
+    group.bench_function("ea_region", |b| {
+        b.iter(|| black_box(scheme.compile(WeylPoint::new(0.5, 0.45, 0.2)).unwrap()))
+    });
+    group.finish();
+
+    let zz = AshnScheme::new(0.3);
+    c.bench_function("ashn_compile_nd_with_zz", |b| {
+        b.iter(|| black_box(zz.compile(WeylPoint::new(0.6, 0.2, 0.05)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_kak, bench_ashn_compile);
+criterion_main!(benches);

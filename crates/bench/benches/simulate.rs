@@ -1,0 +1,58 @@
+//! Criterion benchmarks: simulator throughput (statevector vs exact density
+//! matrix with depolarizing noise) and one quantum-volume circuit score.
+
+use ashn_math::randmat::haar_unitary;
+use ashn_qv::{compile_model, sample_model_circuit, score_compiled, GateSet, QvNoise};
+use ashn_sim::{DensityMatrix, StateVector};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let u = haar_unitary(4, &mut rng);
+    for n in [6usize, 10] {
+        c.bench_function(&format!("statevector_2q_gate_n{n}"), |b| {
+            let mut s = StateVector::zero(n);
+            b.iter(|| {
+                s.apply(&[0, n - 1], &u);
+                black_box(&s);
+            })
+        });
+    }
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let u = haar_unitary(4, &mut rng);
+    for n in [4usize, 6] {
+        c.bench_function(&format!("density_2q_gate_plus_noise_n{n}"), |b| {
+            let mut rho = DensityMatrix::zero(n);
+            b.iter(|| {
+                rho.apply(&[0, 1], &u);
+                rho.depolarize(&[0, 1], 0.01);
+                black_box(&rho);
+            })
+        });
+    }
+}
+
+fn bench_qv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = sample_model_circuit(4, &mut rng);
+    let compiled = compile_model(&model, GateSet::Ashn { cutoff: 1.1 });
+    let noise = QvNoise::with_e_cz(0.012);
+    let mut group = c.benchmark_group("qv");
+    group.sample_size(10);
+    group.bench_function("score_compiled_d4_ashn", |b| {
+        b.iter(|| black_box(score_compiled(&compiled, &noise)))
+    });
+    group.bench_function("compile_model_d4_cz", |b| {
+        b.iter(|| black_box(compile_model(&model, GateSet::Cz)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_density, bench_qv);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! # ashn-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation. Each binary prints the rows/series of one artifact:
+//!
+//! | binary        | paper artifact |
+//! |---------------|----------------|
+//! | `fig2_3`      | Figs. 2–3: Weyl-chamber sub-scheme partition |
+//! | `fig5`        | Fig. 5: average gate time vs drive-strength bound |
+//! | `fig6`        | Figs. 6(a)/(b): decomposition error vs gate count |
+//! | `table6c`     | Fig. 6(c): analytic & numerical gate counts |
+//! | `fig7`        | Fig. 7: quantum-volume heavy-output proportions |
+//! | `table1`      | Table 1: special gate-class pulse parameters |
+//! | `tavg`        | §A.7.1: closed-form vs Monte-Carlo `T_avg(r)` |
+//! | `calibration` | §5: Cartan-double / QPE / model calibration |
+//!
+//! Run e.g. `cargo run --release -p ashn-bench --bin fig7 -- --circuits 50`.
+//! All binaries accept `--seed` and print deterministic tables by default.
+
+use std::collections::HashMap;
+
+/// Minimal `--key value` argument parser shared by the bench binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments (`--key value` pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments, listing the offender.
+    pub fn parse() -> Self {
+        let mut values = HashMap::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --key, got {}", argv[i]));
+            assert!(i + 1 < argv.len(), "missing value for --{key}");
+            values.insert(key.to_string(), argv[i + 1].clone());
+            i += 2;
+        }
+        Self { values }
+    }
+
+    /// Typed lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{key}: {e:?}")))
+            .unwrap_or(default)
+    }
+}
+
+/// Prints a row of fixed-width columns.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float to 4 decimal places.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float in scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_defaults_apply() {
+        let a = Args::default();
+        assert_eq!(a.get("missing", 7usize), 7);
+        assert!((a.get("missing", 1.5f64) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f4(1.23456), "1.2346");
+        assert_eq!(sci(0.000123), "1.23e-4");
+    }
+}

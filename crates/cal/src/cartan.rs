@@ -1,0 +1,178 @@
+//! The Cartan double (paper §5.1, Fig. 4): reducing interaction-coefficient
+//! calibration to phase estimation.
+//!
+//! For any two-qubit gate, `γ(U) = U·YY·Uᵀ·YY` has spectrum
+//! `{e^{2iθⱼ}}` with `θ = (x−y+z, x+y−z, −x−y−z, −x+y+z)` — the local
+//! factors cancel, so the eigenphases reveal the Weyl coordinates without
+//! knowing the single-qubit dressing.
+
+use ashn_gates::pauli::yy;
+use ashn_gates::weyl::WeylPoint;
+use ashn_math::eig::eig_unitary;
+use ashn_math::CMat;
+
+/// The Cartan double `γ(U) = U·YY·Uᵀ·YY`.
+pub fn cartan_double(u: &CMat) -> CMat {
+    let y2 = yy();
+    u.matmul(&y2).matmul(&u.transpose()).matmul(&y2)
+}
+
+/// Eigenphases of the Cartan double, each in `(−π, π]`.
+pub fn cartan_phases(u: &CMat) -> [f64; 4] {
+    let g = cartan_double(u);
+    let e = eig_unitary(&g);
+    let mut out = [0.0; 4];
+    for (o, v) in out.iter_mut().zip(e.values.iter()) {
+        *o = v.arg();
+    }
+    out
+}
+
+/// Recovers canonical Weyl coordinates from measured Cartan-double phases.
+///
+/// The measured phases are `2θⱼ + Δ` modulo `2π`, where `Δ = 2·arg(g)` is a
+/// common offset from the global phase of the implemented gate
+/// (`γ(U) = g²·L·CAN(2x,2y,2z)·L†`). Since `Σ 2θⱼ ≡ 0 (mod 2π)`, the offset
+/// is pinned to `Δ = (Σ phases)/4 + k·π/2`. The reconstruction enumerates
+/// the four offsets, phase orderings and `π`-branch shifts of `θ`, maps
+/// each candidate through the linear relations
+/// `x = (θ₀+θ₁)/2, y = (θ₁+θ₃)/2, z = (θ₀+θ₃)/2`, canonicalizes, and keeps
+/// the candidate closest to `prior` (in calibration you always know roughly
+/// which gate you just played).
+pub fn coords_from_phases(phases: &[f64; 4], prior: WeylPoint) -> WeylPoint {
+    let prior = prior.canonicalize();
+    let mut best = WeylPoint::IDENTITY;
+    let mut best_d = f64::INFINITY;
+    let sum: f64 = phases.iter().sum();
+    let perms: [[usize; 4]; 24] = permutations4();
+    for k_off in 0..4 {
+        let delta = sum / 4.0 + k_off as f64 * std::f64::consts::FRAC_PI_2;
+        for perm in perms {
+            for branch in 0..8u32 {
+                // θⱼ = (phase − Δ)/2 + kⱼ·π; only relative branches matter,
+                // so fix k₃ = 0.
+                let theta: Vec<f64> = (0..4)
+                    .map(|j| {
+                        let k = if j < 3 { (branch >> j) & 1 } else { 0 };
+                        (phases[perm[j]] - delta) / 2.0 + k as f64 * std::f64::consts::PI
+                    })
+                    .collect();
+                let p = WeylPoint::new(
+                    (theta[0] + theta[1]) / 2.0,
+                    (theta[1] + theta[3]) / 2.0,
+                    (theta[0] + theta[3]) / 2.0,
+                )
+                .canonicalize();
+                let d = p.gate_dist(prior);
+                if d < best_d {
+                    best_d = d;
+                    best = p;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Estimates the Weyl coordinates of `u` via its Cartan double
+/// (exact-diagonalisation stand-in for the phase-estimation readout).
+pub fn estimate_coords(u: &CMat, prior: WeylPoint) -> WeylPoint {
+    coords_from_phases(&cartan_phases(u), prior)
+}
+
+fn permutations4() -> [[usize; 4]; 24] {
+    let mut out = [[0usize; 4]; 24];
+    let mut k = 0;
+    for a in 0..4 {
+        for b in 0..4 {
+            if b == a {
+                continue;
+            }
+            for c in 0..4 {
+                if c == a || c == b {
+                    continue;
+                }
+                let d = 6 - a - b - c;
+                out[k] = [a, b, c, d];
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_core::hamiltonian::{evolve, DriveParams};
+    use ashn_gates::kak::weyl_coordinates;
+    use ashn_gates::two::{canonical, cnot};
+    use ashn_math::randmat::{haar_su, haar_unitary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cartan_double_is_local_invariant() {
+        // γ((A⊗B)·U·(C⊗D)) shares γ(U)'s spectrum: right locals cancel via
+        // YY·Mᵀ·YY = M† for M ∈ SU(2)⊗SU(2), left ones by similarity.
+        let mut rng = StdRng::seed_from_u64(41);
+        let u = haar_unitary(4, &mut rng);
+        let l = haar_su(2, &mut rng).kron(&haar_su(2, &mut rng));
+        let r = haar_su(2, &mut rng).kron(&haar_su(2, &mut rng));
+        let dressed = l.matmul(&u).matmul(&r);
+        let mut p1 = cartan_phases(&u);
+        let mut p2 = cartan_phases(&dressed);
+        p1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        p2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            assert!((a - b).abs() < 1e-7, "{p1:?} vs {p2:?}");
+        }
+    }
+
+    #[test]
+    fn cnot_phases_carry_the_determinant_offset() {
+        // [CNOT] has 2θ = (±π/2, ±π/2), but det(CNOT) = −1 shifts all
+        // measured phases by Δ = ±π/2, giving {0, 0, π, π}.
+        let mut p = cartan_phases(&cnot());
+        p.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(p[0].abs() < 1e-8 && p[1].abs() < 1e-8, "{p:?}");
+        assert!((p[2] - std::f64::consts::PI).abs() < 1e-8);
+        // The offset-aware reconstruction still lands on [CNOT].
+        let est = coords_from_phases(&cartan_phases(&cnot()), WeylPoint::CNOT);
+        assert!(est.gate_dist(WeylPoint::CNOT) < 1e-8);
+    }
+
+    #[test]
+    fn estimates_match_kak_for_random_gates() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..15 {
+            let u = haar_unitary(4, &mut rng);
+            let truth = weyl_coordinates(&u);
+            let est = estimate_coords(&u, truth);
+            assert!(
+                est.gate_dist(truth) < 1e-7,
+                "estimate {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_survive_imprecise_priors() {
+        // The prior only needs to pick the right Weyl-group sheet.
+        let target = WeylPoint::new(0.5, 0.3, 0.1);
+        let u = canonical(target.x, target.y, target.z);
+        let fuzzy_prior = WeylPoint::new(0.45, 0.33, 0.13);
+        let est = estimate_coords(&u, fuzzy_prior);
+        assert!(est.gate_dist(target.canonicalize()) < 1e-8);
+    }
+
+    #[test]
+    fn ashn_pulse_coordinates_via_cartan() {
+        // Estimate the coordinates of a real AshN evolution.
+        let drive = DriveParams::new(0.6, 0.25, 0.0);
+        let u = evolve(0.2, drive, 1.1);
+        let truth = weyl_coordinates(&u);
+        let est = estimate_coords(&u, truth);
+        assert!(est.gate_dist(truth) < 1e-7);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ashn-cal
+//!
+//! Calibration machinery for the AshN instruction set (paper §5):
+//!
+//! * pulse envelopes and time-ordered evolution for realistic (ramped)
+//!   waveforms;
+//! * the **Cartan double** `γ(U) = U·YY·Uᵀ·YY`, whose eigenphases reveal a
+//!   gate's Weyl coordinates without knowing its single-qubit dressing;
+//! * a shot-level **quantum phase estimation** simulator — the readout the
+//!   paper proposes for those eigenphases;
+//! * **fully randomized benchmarking** (FRB) decay curves and fits;
+//! * **model-based gate-set calibration**: fit a small control model from
+//!   probe pulses and compensate every gate in the continuous set through
+//!   it (§5.2).
+//!
+//! ```
+//! use ashn_cal::cartan::estimate_coords;
+//! use ashn_core::{evolve, DriveParams};
+//! use ashn_gates::kak::weyl_coordinates;
+//!
+//! let u = evolve(0.0, DriveParams::new(0.5, 0.2, 0.1), 1.2);
+//! let truth = weyl_coordinates(&u);
+//! assert!(estimate_coords(&u, truth).gate_dist(truth) < 1e-7);
+//! ```
+
+pub mod cartan;
+pub mod frb;
+pub mod model;
+pub mod pulse;
+pub mod qpe;
+pub mod xeb;
+
+pub use cartan::{cartan_double, estimate_coords};
+pub use model::{calibrate, ControlModel, Hardware};
+pub use pulse::PulseShape;

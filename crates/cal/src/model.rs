@@ -1,0 +1,265 @@
+//! Model-based calibration of the continuous AshN gate set (paper §5.2):
+//! instead of calibrating infinitely many gates one by one, fit a small
+//! *control model* mapping ideal gate parameters to what the hardware
+//! actually plays, then compensate every pulse through the fitted model.
+
+use ashn_core::hamiltonian::{evolve, DriveParams};
+use ashn_core::scheme::AshnPulse;
+use ashn_math::neldermead::{nelder_mead, NmOptions};
+use ashn_math::{c, CMat, Complex};
+use rand::Rng;
+
+/// A simple control model: drive amplitudes are scaled and offset, and the
+/// detuning picks up a constant shift (e.g. from a miscalibrated qubit
+/// frequency).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControlModel {
+    /// Multiplicative amplitude error (ideal = 1).
+    pub amp_scale: f64,
+    /// Additive amplitude error on active drives (ideal = 0).
+    pub amp_offset: f64,
+    /// Additive detuning error (ideal = 0).
+    pub detuning_offset: f64,
+}
+
+impl ControlModel {
+    /// The ideal (identity) model.
+    pub const IDEAL: ControlModel = ControlModel {
+        amp_scale: 1.0,
+        amp_offset: 0.0,
+        detuning_offset: 0.0,
+    };
+
+    /// What the hardware actually plays when asked for `requested`.
+    pub fn distort(&self, requested: DriveParams) -> DriveParams {
+        let bend = |w: f64| {
+            if w.abs() < 1e-12 {
+                0.0
+            } else {
+                self.amp_scale * w + self.amp_offset * w.signum()
+            }
+        };
+        DriveParams::new(
+            bend(requested.omega1),
+            bend(requested.omega2),
+            requested.delta + self.detuning_offset,
+        )
+    }
+
+    /// The request that makes the hardware play `desired` —
+    /// the inverse of [`ControlModel::distort`].
+    pub fn compensate(&self, desired: DriveParams) -> DriveParams {
+        let unbend = |w: f64| {
+            if w.abs() < 1e-12 {
+                0.0
+            } else {
+                (w - self.amp_offset * w.signum()) / self.amp_scale
+            }
+        };
+        DriveParams::new(
+            unbend(desired.omega1),
+            unbend(desired.omega2),
+            desired.delta - self.detuning_offset,
+        )
+    }
+}
+
+/// Simulated hardware: executes requested pulses through a hidden true
+/// control model.
+#[derive(Clone, Copy, Debug)]
+pub struct Hardware {
+    /// The hidden truth the calibration must recover.
+    pub true_model: ControlModel,
+    /// Device `ZZ` ratio.
+    pub h_ratio: f64,
+}
+
+impl Hardware {
+    /// Executes a requested pulse, returning the realized unitary.
+    pub fn execute(&self, drive: DriveParams, tau: f64) -> CMat {
+        evolve(self.h_ratio, self.true_model.distort(drive), tau)
+    }
+
+    /// Measurement statistics of the pulse on a set of probe input states:
+    /// returns the outcome probabilities (4 per input), optionally with
+    /// binomial shot noise.
+    pub fn probe(
+        &self,
+        drive: DriveParams,
+        tau: f64,
+        shots: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<f64> {
+        let u = self.execute(drive, tau);
+        probe_probabilities(&u, shots, rng)
+    }
+}
+
+/// Probe input states: |00⟩, |+0⟩, |0+⟩, |++⟩ — enough to make the model
+/// parameters identifiable.
+fn probe_inputs() -> Vec<[Complex; 4]> {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let zero = [Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO];
+    let plus0 = [c(s, 0.0), Complex::ZERO, c(s, 0.0), Complex::ZERO];
+    let zplus = [c(s, 0.0), c(s, 0.0), Complex::ZERO, Complex::ZERO];
+    let pp = [c(0.5, 0.0), c(0.5, 0.0), c(0.5, 0.0), c(0.5, 0.0)];
+    vec![zero, plus0, zplus, pp]
+}
+
+fn probe_probabilities(u: &CMat, shots: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let mut out = Vec::with_capacity(16);
+    for input in probe_inputs() {
+        let amps = u.mul_vec(&input);
+        for a in amps {
+            let p = a.norm_sqr();
+            if shots == 0 {
+                out.push(p);
+            } else {
+                let hits = (0..shots).filter(|_| rng.gen::<f64>() < p).count();
+                out.push(hits as f64 / shots as f64);
+            }
+        }
+    }
+    out
+}
+
+/// Fits a [`ControlModel`] to hardware responses on the given probe pulses
+/// (paper §5.2: black-box optimization of model parameters against gate-set
+/// observables).
+pub fn calibrate(
+    hardware: &Hardware,
+    probes: &[(DriveParams, f64)],
+    shots: usize,
+    rng: &mut impl Rng,
+) -> ControlModel {
+    // Collect observations once.
+    let observed: Vec<Vec<f64>> = probes
+        .iter()
+        .map(|&(d, tau)| hardware.probe(d, tau, shots, rng))
+        .collect();
+    let objective = |v: &[f64]| {
+        let model = ControlModel {
+            amp_scale: v[0],
+            amp_offset: v[1],
+            detuning_offset: v[2],
+        };
+        let mut cost = 0.0;
+        for (&(d, tau), obs) in probes.iter().zip(observed.iter()) {
+            let u = evolve(hardware.h_ratio, model.distort(d), tau);
+            let mut rng_dummy = rand::rngs::mock::StepRng::new(0, 1);
+            let predicted = probe_probabilities(&u, 0, &mut rng_dummy);
+            cost += predicted
+                .iter()
+                .zip(obs.iter())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>();
+        }
+        cost
+    };
+    let res = nelder_mead(
+        objective,
+        &[1.0, 0.0, 0.0],
+        &NmOptions {
+            max_evals: 4000,
+            f_tol: 1e-22,
+            initial_step: 0.05,
+        },
+    );
+    ControlModel {
+        amp_scale: res.x[0],
+        amp_offset: res.x[1],
+        detuning_offset: res.x[2],
+    }
+}
+
+/// Executes a compiled AshN pulse on hardware, with or without model
+/// compensation, and returns the realized unitary.
+pub fn execute_pulse(hardware: &Hardware, pulse: &AshnPulse, model: Option<&ControlModel>) -> CMat {
+    let drive = match model {
+        Some(m) => m.compensate(pulse.drive),
+        None => pulse.drive,
+    };
+    hardware.execute(drive, pulse.tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_core::scheme::AshnScheme;
+    use ashn_core::verify::entanglement_fidelity;
+    use ashn_gates::weyl::WeylPoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn true_hw() -> Hardware {
+        Hardware {
+            true_model: ControlModel {
+                amp_scale: 1.04,
+                amp_offset: 0.015,
+                detuning_offset: 0.02,
+            },
+            h_ratio: 0.0,
+        }
+    }
+
+    fn probe_pulses() -> Vec<(DriveParams, f64)> {
+        let scheme = AshnScheme::new(0.0);
+        [WeylPoint::CNOT, WeylPoint::SWAP, WeylPoint::B, WeylPoint::SQISW]
+            .iter()
+            .map(|&p| {
+                let pulse = scheme.compile(p).unwrap();
+                (pulse.drive, pulse.tau)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distort_compensate_round_trip() {
+        let m = ControlModel {
+            amp_scale: 1.07,
+            amp_offset: -0.03,
+            detuning_offset: 0.05,
+        };
+        let d = DriveParams::new(0.8, 0.0, -0.4);
+        let back = m.distort(m.compensate(d));
+        assert!((back.omega1 - d.omega1).abs() < 1e-12);
+        assert!((back.omega2 - d.omega2).abs() < 1e-12);
+        assert!((back.delta - d.delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_recovers_model_exactly_without_shot_noise() {
+        let hw = true_hw();
+        let mut rng = StdRng::seed_from_u64(71);
+        let fitted = calibrate(&hw, &probe_pulses(), 0, &mut rng);
+        assert!((fitted.amp_scale - hw.true_model.amp_scale).abs() < 1e-4, "{fitted:?}");
+        assert!((fitted.amp_offset - hw.true_model.amp_offset).abs() < 1e-4);
+        assert!((fitted.detuning_offset - hw.true_model.detuning_offset).abs() < 1e-4);
+    }
+
+    #[test]
+    fn calibration_with_shots_is_close() {
+        let hw = true_hw();
+        let mut rng = StdRng::seed_from_u64(72);
+        let fitted = calibrate(&hw, &probe_pulses(), 20_000, &mut rng);
+        assert!((fitted.amp_scale - hw.true_model.amp_scale).abs() < 0.02, "{fitted:?}");
+        assert!((fitted.detuning_offset - hw.true_model.detuning_offset).abs() < 0.02);
+    }
+
+    #[test]
+    fn compensation_restores_gate_fidelity() {
+        let hw = true_hw();
+        let scheme = AshnScheme::new(0.0);
+        let mut rng = StdRng::seed_from_u64(73);
+        let fitted = calibrate(&hw, &probe_pulses(), 0, &mut rng);
+        // A target *not* in the probe set.
+        let pulse = scheme.compile(WeylPoint::new(0.6, 0.3, -0.15)).unwrap();
+        let ideal = pulse.unitary();
+        let raw = execute_pulse(&hw, &pulse, None);
+        let corrected = execute_pulse(&hw, &pulse, Some(&fitted));
+        let f_raw = entanglement_fidelity(&ideal, &raw);
+        let f_cor = entanglement_fidelity(&ideal, &corrected);
+        assert!(f_raw < 0.999, "distortion should hurt: F = {f_raw}");
+        assert!(f_cor > 0.99999, "compensation should fix it: F = {f_cor}");
+    }
+}

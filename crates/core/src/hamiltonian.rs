@@ -1,0 +1,170 @@
+//! The AshN rotating-frame Hamiltonian (paper Eq. 4.3 / 4.1).
+//!
+//! In units of the coupling `g` (set `g = 1`), with `ZZ` ratio `h̃ = h/g`:
+//!
+//! ```text
+//! H(h̃; Ω₁, Ω₂, δ) = ½(XX + YY + h̃·ZZ) + Ω₁(XI + IX) + Ω₂(XI − IX) + δ(ZI + IZ)
+//! ```
+//!
+//! The drives have square envelopes, making `H` time-independent; evolution
+//! for time `τ` (in units of `1/g`) gives `U = exp(−i·H·τ)`.
+
+use ashn_math::expm::expm_minus_i_hermitian;
+use ashn_math::{c, CMat};
+use ashn_gates::pauli::{pauli_string, xx, yy, zz, Pauli};
+
+/// Drive parameters of a single AshN pulse, in units of the coupling `g`
+/// (`Ω`s and `δ`) and of `1/g` (`τ`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriveParams {
+    /// Symmetric drive amplitude `Ω₁`.
+    pub omega1: f64,
+    /// Antisymmetric drive amplitude `Ω₂`.
+    pub omega2: f64,
+    /// Half the drive detuning, `δ = (ω_d − ω)/2`.
+    pub delta: f64,
+}
+
+impl DriveParams {
+    /// A pulse with all drives off (pure `XX+YY` evolution).
+    pub const FREE: DriveParams = DriveParams {
+        omega1: 0.0,
+        omega2: 0.0,
+        delta: 0.0,
+    };
+
+    /// Creates drive parameters.
+    pub const fn new(omega1: f64, omega2: f64, delta: f64) -> Self {
+        Self {
+            omega1,
+            omega2,
+            delta,
+        }
+    }
+
+    /// Physical microwave amplitudes `(A₁, A₂)` from the symmetric /
+    /// antisymmetric parameterisation (paper Eq. 4.2):
+    /// `Aᵢ = −2Ω₁ + (−1)ⁱ·2Ω₂`.
+    pub fn amplitudes(&self) -> (f64, f64) {
+        (
+            -2.0 * self.omega1 - 2.0 * self.omega2,
+            -2.0 * self.omega1 + 2.0 * self.omega2,
+        )
+    }
+
+    /// Inverse of [`DriveParams::amplitudes`].
+    pub fn from_amplitudes(a1: f64, a2: f64, delta: f64) -> Self {
+        Self {
+            omega1: -(a1 + a2) / 4.0,
+            omega2: (a2 - a1) / 4.0,
+            delta,
+        }
+    }
+
+    /// The largest of `|A₁|/2, |A₂|/2, |δ|` — the drive-strength measure the
+    /// paper bounds in Eq. 4.4 and plots in Fig. 5.
+    pub fn max_strength(&self) -> f64 {
+        (self.omega1 + self.omega2)
+            .abs()
+            .max((self.omega1 - self.omega2).abs())
+            .max(self.delta.abs())
+    }
+}
+
+/// Builds the normalised AshN Hamiltonian `H(h̃; Ω₁, Ω₂, δ)` as a 4×4 matrix.
+///
+/// # Panics
+///
+/// Panics when `|h_ratio| > 1` (the scheme requires `|h| ≤ g`, paper §4.1).
+pub fn hamiltonian(h_ratio: f64, drive: DriveParams) -> CMat {
+    assert!(
+        h_ratio.abs() <= 1.0 + 1e-12,
+        "AshN requires |h| ≤ g, got h/g = {h_ratio}"
+    );
+    let xi_ix_sum = pauli_string(&[Pauli::X, Pauli::I]) + pauli_string(&[Pauli::I, Pauli::X]);
+    let xi_ix_diff = pauli_string(&[Pauli::X, Pauli::I]) - pauli_string(&[Pauli::I, Pauli::X]);
+    let zi_iz = pauli_string(&[Pauli::Z, Pauli::I]) + pauli_string(&[Pauli::I, Pauli::Z]);
+    (xx() + yy()).scale(c(0.5, 0.0))
+        + zz().scale(c(0.5 * h_ratio, 0.0))
+        + xi_ix_sum.scale(c(drive.omega1, 0.0))
+        + xi_ix_diff.scale(c(drive.omega2, 0.0))
+        + zi_iz.scale(c(drive.delta, 0.0))
+}
+
+/// Time evolution `U(τ) = exp(−i·H·τ)` under the AshN Hamiltonian.
+pub fn evolve(h_ratio: f64, drive: DriveParams, tau: f64) -> CMat {
+    expm_minus_i_hermitian(&hamiltonian(h_ratio, drive), tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_gates::kak::weyl_coordinates;
+    use ashn_gates::weyl::WeylPoint;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    #[test]
+    fn hamiltonian_is_hermitian_and_symmetric() {
+        let h = hamiltonian(0.3, DriveParams::new(0.7, -0.2, 0.4));
+        assert!(h.is_hermitian(1e-14));
+        // All AshN Hamiltonians are real symmetric (paper §A.1.3), which is
+        // what makes the Cartan-double calibration work.
+        assert!((&h - &h.transpose()).frobenius_norm() < 1e-14);
+    }
+
+    #[test]
+    fn evolution_is_symmetric_unitary() {
+        let u = evolve(0.2, DriveParams::new(0.5, 0.1, -0.3), 1.1);
+        assert!(u.is_unitary(1e-11));
+        assert!((&u - &u.transpose()).frobenius_norm() < 1e-10, "U = Uᵀ fails");
+    }
+
+    #[test]
+    fn free_evolution_reaches_iswap_class() {
+        // With no drives and h=0, evolving for τ = π/2 gives the iSWAP class
+        // (the XY interaction at its maximally entangling point).
+        let u = evolve(0.0, DriveParams::FREE, FRAC_PI_2);
+        let p = weyl_coordinates(&u);
+        assert!(p.approx_eq(WeylPoint::ISWAP, 1e-9), "got {p}");
+    }
+
+    #[test]
+    fn free_evolution_quarter_time_is_sqisw_class() {
+        let u = evolve(0.0, DriveParams::FREE, FRAC_PI_4);
+        let p = weyl_coordinates(&u);
+        assert!(p.approx_eq(WeylPoint::SQISW, 1e-9), "got {p}");
+    }
+
+    #[test]
+    fn amplitude_round_trip() {
+        let d = DriveParams::new(0.4, -0.9, 0.25);
+        let (a1, a2) = d.amplitudes();
+        let back = DriveParams::from_amplitudes(a1, a2, d.delta);
+        assert!((back.omega1 - d.omega1).abs() < 1e-14);
+        assert!((back.omega2 - d.omega2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singlet_is_always_an_eigenvector() {
+        // (0,1,−1,0)/√2 is an eigenvector for any symmetric drive (paper §A.4).
+        let h = hamiltonian(0.5, DriveParams::new(0.8, 0.0, 0.6));
+        let s = vec![
+            ashn_math::Complex::ZERO,
+            c(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+            c(-std::f64::consts::FRAC_1_SQRT_2, 0.0),
+            ashn_math::Complex::ZERO,
+        ];
+        let hs = h.mul_vec(&s);
+        // Eigenvalue is −(1 + h̃/2) for the symmetric drive.
+        let expect = -(1.0 + 0.25);
+        for (a, b) in hs.iter().zip(s.iter()) {
+            assert!((*a - *b * expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "AshN requires")]
+    fn rejects_zz_stronger_than_coupling() {
+        hamiltonian(1.5, DriveParams::FREE);
+    }
+}

@@ -1,0 +1,204 @@
+//! The AshN-ND (no detuning) sub-scheme, and its extended-time variant
+//! AshN-ND-EXT (paper Algorithms 2–3, derivation in §A.2).
+//!
+//! With `δ = 0`, the Hamiltonian block-diagonalises in the `(H⊗H)` basis and
+//! the realized Weyl coordinates are `(τ/2, y, z)` with
+//!
+//! ```text
+//! sin(y−z) = (1−h̃)/2 · sin(S₁τ)/S₁,   S₁ = √(4Ω₁² + (1−h̃)²/4)
+//! sin(y+z) = (1+h̃)/2 · sin(S₂τ)/S₂,   S₂ = √(4Ω₂² + (1+h̃)²/4)
+//! ```
+//!
+//! (paper Eq. A.1, stated for `exp(+iHτ)`). Inverting uses `sinc⁻¹` on its
+//! `[0, π]` branch.
+//!
+//! Convention note: Eq. (A.1) and the pseudocode of Algorithms 2–3 pair
+//! `(1±h̃)` with `y±z` in opposite ways; the difference is the sign of the
+//! realized `z`, which depends on the `exp(±iHτ)` convention. For the
+//! Schrödinger evolution `U = exp(−iHτ)` used throughout this crate the
+//! correct pairing is `(1−h̃, Ω₁) ↔ y+z` and `(1+h̃, Ω₂) ↔ y−z` — matching
+//! Algorithm 2 as printed. The round-trip tests pin this down.
+
+use crate::hamiltonian::DriveParams;
+use ashn_math::special::sinc_inv;
+use std::f64::consts::PI;
+
+/// Error cases for the closed-form ND inversion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NdError {
+    /// The target lies outside the `ND(h; τ)` polygon: the required
+    /// `sinc` value exceeds 1.
+    OutsidePolygon,
+    /// The requested evolution time is not positive.
+    NonPositiveTime,
+}
+
+impl std::fmt::Display for NdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NdError::OutsidePolygon => write!(f, "target outside the ND(h;τ) polygon"),
+            NdError::NonPositiveTime => write!(f, "evolution time must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for NdError {}
+
+/// Solves one ND leg: returns `Ω ≥ 0` with
+/// `sin(target) = (k/2)·sinc(Sτ)·τ·…`, i.e. `S = sinc⁻¹(2·sin(target)/(k·τ))/τ`
+/// and `Ω = √(S² − k²/4)/2`, where `k = 1±h̃`.
+fn solve_leg(target: f64, k: f64, tau: f64) -> Result<f64, NdError> {
+    if k.abs() < 1e-12 {
+        // Degenerate coupling leg (|h̃| = 1): the equation collapses to
+        // sin(target) = 0 and the drive decouples; Ω = 0 works iff target ≈ 0.
+        return if target.sin().abs() < 1e-9 {
+            Ok(0.0)
+        } else {
+            Err(NdError::OutsidePolygon)
+        };
+    }
+    let arg = 2.0 * target.sin() / (k * tau);
+    if !(-1e-9..=1.0 + 1e-9).contains(&arg) {
+        return Err(NdError::OutsidePolygon);
+    }
+    let s = sinc_inv(arg.clamp(0.0, 1.0)) / tau;
+    let om_sq = s * s - k * k / 4.0;
+    // Round-off can push marginal cases slightly negative.
+    Ok(om_sq.max(0.0).sqrt() / 2.0)
+}
+
+/// AshN-ND: drive parameters realizing the class `(x, y, z)` in time
+/// `τ = 2x` with zero detuning.
+///
+/// # Errors
+///
+/// [`NdError::OutsidePolygon`] when `(x,y,z) ∉ ND(h̃; 2x)`;
+/// [`NdError::NonPositiveTime`] when `x ≤ 0` (the identity class needs no
+/// pulse).
+pub fn ashn_nd(h_ratio: f64, x: f64, y: f64, z: f64) -> Result<(f64, DriveParams), NdError> {
+    let tau = 2.0 * x;
+    if tau <= 0.0 {
+        return Err(NdError::NonPositiveTime);
+    }
+    let omega1 = solve_leg(y + z, 1.0 - h_ratio, tau)?;
+    let omega2 = solve_leg(y - z, 1.0 + h_ratio, tau)?;
+    Ok((tau, DriveParams::new(omega1, omega2, 0.0)))
+}
+
+/// AshN-ND-EXT: realizes `(x, y, z)` in the extended time `τ = π − 2x` by
+/// targeting the mirror class `(π/2 − x, y, −z)` with the plain ND scheme.
+///
+/// This trades gate time for bounded drive amplitudes near the identity
+/// (paper §4.2 and §A.7).
+///
+/// # Errors
+///
+/// Same as [`ashn_nd`].
+pub fn ashn_nd_ext(h_ratio: f64, x: f64, y: f64, z: f64) -> Result<(f64, DriveParams), NdError> {
+    let tau = PI - 2.0 * x;
+    if tau <= 0.0 {
+        return Err(NdError::NonPositiveTime);
+    }
+    // Mirror: the evolution realizes (τ/2, y, −z) = (π/2−x, y, −z) ~ (x,y,z).
+    let omega1 = solve_leg(y - z, 1.0 - h_ratio, tau)?;
+    let omega2 = solve_leg(y + z, 1.0 + h_ratio, tau)?;
+    Ok((tau, DriveParams::new(omega1, omega2, 0.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamiltonian::evolve;
+    use ashn_gates::kak::weyl_coordinates;
+    use ashn_gates::weyl::WeylPoint;
+    use std::f64::consts::FRAC_PI_4;
+
+    fn check_round_trip(h: f64, x: f64, y: f64, z: f64, ext: bool) {
+        let (tau, drive) = if ext {
+            ashn_nd_ext(h, x, y, z).expect("solvable")
+        } else {
+            ashn_nd(h, x, y, z).expect("solvable")
+        };
+        let u = evolve(h, drive, tau);
+        let got = weyl_coordinates(&u);
+        let want = WeylPoint::new(x, y, z).canonicalize();
+        assert!(
+            got.dist(want) < 1e-8,
+            "h={h} target=({x},{y},{z}) ext={ext}: got {got}, want {want}"
+        );
+    }
+
+    #[test]
+    fn cnot_class_h0() {
+        // [CNOT]: Ω₁ = Ω₂ = √15/4 so A₁ = −√15·g, A₂ = 0 (paper Table 1).
+        let (tau, d) = ashn_nd(0.0, FRAC_PI_4, 0.0, 0.0).unwrap();
+        assert!((tau - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((d.omega1 - 15f64.sqrt() / 4.0).abs() < 1e-9);
+        assert!((d.omega2 - 15f64.sqrt() / 4.0).abs() < 1e-9);
+        let (a1, a2) = d.amplitudes();
+        assert!((a1 + 15f64.sqrt()).abs() < 1e-8);
+        assert!(a2.abs() < 1e-8);
+        check_round_trip(0.0, FRAC_PI_4, 0.0, 0.0, false);
+    }
+
+    #[test]
+    fn nd_round_trips_interior_targets() {
+        // Points with y + z ≤ (1−h̃)x and y − z ≤ (1+h̃)x lie in ND(h̃; 2x).
+        let cases = [
+            (0.0, 0.6, 0.25, 0.1),
+            (0.0, 0.7, 0.3, -0.2),
+            (0.3, 0.6, 0.3, 0.05),
+            (-0.4, 0.7, 0.2, -0.1),
+            (0.8, 0.7, 0.05, 0.0),
+        ];
+        for (h, x, y, z) in cases {
+            // Feasibility guard for the chosen parameters.
+            assert!(y + z <= (1.0 - h) * x + 1e-12 && y - z <= (1.0 + h) * x + 1e-12);
+            check_round_trip(h, x, y, z, false);
+        }
+    }
+
+    #[test]
+    fn nd_ext_round_trips_near_identity() {
+        for (h, x, y, z) in [
+            (0.0, 0.05, 0.02, 0.01),
+            (0.0, 0.1, 0.05, -0.03),
+            (0.2, 0.08, 0.04, 0.0),
+            (-0.3, 0.02, 0.01, -0.01),
+        ] {
+            check_round_trip(h, x, y, z, true);
+        }
+    }
+
+    #[test]
+    fn nd_rejects_outside_polygon() {
+        // y + z far above (1+h̃)x cannot be reached in time 2x.
+        assert_eq!(
+            ashn_nd(0.0, 0.3, 0.3, 0.29).unwrap_err(),
+            NdError::OutsidePolygon
+        );
+    }
+
+    #[test]
+    fn nd_rejects_identity() {
+        assert_eq!(
+            ashn_nd(0.0, 0.0, 0.0, 0.0).unwrap_err(),
+            NdError::NonPositiveTime
+        );
+    }
+
+    #[test]
+    fn iswap_needs_no_drive() {
+        let (tau, d) = ashn_nd(0.0, FRAC_PI_4, FRAC_PI_4, 0.0).unwrap();
+        assert!((tau - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(d.omega1.abs() < 1e-6 && d.omega2.abs() < 1e-6);
+        check_round_trip(0.0, FRAC_PI_4, FRAC_PI_4, 0.0, false);
+    }
+
+    #[test]
+    fn extreme_zz_ratio_with_matching_target() {
+        // h̃ = 1 freezes the (1−h̃) leg, which controls y+z: targets with
+        // y = −z remain solvable.
+        check_round_trip(1.0, 0.5, 0.2, -0.2, false);
+    }
+}

@@ -1,0 +1,135 @@
+//! Free single-qubit Z gates from drive phases (paper §4.4).
+//!
+//! The full rotating-frame Hamiltonian with drive phases `ϕ₁, ϕ₂`
+//! (paper Eq. 4.1) satisfies
+//!
+//! ```text
+//! H(ϕ₁, ϕ₂) = (Z_{−ϕ̄}⊗Z_{−ϕ̄}) · H(ϕ′, −ϕ′) · (Z_{ϕ̄}⊗Z_{ϕ̄})
+//! ```
+//!
+//! with `ϕ̄ = (ϕ₁+ϕ₂)/2`, `ϕ′ = (ϕ₁−ϕ₂)/2`: tuning the *common* drive phase
+//! conjugates the evolution by `Z` rotations — virtual Z gates with zero
+//! duration and zero error, independent of the pulse envelope.
+
+use crate::hamiltonian::DriveParams;
+use ashn_gates::pauli::{pauli_string, xx, yy, zz, Pauli};
+use ashn_math::expm::expm_minus_i_hermitian;
+use ashn_math::{c, CMat, Complex};
+
+/// The AshN Hamiltonian with explicit drive phases (paper Eq. 4.1):
+/// the drives couple as `cos ϕᵢ·X − sin ϕᵢ·Y` on each qubit.
+///
+/// With `ϕ₁ = ϕ₂ = 0` this reduces to [`crate::hamiltonian::hamiltonian`].
+pub fn hamiltonian_with_phases(
+    h_ratio: f64,
+    drive: DriveParams,
+    phi1: f64,
+    phi2: f64,
+) -> CMat {
+    let (a1, a2) = drive.amplitudes();
+    let xi = pauli_string(&[Pauli::X, Pauli::I]);
+    let ix = pauli_string(&[Pauli::I, Pauli::X]);
+    let yi = pauli_string(&[Pauli::Y, Pauli::I]);
+    let iy = pauli_string(&[Pauli::I, Pauli::Y]);
+    let zi_iz = pauli_string(&[Pauli::Z, Pauli::I]) + pauli_string(&[Pauli::I, Pauli::Z]);
+    (xx() + yy()).scale(c(0.5, 0.0))
+        + zz().scale(c(0.5 * h_ratio, 0.0))
+        + (xi.scale(c(phi1.cos(), 0.0)) - yi.scale(c(phi1.sin(), 0.0))).scale(c(-a1 / 2.0, 0.0))
+        + (ix.scale(c(phi2.cos(), 0.0)) - iy.scale(c(phi2.sin(), 0.0))).scale(c(-a2 / 2.0, 0.0))
+        + zi_iz.scale(c(drive.delta, 0.0))
+}
+
+/// `Z_φ ⊗ Z_φ` with `Z_φ = diag(1, e^{iφ})` — the frame-change operator of
+/// §4.4.
+pub fn zphase_pair(phi: f64) -> CMat {
+    let z = CMat::diag(&[Complex::ONE, Complex::cis(phi)]);
+    z.kron(&z)
+}
+
+/// Evolution under the phased Hamiltonian.
+pub fn evolve_with_phases(
+    h_ratio: f64,
+    drive: DriveParams,
+    phi1: f64,
+    phi2: f64,
+    tau: f64,
+) -> CMat {
+    expm_minus_i_hermitian(&hamiltonian_with_phases(h_ratio, drive, phi1, phi2), tau)
+}
+
+/// The virtual-Z dressed gate predicted by §4.4: conjugating the
+/// `(ϕ′, −ϕ′)` evolution by `Z_{ϕ̄}` frames.
+pub fn virtual_z_prediction(
+    h_ratio: f64,
+    drive: DriveParams,
+    phi1: f64,
+    phi2: f64,
+    tau: f64,
+) -> CMat {
+    let mean = (phi1 + phi2) / 2.0;
+    let diff = (phi1 - phi2) / 2.0;
+    let inner = evolve_with_phases(h_ratio, drive, diff, -diff, tau);
+    zphase_pair(-mean).matmul(&inner).matmul(&zphase_pair(mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_gates::kak::weyl_coordinates;
+
+    #[test]
+    fn zero_phase_matches_base_hamiltonian() {
+        let d = DriveParams::new(0.7, 0.3, -0.2);
+        let a = hamiltonian_with_phases(0.2, d, 0.0, 0.0);
+        let b = crate::hamiltonian::hamiltonian(0.2, d);
+        assert!(a.dist(&b) < 1e-13);
+    }
+
+    #[test]
+    fn section_4_4_conjugation_identity() {
+        // H(ϕ₁,ϕ₂) = (Z_{−ϕ̄}⊗Z_{−ϕ̄})·H(ϕ′,−ϕ′)·(Z_{ϕ̄}⊗Z_{ϕ̄}).
+        let d = DriveParams::new(0.8, 0.25, 0.4);
+        for (p1, p2) in [(0.3, -0.7), (1.2, 0.5), (0.0, 2.0)] {
+            let mean = (p1 + p2) / 2.0;
+            let diff = (p1 - p2) / 2.0;
+            let lhs = hamiltonian_with_phases(0.3, d, p1, p2);
+            let inner = hamiltonian_with_phases(0.3, d, diff, -diff);
+            let rhs = zphase_pair(-mean).matmul(&inner).matmul(&zphase_pair(mean));
+            assert!(lhs.dist(&rhs) < 1e-12, "identity fails at ({p1},{p2})");
+        }
+    }
+
+    #[test]
+    fn virtual_z_prediction_matches_direct_evolution() {
+        let d = DriveParams::new(0.9, 0.0, 0.2);
+        for (p1, p2) in [(0.4, 0.4), (0.9, -0.3)] {
+            let direct = evolve_with_phases(0.1, d, p1, p2, 1.3);
+            let predicted = virtual_z_prediction(0.1, d, p1, p2, 1.3);
+            assert!(direct.dist(&predicted) < 1e-11);
+        }
+    }
+
+    #[test]
+    fn common_phase_leaves_weyl_class_unchanged() {
+        // The common phase is a pure frame change: free Z gates, same class.
+        let d = DriveParams::new(0.6, 0.2, 0.0);
+        let base = weyl_coordinates(&evolve_with_phases(0.0, d, 0.0, 0.0, 1.1));
+        for common in [0.5, 1.3, 2.9] {
+            let shifted = weyl_coordinates(&evolve_with_phases(0.0, d, common, common, 1.1));
+            assert!(
+                shifted.gate_dist(base) < 1e-9,
+                "class moved under common phase {common}"
+            );
+        }
+    }
+
+    #[test]
+    fn differential_phase_changes_the_gate_but_not_through_frames() {
+        // A differential phase is NOT a virtual Z — it changes the physical
+        // gate (still within SU(4), compiled by AshN as usual).
+        let d = DriveParams::new(0.6, 0.2, 0.0);
+        let a = evolve_with_phases(0.0, d, 0.3, -0.3, 1.1);
+        let b = evolve_with_phases(0.0, d, 0.0, 0.0, 1.1);
+        assert!(a.dist(&b) > 1e-3);
+    }
+}

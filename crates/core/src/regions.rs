@@ -1,0 +1,188 @@
+//! Weyl-chamber region classification (paper Figures 2–3): which sub-scheme
+//! realizes each class, and how the partition deforms with the `ZZ` ratio
+//! and the cutoff `r`.
+
+use crate::scheme::SubScheme;
+use ashn_gates::cost::optimal_time_branches;
+use ashn_gates::weyl::WeylPoint;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+/// The sub-scheme Algorithm 1 assigns to a canonical class, without solving
+/// for the drive parameters.
+///
+/// When `h̃ ≠ 0` the mirror branch splits each of ND/EA± in two, yielding the
+/// seven regions of paper Figure 3; the `mirrored` flag distinguishes them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Sub-scheme used.
+    pub scheme: SubScheme,
+    /// Whether the mirror class `(π/2−x, y, −z)` is the one compiled.
+    pub mirrored: bool,
+}
+
+/// Classifies a canonical class for `ZZ` ratio `h̃` and cutoff `r`.
+///
+/// # Panics
+///
+/// Panics when `|h̃| > 1` or the point is not canonical.
+pub fn classify(h_ratio: f64, cutoff: f64, p: WeylPoint) -> Region {
+    let p = p.canonicalize();
+    let (t1, t2) = optimal_time_branches(h_ratio, p);
+    if t1.min(t2) <= 1e-12 {
+        return Region {
+            scheme: SubScheme::Identity,
+            mirrored: false,
+        };
+    }
+    if t1.min(t2) <= cutoff {
+        return Region {
+            scheme: SubScheme::NdExt,
+            mirrored: false,
+        };
+    }
+    let mirrored = t2 < t1 - 1e-12;
+    let (x, y, z) = if mirrored {
+        (FRAC_PI_2 - p.x, p.y, -p.z)
+    } else {
+        (p.x, p.y, p.z)
+    };
+    let t_nd = 2.0 * x;
+    let t_plus = 2.0 * (x + y + z) / (2.0 - h_ratio);
+    let t_minus = 2.0 * (x + y - z) / (2.0 + h_ratio);
+    let scheme = if t_nd >= t_plus.max(t_minus) - 1e-12 {
+        SubScheme::Nd
+    } else if t_plus >= t_minus {
+        SubScheme::EaPlus
+    } else {
+        SubScheme::EaMinus
+    };
+    Region { scheme, mirrored }
+}
+
+/// Volume fractions of each region under the Haar measure, estimated over a
+/// deterministic grid. Returns `(label, fraction)` pairs covering 100%.
+pub fn region_census(h_ratio: f64, cutoff: f64, resolution: usize) -> Vec<(String, f64)> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut total = 0.0;
+    let n = resolution;
+    let step = FRAC_PI_4 / n as f64;
+    for i in 0..n {
+        let x = (i as f64 + 0.5) * step;
+        for j in 0..n {
+            let y = (j as f64 + 0.5) * step;
+            for k in 0..2 * n {
+                let z = -FRAC_PI_4 + (k as f64 + 0.5) * step;
+                let p = WeylPoint::new(x, y, z);
+                if !p.in_chamber(0.0) || !p.canonicalize().approx_eq(p, 1e-9) {
+                    continue;
+                }
+                let w = ashn_gates::haar::weyl_density(p);
+                let r = classify(h_ratio, cutoff, p);
+                let label = if r.mirrored {
+                    format!("{} (mirror)", r.scheme)
+                } else {
+                    r.scheme.to_string()
+                };
+                *counts.entry(label).or_insert(0.0) += w;
+                total += w;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(k, v)| (k, v / total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnot_is_nd_region() {
+        let r = classify(0.0, 0.0, WeylPoint::CNOT);
+        assert_eq!(r.scheme, SubScheme::Nd);
+        assert!(!r.mirrored);
+    }
+
+    #[test]
+    fn swap_is_ea_region() {
+        let r = classify(0.0, 0.0, WeylPoint::SWAP);
+        assert!(
+            matches!(r.scheme, SubScheme::EaPlus | SubScheme::EaMinus),
+            "got {:?}",
+            r.scheme
+        );
+    }
+
+    #[test]
+    fn near_identity_is_nd_ext_with_cutoff() {
+        let r = classify(0.0, 1.1, WeylPoint::new(0.05, 0.01, 0.0));
+        assert_eq!(r.scheme, SubScheme::NdExt);
+    }
+
+    #[test]
+    fn census_covers_everything_h0() {
+        let census = region_census(0.0, 0.0, 24);
+        let total: f64 = census.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // With h̃ = 0 and no cutoff, only ND / EA± appear (Fig. 2), with ND
+        // dominating the Haar mass.
+        for (label, frac) in &census {
+            assert!(
+                !label.contains("EXT"),
+                "unexpected region {label} ({frac})"
+            );
+        }
+        let nd = census
+            .iter()
+            .filter(|(l, _)| l == "AshN-ND")
+            .map(|(_, f)| f)
+            .sum::<f64>();
+        assert!(nd > 0.5, "ND fraction = {nd}");
+    }
+
+    #[test]
+    fn nonzero_zz_splits_more_regions() {
+        // Fig. 3: with h̃ ≠ 0 the chamber partitions into more sectors
+        // (mirror copies appear).
+        let census0 = region_census(0.0, 0.0, 20);
+        let census8 = region_census(0.8, 0.0, 20);
+        assert!(census8.len() > census0.len(), "{census0:?} vs {census8:?}");
+    }
+
+    #[test]
+    fn cutoff_region_grows_with_r() {
+        let frac = |r: f64| {
+            region_census(0.0, r, 20)
+                .into_iter()
+                .filter(|(l, _)| l.contains("EXT"))
+                .map(|(_, f)| f)
+                .sum::<f64>()
+        };
+        let f_small = frac(0.4);
+        let f_large = frac(1.2);
+        assert!(f_small < f_large, "{f_small} !< {f_large}");
+    }
+
+    #[test]
+    fn classification_matches_compiled_scheme() {
+        // The census classifier must agree with what `compile` actually does.
+        use crate::scheme::AshnScheme;
+        let scheme = AshnScheme::with_cutoff(0.0, 0.8);
+        for p in [
+            WeylPoint::CNOT,
+            WeylPoint::SWAP,
+            WeylPoint::new(0.1, 0.05, -0.02),
+            WeylPoint::new(0.7, 0.3, 0.1),
+        ] {
+            let predicted = classify(0.0, 0.8, p);
+            let pulse = scheme.compile(p).unwrap();
+            assert_eq!(
+                predicted.scheme, pulse.scheme,
+                "classifier disagrees with compiler at {p}"
+            );
+        }
+    }
+}

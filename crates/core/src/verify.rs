@@ -1,0 +1,112 @@
+//! Verification helpers: fidelities and realized-coordinate checks.
+
+use ashn_gates::weyl::WeylPoint;
+use ashn_math::{CMat, Complex};
+use std::f64::consts::FRAC_PI_2;
+
+/// Entanglement (process) fidelity `|tr(U†V)|²/d²` between two unitaries of
+/// equal dimension.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn entanglement_fidelity(u: &CMat, v: &CMat) -> f64 {
+    assert_eq!((u.rows(), u.cols()), (v.rows(), v.cols()));
+    let d = u.rows() as f64;
+    (u.adjoint().matmul(v).trace().abs() / d).powi(2)
+}
+
+/// Average gate fidelity `(d·F_e + 1)/(d + 1)` from the entanglement
+/// fidelity `F_e`.
+pub fn average_gate_fidelity(u: &CMat, v: &CMat) -> f64 {
+    let d = u.rows() as f64;
+    (d * entanglement_fidelity(u, v) + 1.0) / (d + 1.0)
+}
+
+fn theta_pattern(p: WeylPoint) -> [f64; 4] {
+    [
+        p.x - p.y + p.z,
+        p.x + p.y - p.z,
+        -p.x - p.y - p.z,
+        -p.x + p.y + p.z,
+    ]
+}
+
+/// The best entanglement fidelity achievable between the *classes* `a` and
+/// `b` when optimal single-qubit corrections are applied:
+///
+/// `F = |Σⱼ exp(i(θⱼ(a) − θⱼ(b)))|²/16`
+///
+/// where `θ` is the magic-basis phase pattern of `CAN(x,y,z)`. The mirror
+/// identification `(x,y,z) ~ (π/2−x, y, −z)` is taken into account.
+pub fn class_fidelity(a: WeylPoint, b: WeylPoint) -> f64 {
+    let fid = |p: WeylPoint, q: WeylPoint| {
+        let ta = theta_pattern(p);
+        let tb = theta_pattern(q);
+        let s: Complex = (0..4).map(|j| Complex::cis(ta[j] - tb[j])).sum();
+        (s.abs() / 4.0).powi(2)
+    };
+    let a = a.canonicalize();
+    let b = b.canonicalize();
+    let mirror = WeylPoint::new(FRAC_PI_2 - a.x, a.y, -a.z);
+    fid(a, b).max(fid(mirror, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_gates::two::{cnot, iswap, swap};
+    use ashn_math::randmat::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::FRAC_PI_4;
+
+    #[test]
+    fn fidelity_with_self_is_one() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let u = haar_unitary(4, &mut rng);
+        assert!((entanglement_fidelity(&u, &u) - 1.0).abs() < 1e-12);
+        assert!((average_gate_fidelity(&u, &u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_is_phase_invariant() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let u = haar_unitary(4, &mut rng);
+        let v = u.scale(Complex::cis(0.9));
+        assert!((entanglement_fidelity(&u, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_cliffords_have_low_fidelity() {
+        let f = entanglement_fidelity(&cnot(), &swap());
+        assert!(f < 0.5, "F(CNOT,SWAP) = {f}");
+        let f2 = entanglement_fidelity(&cnot(), &iswap());
+        assert!(f2 < 0.5);
+    }
+
+    #[test]
+    fn class_fidelity_of_same_class_is_one() {
+        for p in [WeylPoint::CNOT, WeylPoint::SWAP, WeylPoint::new(0.3, 0.2, -0.1)] {
+            assert!((class_fidelity(p, p) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn class_fidelity_respects_mirror_identification() {
+        let p = WeylPoint::new(FRAC_PI_4 - 1e-4, 0.3, -0.1);
+        let q = WeylPoint::new(FRAC_PI_4, 0.3, 0.1);
+        assert!(class_fidelity(p, q) > 0.999, "mirror face not glued");
+    }
+
+    #[test]
+    fn class_fidelity_decreases_with_distance() {
+        let base = WeylPoint::CNOT;
+        let near = WeylPoint::new(FRAC_PI_4 - 0.01, 0.01, 0.0);
+        let far = WeylPoint::SWAP;
+        let f_near = class_fidelity(base, near);
+        let f_far = class_fidelity(base, far);
+        assert!(f_near > 0.99);
+        assert!(f_far < f_near);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests: the AshN scheme spans the Weyl chamber at optimal
+//! time (Theorems 2, 4–6) over randomized targets and ZZ ratios.
+
+use ashn_core::avg_time::gate_time_with_cutoff;
+use ashn_core::scheme::AshnScheme;
+use ashn_gates::cost::optimal_time;
+use ashn_gates::weyl::WeylPoint;
+use proptest::prelude::*;
+use std::f64::consts::FRAC_PI_4;
+
+/// Strategy generating canonical Weyl-chamber points.
+fn chamber_point() -> impl Strategy<Value = WeylPoint> {
+    (0.0..1.0f64, 0.0..1.0f64, -1.0..1.0f64).prop_map(|(a, b, c)| {
+        let x = a * FRAC_PI_4;
+        let y = b * x;
+        let z = c * y;
+        WeylPoint::new(x, y, z).canonicalize()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn compiles_every_class_at_optimal_time_h0(p in chamber_point()) {
+        let scheme = AshnScheme::new(0.0);
+        let pulse = scheme.compile(p).expect("Theorem 4 guarantees coverage");
+        prop_assert!((pulse.tau - optimal_time(0.0, p)).abs() < 1e-8,
+            "τ = {} vs optimal {}", pulse.tau, optimal_time(0.0, p));
+        prop_assert!(pulse.coordinate_error() < 1e-7);
+        // Theorem 2 structure: at least one control is zero.
+        let d = pulse.drive;
+        prop_assert!((d.omega1 * d.omega2 * d.delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compiles_with_zz_at_optimal_time(p in chamber_point(), h in -0.85..0.85f64) {
+        let scheme = AshnScheme::new(h);
+        let pulse = scheme.compile(p).expect("Theorem 4 covers |h| ≤ g");
+        prop_assert!((pulse.tau - optimal_time(h, p)).abs() < 1e-8);
+        prop_assert!(pulse.coordinate_error() < 1e-7);
+    }
+
+    #[test]
+    fn cutoff_bounds_drive_strength(p in chamber_point(), r in 0.3..1.4f64) {
+        let scheme = AshnScheme::with_cutoff(0.0, r);
+        let pulse = scheme.compile(p).expect("coverage with cutoff");
+        // Eq. 4.4: strengths ≤ π/r + 1/2.
+        prop_assert!(pulse.max_strength() <= scheme.strength_bound() + 1e-6,
+            "strength {} vs bound {}", pulse.max_strength(), scheme.strength_bound());
+        prop_assert!(pulse.coordinate_error() < 1e-7);
+        // Gate time agrees with the §A.7.1 T function.
+        prop_assert!((pulse.tau - gate_time_with_cutoff(p, r)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gate_times_never_exceed_pi(p in chamber_point(), h in -0.9..0.9f64) {
+        // §A.1.1: the whole chamber is spanned within time π.
+        prop_assert!(optimal_time(h, p) <= std::f64::consts::PI + 1e-9);
+    }
+}

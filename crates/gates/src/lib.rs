@@ -1,0 +1,31 @@
+//! # ashn-gates
+//!
+//! Quantum gate library and two-qubit gate geometry for the AshN
+//! reproduction: Pauli algebra, standard single- and two-qubit gates, the
+//! Weyl chamber with canonicalization, the full KAK decomposition (including
+//! single-qubit factors), Makhlin invariants, interaction costs (optimal gate
+//! times), and Haar sampling.
+//!
+//! ## Example: where does CNOT live in the Weyl chamber, and how long does it
+//! take?
+//!
+//! ```
+//! use ashn_gates::{kak::weyl_coordinates, two::cnot, cost::optimal_time, weyl::WeylPoint};
+//!
+//! let p = weyl_coordinates(&cnot());
+//! assert!(p.approx_eq(WeylPoint::CNOT, 1e-9));
+//! // With XX+YY coupling of strength g, [CNOT] takes exactly π/2g.
+//! assert!((optimal_time(0.0, p) - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+//! ```
+
+pub mod cost;
+pub mod haar;
+pub mod invariants;
+pub mod kak;
+pub mod pauli;
+pub mod single;
+pub mod two;
+pub mod weyl;
+
+pub use kak::{kak, weyl_coordinates, Kak};
+pub use weyl::WeylPoint;

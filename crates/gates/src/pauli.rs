@@ -1,0 +1,138 @@
+//! Pauli matrices and Pauli strings.
+
+use ashn_math::{c, CMat, Complex};
+
+/// The four single-qubit Pauli operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli X (bit flip).
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z (phase flip).
+    Z,
+}
+
+impl Pauli {
+    /// The 2×2 matrix of this Pauli operator.
+    pub fn matrix(self) -> CMat {
+        match self {
+            Pauli::I => CMat::identity(2),
+            Pauli::X => CMat::from_rows(&[
+                &[Complex::ZERO, Complex::ONE],
+                &[Complex::ONE, Complex::ZERO],
+            ]),
+            Pauli::Y => CMat::from_rows(&[
+                &[Complex::ZERO, c(0.0, -1.0)],
+                &[c(0.0, 1.0), Complex::ZERO],
+            ]),
+            Pauli::Z => CMat::from_rows(&[
+                &[Complex::ONE, Complex::ZERO],
+                &[Complex::ZERO, c(-1.0, 0.0)],
+            ]),
+        }
+    }
+
+    /// All four Paulis in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+}
+
+/// Tensor product of Pauli operators, e.g. `pauli_string(&[Pauli::X, Pauli::X])`
+/// for the paper's `XX`.
+///
+/// # Panics
+///
+/// Panics when `ps` is empty.
+pub fn pauli_string(ps: &[Pauli]) -> CMat {
+    assert!(!ps.is_empty(), "empty Pauli string");
+    let mut m = ps[0].matrix();
+    for p in &ps[1..] {
+        m = m.kron(&p.matrix());
+    }
+    m
+}
+
+/// `X⊗X` on two qubits.
+pub fn xx() -> CMat {
+    pauli_string(&[Pauli::X, Pauli::X])
+}
+
+/// `Y⊗Y` on two qubits.
+pub fn yy() -> CMat {
+    pauli_string(&[Pauli::Y, Pauli::Y])
+}
+
+/// `Z⊗Z` on two qubits.
+pub fn zz() -> CMat {
+    pauli_string(&[Pauli::Z, Pauli::Z])
+}
+
+/// Expands a 4×4 Hermitian operator in the two-qubit Pauli basis.
+///
+/// Returns the 16 real coefficients `h_{ab}` with
+/// `H = Σ_{ab} h_{ab} σ_a ⊗ σ_b`, ordered with `b` fastest
+/// (`II, IX, IY, IZ, XI, …`).
+///
+/// # Panics
+///
+/// Panics if `h` is not 4×4.
+pub fn pauli_coefficients(h: &CMat) -> [f64; 16] {
+    assert_eq!((h.rows(), h.cols()), (4, 4), "two-qubit operator required");
+    let mut out = [0.0; 16];
+    for (ia, a) in Pauli::ALL.iter().enumerate() {
+        for (ib, b) in Pauli::ALL.iter().enumerate() {
+            let p = pauli_string(&[*a, *b]);
+            // tr(P† H)/4 = tr(P H)/4 since Paulis are Hermitian.
+            out[ia * 4 + ib] = p.hs_inner(h).re / 4.0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paulis_are_hermitian_unitary_involutions() {
+        for p in Pauli::ALL {
+            let m = p.matrix();
+            assert!(m.is_hermitian(1e-15));
+            assert!(m.is_unitary(1e-15));
+            assert!(m.matmul(&m).dist(&CMat::identity(2)) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn anticommutation() {
+        let x = Pauli::X.matrix();
+        let y = Pauli::Y.matrix();
+        let z = Pauli::Z.matrix();
+        let anti = x.matmul(&y) + y.matmul(&x);
+        assert!(anti.frobenius_norm() < 1e-15);
+        // XY = iZ.
+        assert!(x.matmul(&y).dist(&z.scale(c(0.0, 1.0))) < 1e-15);
+    }
+
+    #[test]
+    fn pauli_string_dimensions() {
+        assert_eq!(pauli_string(&[Pauli::X; 3]).rows(), 8);
+        assert_eq!(xx().rows(), 4);
+    }
+
+    #[test]
+    fn pauli_coefficients_round_trip() {
+        // H = 0.5 XX + 0.25 ZI − 0.125 IY.
+        let h = xx().scale(c(0.5, 0.0))
+            + pauli_string(&[Pauli::Z, Pauli::I]).scale(c(0.25, 0.0))
+            + pauli_string(&[Pauli::I, Pauli::Y]).scale(c(-0.125, 0.0));
+        let coeff = pauli_coefficients(&h);
+        assert!((coeff[5] - 0.5).abs() < 1e-14); // XX index: a=1,b=1
+        assert!((coeff[12] - 0.25).abs() < 1e-14); // ZI: a=3,b=0
+        assert!((coeff[2] + 0.125).abs() < 1e-14); // IY: a=0,b=2
+        let sum: f64 = coeff.iter().map(|v| v.abs()).sum();
+        assert!((sum - 0.875).abs() < 1e-13);
+    }
+}

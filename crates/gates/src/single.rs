@@ -1,0 +1,148 @@
+//! Single-qubit gate library.
+
+use ashn_math::{c, CMat, Complex};
+
+/// Rotation about X: `exp(−iθX/2)`.
+pub fn rx(theta: f64) -> CMat {
+    let (s, co) = (theta / 2.0).sin_cos();
+    CMat::from_rows(&[&[c(co, 0.0), c(0.0, -s)], &[c(0.0, -s), c(co, 0.0)]])
+}
+
+/// Rotation about Y: `exp(−iθY/2)`.
+pub fn ry(theta: f64) -> CMat {
+    let (s, co) = (theta / 2.0).sin_cos();
+    CMat::from_rows(&[&[c(co, 0.0), c(-s, 0.0)], &[c(s, 0.0), c(co, 0.0)]])
+}
+
+/// Rotation about Z: `exp(−iθZ/2)`.
+pub fn rz(theta: f64) -> CMat {
+    CMat::diag(&[Complex::cis(-theta / 2.0), Complex::cis(theta / 2.0)])
+}
+
+/// Hadamard gate.
+pub fn h() -> CMat {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    CMat::from_rows_f64(&[&[s, s], &[s, -s]])
+}
+
+/// Phase gate `S = diag(1, i)`.
+pub fn s() -> CMat {
+    CMat::diag(&[Complex::ONE, Complex::I])
+}
+
+/// T gate `diag(1, e^{iπ/4})`.
+pub fn t() -> CMat {
+    CMat::diag(&[Complex::ONE, Complex::cis(std::f64::consts::FRAC_PI_4)])
+}
+
+/// Phase shift `diag(1, e^{iφ})`.
+pub fn phase(phi: f64) -> CMat {
+    CMat::diag(&[Complex::ONE, Complex::cis(phi)])
+}
+
+/// General SU(2) element from ZYZ Euler angles:
+/// `u = Rz(α)·Ry(β)·Rz(γ)`.
+pub fn su2_zyz(alpha: f64, beta: f64, gamma: f64) -> CMat {
+    rz(alpha).matmul(&ry(beta)).matmul(&rz(gamma))
+}
+
+/// ZYZ Euler angles `(α, β, γ, phase)` of a 2×2 unitary, such that
+/// `u = e^{i·phase}·Rz(α)·Ry(β)·Rz(γ)`.
+///
+/// # Panics
+///
+/// Panics if `u` is not a 2×2 unitary (tolerance `1e-8`).
+pub fn zyz_angles(u: &CMat) -> (f64, f64, f64, f64) {
+    assert_eq!((u.rows(), u.cols()), (2, 2));
+    assert!(u.is_unitary(1e-8), "zyz_angles requires a unitary input");
+    // Strip global phase: make det = 1.
+    let det = u.det();
+    let g = det.arg() / 2.0;
+    let v = u.scale(Complex::cis(-g));
+    // v = [[cos(β/2) e^{-i(α+γ)/2}, -sin(β/2) e^{-i(α-γ)/2}],
+    //      [sin(β/2) e^{ i(α-γ)/2},  cos(β/2) e^{ i(α+γ)/2}]]
+    let beta = 2.0 * v[(1, 0)].abs().atan2(v[(0, 0)].abs());
+    let (apg, amg) = if v[(0, 0)].abs() > 1e-12 && v[(1, 0)].abs() > 1e-12 {
+        (2.0 * v[(1, 1)].arg(), 2.0 * v[(1, 0)].arg())
+    } else if v[(0, 0)].abs() > 1e-12 {
+        // β ≈ 0: only α+γ matters.
+        (2.0 * v[(1, 1)].arg(), 0.0)
+    } else {
+        // β ≈ π: only α−γ matters.
+        (0.0, 2.0 * v[(1, 0)].arg())
+    };
+    let alpha = (apg + amg) / 2.0;
+    let gamma = (apg - amg) / 2.0;
+    (alpha, beta, gamma, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_math::randmat::haar_su;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn rotations_are_special_unitary() {
+        for g in [rx(0.7), ry(-1.3), rz(2.9)] {
+            assert!(g.is_unitary(1e-14));
+            assert!((g.det() - Complex::ONE).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn rotation_periodicity() {
+        // A 2π rotation is −I.
+        assert!((rx(2.0 * PI) + CMat::identity(2)).frobenius_norm() < 1e-13);
+    }
+
+    #[test]
+    fn hadamard_conjugates_x_to_z() {
+        let hh = h();
+        let x = crate::pauli::Pauli::X.matrix();
+        let z = crate::pauli::Pauli::Z.matrix();
+        assert!(hh.matmul(&x).matmul(&hh).dist(&z) < 1e-14);
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let z = crate::pauli::Pauli::Z.matrix();
+        assert!(s().matmul(&s()).dist(&z) < 1e-14);
+    }
+
+    #[test]
+    fn t_squared_is_s() {
+        assert!(t().matmul(&t()).dist(&s()) < 1e-14);
+    }
+
+    #[test]
+    fn zyz_round_trip_random() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            let u = haar_su(2, &mut rng);
+            let (a, b, g, ph) = zyz_angles(&u);
+            let rec = su2_zyz(a, b, g).scale(Complex::cis(ph));
+            assert!(rec.dist(&u) < 1e-9, "zyz round trip failed");
+        }
+    }
+
+    #[test]
+    fn zyz_handles_diagonal_gates() {
+        let u = rz(1.1);
+        let (a, b, g, ph) = zyz_angles(&u);
+        let rec = su2_zyz(a, b, g).scale(Complex::cis(ph));
+        assert!(rec.dist(&u) < 1e-10);
+        assert!(b.abs() < 1e-9);
+    }
+
+    #[test]
+    fn zyz_handles_antidiagonal_gates() {
+        let u = rx(PI); // −iX: fully anti-diagonal.
+        let (a, b, g, ph) = zyz_angles(&u);
+        let rec = su2_zyz(a, b, g).scale(Complex::cis(ph));
+        assert!(rec.dist(&u) < 1e-10);
+        assert!((b - PI).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Matrix exponentials of (anti-)Hermitian generators.
+//!
+//! Quantum time evolution only ever needs `exp(−iHτ)` for Hermitian `H`, so
+//! we go through the eigendecomposition rather than Padé scaling-and-squaring:
+//! the result is exactly unitary up to round-off.
+
+use crate::complex::{c, Complex};
+use crate::eig::eigh;
+use crate::mat::CMat;
+
+/// Computes `exp(i·t·H)` for Hermitian `H`.
+///
+/// # Panics
+///
+/// Panics if `h` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use ashn_math::{CMat, expm::expm_i_hermitian};
+/// use std::f64::consts::PI;
+///
+/// let x = CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// // exp(iπX) = −I.
+/// let u = expm_i_hermitian(&x, PI);
+/// assert!((u + CMat::identity(2)).frobenius_norm() < 1e-12);
+/// ```
+pub fn expm_i_hermitian(h: &CMat, t: f64) -> CMat {
+    expm_factor_hermitian(h, c(0.0, t))
+}
+
+/// Computes `exp(−i·t·H)` for Hermitian `H` — Schrödinger evolution.
+pub fn expm_minus_i_hermitian(h: &CMat, t: f64) -> CMat {
+    expm_factor_hermitian(h, c(0.0, -t))
+}
+
+/// Computes `exp(z·H)` for Hermitian `H` and an arbitrary complex factor `z`.
+///
+/// # Panics
+///
+/// Panics if `h` is not square.
+pub fn expm_factor_hermitian(h: &CMat, z: Complex) -> CMat {
+    let e = eigh(h);
+    let n = h.rows();
+    let phases: Vec<Complex> = e.values.iter().map(|&l| (z * l).exp()).collect();
+    let mut out = CMat::zeros(n, n);
+    for j in 0..n {
+        let col = e.vectors.col(j);
+        let p = phases[j];
+        for r in 0..n {
+            let a = col[r] * p;
+            for cc in 0..n {
+                out[(r, cc)] += a * col[cc].conj();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randmat::random_hermitian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_of_zero_is_identity() {
+        let z = CMat::zeros(3, 3);
+        assert!(expm_i_hermitian(&z, 1.23).dist(&CMat::identity(3)) < 1e-14);
+    }
+
+    #[test]
+    fn result_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [2usize, 4, 8] {
+            let h = random_hermitian(n, &mut rng);
+            let u = expm_minus_i_hermitian(&h, 0.7);
+            assert!(u.is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn group_property_same_generator() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = random_hermitian(4, &mut rng);
+        let u1 = expm_minus_i_hermitian(&h, 0.3);
+        let u2 = expm_minus_i_hermitian(&h, 0.5);
+        let u3 = expm_minus_i_hermitian(&h, 0.8);
+        assert!(u1.matmul(&u2).dist(&u3) < 1e-10);
+    }
+
+    #[test]
+    fn inverse_is_negative_time() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let h = random_hermitian(4, &mut rng);
+        let u = expm_minus_i_hermitian(&h, 0.9);
+        let v = expm_minus_i_hermitian(&h, -0.9);
+        assert!(u.matmul(&v).dist(&CMat::identity(4)) < 1e-10);
+    }
+
+    #[test]
+    fn pauli_z_rotation_phases() {
+        let z = CMat::from_rows_f64(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        let u = expm_minus_i_hermitian(&z, 0.4);
+        assert!((u[(0, 0)] - Complex::cis(-0.4)).abs() < 1e-13);
+        assert!((u[(1, 1)] - Complex::cis(0.4)).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,656 @@
+//! Dense, row-major complex matrices.
+//!
+//! Everything in this workspace manipulates unitaries of dimension ≤ 64, so a
+//! simple dense representation with `O(n³)` algorithms is both sufficient and
+//! easy to audit.
+
+use crate::complex::{c, Complex};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex matrix stored in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use ashn_math::{CMat, Complex};
+///
+/// let x = CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// let id = &x * &x;
+/// assert!((id - CMat::identity(2)).frobenius_norm() < 1e-15);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMat {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n×n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for cc in 0..cols {
+                m[(r, cc)] = f(r, cc);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from complex rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[Complex]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a real matrix from `f64` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths or `rows` is empty.
+    pub fn from_rows_f64(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Self::from_fn(rows.len(), cols, |r, cc| c(rows[r][cc], 0.0))
+    }
+
+    /// Builds a square diagonal matrix from its diagonal entries.
+    pub fn diag(entries: &[Complex]) -> Self {
+        let n = entries.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex] {
+        &mut self.data
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, cc| self[(cc, r)])
+    }
+
+    /// Entrywise complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, cc| self[(cc, r)].conj())
+    }
+
+    /// Applies `f` to every entry.
+    pub fn map(&self, f: impl Fn(Complex) -> Complex) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| f(z)).collect(),
+        }
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, k: Complex) -> Self {
+        self.map(|z| z * k)
+    }
+
+    /// Matrix trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `√Σ|a_ij|²`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry modulus.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Matrix product, with shape checking.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible shapes.
+    pub fn matmul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}×{} times {}×{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                let row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let dst = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (d, &b) in dst.iter_mut().zip(row.iter()) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "mul_vec shape mismatch");
+        let mut out = vec![Complex::ZERO; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = Complex::ZERO;
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += *a * *b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMat) -> CMat {
+        let mut out = CMat::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns column `j` as a vector.
+    pub fn col(&self, j: usize) -> Vec<Complex> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns row `i` as a vector.
+    pub fn row(&self, i: usize) -> Vec<Complex> {
+        self.data[i * self.cols..(i + 1) * self.cols].to_vec()
+    }
+
+    /// Overwrites column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.rows()`.
+    pub fn set_col(&mut self, j: usize, v: &[Complex]) {
+        assert_eq!(v.len(), self.rows, "set_col length mismatch");
+        for (i, &z) in v.iter().enumerate() {
+            self[(i, j)] = z;
+        }
+    }
+
+    /// Extracts the contiguous block with top-left corner `(r0, c0)`.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> CMat {
+        CMat::from_fn(rows, cols, |r, cc| self[(r0 + r, c0 + cc)])
+    }
+
+    /// Writes `b` into the block with top-left corner `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, b: &CMat) {
+        assert!(r0 + b.rows <= self.rows && c0 + b.cols <= self.cols);
+        for r in 0..b.rows {
+            for cc in 0..b.cols {
+                self[(r0 + r, c0 + cc)] = b[(r, cc)];
+            }
+        }
+    }
+
+    /// Determinant by LU factorization with partial pivoting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn det(&self) -> Complex {
+        assert!(self.is_square(), "determinant of a non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut det = Complex::ONE;
+        for k in 0..n {
+            // Pivot.
+            let (mut piv, mut best) = (k, a[(k, k)].abs());
+            for i in k + 1..n {
+                let v = a[(i, k)].abs();
+                if v > best {
+                    piv = i;
+                    best = v;
+                }
+            }
+            if best == 0.0 {
+                return Complex::ZERO;
+            }
+            if piv != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(piv, j)];
+                    a[(piv, j)] = tmp;
+                }
+                det = -det;
+            }
+            det *= a[(k, k)];
+            let inv = a[(k, k)].inv();
+            for i in k + 1..n {
+                let f = a[(i, k)] * inv;
+                if f == Complex::ZERO {
+                    continue;
+                }
+                for j in k..n {
+                    let sub = f * a[(k, j)];
+                    a[(i, j)] -= sub;
+                }
+            }
+        }
+        det
+    }
+
+    /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// Returns `None` when the matrix is numerically singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[Complex]) -> Option<Vec<Complex>> {
+        assert!(self.is_square());
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+        for k in 0..n {
+            let (mut piv, mut best) = (k, a[(k, k)].abs());
+            for i in k + 1..n {
+                let v = a[(i, k)].abs();
+                if v > best {
+                    piv = i;
+                    best = v;
+                }
+            }
+            if best < 1e-300 {
+                return None;
+            }
+            if piv != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(piv, j)];
+                    a[(piv, j)] = tmp;
+                }
+                x.swap(piv, k);
+            }
+            let inv = a[(k, k)].inv();
+            for i in k + 1..n {
+                let f = a[(i, k)] * inv;
+                if f == Complex::ZERO {
+                    continue;
+                }
+                for j in k..n {
+                    let sub = f * a[(k, j)];
+                    a[(i, j)] -= sub;
+                }
+                let sub = f * x[k];
+                x[i] -= sub;
+            }
+        }
+        for k in (0..n).rev() {
+            let mut acc = x[k];
+            for j in k + 1..n {
+                acc -= a[(k, j)] * x[j];
+            }
+            x[k] = acc / a[(k, k)];
+        }
+        Some(x)
+    }
+
+    /// Inverse of a unitary matrix, i.e. its adjoint.
+    ///
+    /// This is exact only for unitary inputs; use [`CMat::solve`] otherwise.
+    pub fn unitary_inverse(&self) -> CMat {
+        self.adjoint()
+    }
+
+    /// Distance `‖A − B‖_F`.
+    pub fn dist(&self, other: &CMat) -> f64 {
+        (self - other).frobenius_norm()
+    }
+
+    /// `true` when `‖A†A − I‖ < tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let n = self.rows;
+        (self.adjoint().matmul(self) - CMat::identity(n)).frobenius_norm() < tol
+    }
+
+    /// `true` when `‖A − A†‖ < tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && (self - &self.adjoint()).frobenius_norm() < tol
+    }
+
+    /// Conjugation `U · self · U†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible shapes.
+    pub fn conjugate_by(&self, u: &CMat) -> CMat {
+        u.matmul(self).matmul(&u.adjoint())
+    }
+
+    /// Hilbert–Schmidt inner product `tr(A† B)`.
+    pub fn hs_inner(&self, other: &CMat) -> Complex {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (r, cc): (usize, usize)) -> &Complex {
+        debug_assert!(r < self.rows && cc < self.cols);
+        &self.data[r * self.cols + cc]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (r, cc): (usize, usize)) -> &mut Complex {
+        debug_assert!(r < self.rows && cc < self.cols);
+        &mut self.data[r * self.cols + cc]
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait<&CMat> for &CMat {
+            type Output = CMat;
+            fn $fn(self, rhs: &CMat) -> CMat {
+                assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+                CMat {
+                    rows: self.rows,
+                    cols: self.cols,
+                    data: self
+                        .data
+                        .iter()
+                        .zip(rhs.data.iter())
+                        .map(|(a, b)| *a $op *b)
+                        .collect(),
+                }
+            }
+        }
+        impl $trait<CMat> for CMat {
+            type Output = CMat;
+            fn $fn(self, rhs: CMat) -> CMat {
+                (&self).$fn(&rhs)
+            }
+        }
+        impl $trait<&CMat> for CMat {
+            type Output = CMat;
+            fn $fn(self, rhs: &CMat) -> CMat {
+                (&self).$fn(rhs)
+            }
+        }
+        impl $trait<CMat> for &CMat {
+            type Output = CMat;
+            fn $fn(self, rhs: CMat) -> CMat {
+                self.$fn(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+
+impl Mul<&CMat> for &CMat {
+    type Output = CMat;
+    fn mul(self, rhs: &CMat) -> CMat {
+        self.matmul(rhs)
+    }
+}
+impl Mul<CMat> for CMat {
+    type Output = CMat;
+    fn mul(self, rhs: CMat) -> CMat {
+        self.matmul(&rhs)
+    }
+}
+impl Mul<&CMat> for CMat {
+    type Output = CMat;
+    fn mul(self, rhs: &CMat) -> CMat {
+        self.matmul(rhs)
+    }
+}
+impl Mul<CMat> for &CMat {
+    type Output = CMat;
+    fn mul(self, rhs: CMat) -> CMat {
+        self.matmul(&rhs)
+    }
+}
+
+impl Mul<Complex> for &CMat {
+    type Output = CMat;
+    fn mul(self, k: Complex) -> CMat {
+        self.scale(k)
+    }
+}
+
+impl Mul<f64> for &CMat {
+    type Output = CMat;
+    fn mul(self, k: f64) -> CMat {
+        self.scale(c(k, 0.0))
+    }
+}
+
+impl Neg for &CMat {
+    type Output = CMat;
+    fn neg(self) -> CMat {
+        self.map(|z| -z)
+    }
+}
+impl Neg for CMat {
+    type Output = CMat;
+    fn neg(self) -> CMat {
+        self.map(|z| -z)
+    }
+}
+
+impl fmt::Debug for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}×{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for cc in 0..self.cols {
+                let z = self[(r, cc)];
+                write!(f, "({:>9.5},{:>9.5}) ", z.re, z.im)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CMat {
+        CMat::from_fn(3, 3, |r, cc| c(r as f64 + 0.5, cc as f64 - 1.0))
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = sample();
+        let id = CMat::identity(3);
+        assert!((a.matmul(&id)).dist(&a) < 1e-14);
+        assert!((id.matmul(&a)).dist(&a) < 1e-14);
+    }
+
+    #[test]
+    fn adjoint_is_involution() {
+        let a = sample();
+        assert!(a.adjoint().adjoint().dist(&a) < 1e-15);
+    }
+
+    #[test]
+    fn trace_of_product_is_cyclic() {
+        let a = sample();
+        let b = CMat::from_fn(3, 3, |r, cc| c((r * cc) as f64, 1.0));
+        let t1 = a.matmul(&b).trace();
+        let t2 = b.matmul(&a).trace();
+        assert!((t1 - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = CMat::from_rows_f64(&[&[1.0, 2.0]]);
+        let b = CMat::from_rows_f64(&[&[3.0], &[4.0]]);
+        let k = a.kron(&b);
+        assert_eq!((k.rows(), k.cols()), (2, 2));
+        assert_eq!(k[(0, 0)], c(3.0, 0.0));
+        assert_eq!(k[(1, 1)], c(8.0, 0.0));
+    }
+
+    #[test]
+    fn det_of_triangular_is_diagonal_product() {
+        let a = CMat::from_rows(&[
+            &[c(2.0, 0.0), c(5.0, 1.0)],
+            &[Complex::ZERO, c(0.0, 3.0)],
+        ]);
+        assert!((a.det() - c(0.0, 6.0)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn solve_recovers_input() {
+        let a = CMat::from_rows(&[
+            &[c(2.0, 1.0), c(1.0, 0.0), c(0.0, -1.0)],
+            &[c(0.0, 1.0), c(3.0, 0.0), c(1.0, 1.0)],
+            &[c(1.0, 0.0), c(-1.0, 2.0), c(2.0, 0.0)],
+        ]);
+        let x = vec![c(1.0, -1.0), c(0.5, 2.0), c(-3.0, 0.25)];
+        let b = a.mul_vec(&x);
+        let got = a.solve(&b).expect("nonsingular");
+        for (g, e) in got.iter().zip(x.iter()) {
+            assert!((*g - *e).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let a = sample();
+        let b = a.block(1, 0, 2, 2);
+        let mut z = CMat::zeros(3, 3);
+        z.set_block(1, 0, &b);
+        assert_eq!(z[(1, 0)], a[(1, 0)]);
+        assert_eq!(z[(2, 1)], a[(2, 1)]);
+        assert_eq!(z[(0, 0)], Complex::ZERO);
+    }
+
+    #[test]
+    fn pauli_x_is_unitary_and_hermitian() {
+        let x = CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!(x.is_unitary(1e-14));
+        assert!(x.is_hermitian(1e-14));
+        assert!((x.det() + Complex::ONE).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,199 @@
+//! Derivative-free minimisation (Nelder–Mead downhill simplex).
+//!
+//! Used for the SQiSW middle-gate search, control-model calibration, and as
+//! a refinement stage in the AshN-EA solver.
+
+/// Options for [`nelder_mead`].
+#[derive(Clone, Debug)]
+pub struct NmOptions {
+    /// Maximum number of function evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex f-spread falls below this.
+    pub f_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NmOptions {
+    fn default() -> Self {
+        Self {
+            max_evals: 4000,
+            f_tol: 1e-14,
+            initial_step: 0.25,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Clone, Debug)]
+pub struct NmResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+}
+
+/// Minimises `f` starting from `x0` with the standard Nelder–Mead simplex
+/// (reflection 1, expansion 2, contraction ½, shrink ½).
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NmOptions,
+) -> NmResult {
+    let n = x0.len();
+    assert!(n > 0, "nelder_mead needs at least one dimension");
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut pts: Vec<Vec<f64>> = vec![x0.to_vec()];
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += if p[i].abs() > 1e-12 {
+            opts.initial_step * p[i].abs().max(1.0)
+        } else {
+            opts.initial_step
+        };
+        pts.push(p);
+    }
+    let mut fv: Vec<f64> = pts.iter().map(|p| eval(p, &mut evals)).collect();
+
+    while evals < opts.max_evals {
+        // Order the simplex.
+        let mut idx: Vec<usize> = (0..=n).collect();
+        idx.sort_by(|&a, &b| fv[a].partial_cmp(&fv[b]).unwrap());
+        let reordered: Vec<Vec<f64>> = idx.iter().map(|&i| pts[i].clone()).collect();
+        let reordered_f: Vec<f64> = idx.iter().map(|&i| fv[i]).collect();
+        pts = reordered;
+        fv = reordered_f;
+
+        if (fv[n] - fv[0]).abs() < opts.f_tol {
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut cen = vec![0.0; n];
+        for p in pts.iter().take(n) {
+            for (ci, pi) in cen.iter_mut().zip(p.iter()) {
+                *ci += pi / n as f64;
+            }
+        }
+        let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b.iter()).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        let refl = lerp(&cen, &pts[n], -1.0);
+        let f_refl = eval(&refl, &mut evals);
+        if f_refl < fv[0] {
+            let exp = lerp(&cen, &pts[n], -2.0);
+            let f_exp = eval(&exp, &mut evals);
+            if f_exp < f_refl {
+                pts[n] = exp;
+                fv[n] = f_exp;
+            } else {
+                pts[n] = refl;
+                fv[n] = f_refl;
+            }
+        } else if f_refl < fv[n - 1] {
+            pts[n] = refl;
+            fv[n] = f_refl;
+        } else {
+            let con = if f_refl < fv[n] {
+                lerp(&cen, &refl, 0.5)
+            } else {
+                lerp(&cen, &pts[n], 0.5)
+            };
+            let f_con = eval(&con, &mut evals);
+            if f_con < fv[n].min(f_refl) {
+                pts[n] = con;
+                fv[n] = f_con;
+            } else {
+                // Shrink toward the best point.
+                for i in 1..=n {
+                    pts[i] = lerp(&pts[0], &pts[i], 0.5);
+                    fv[i] = eval(&pts[i], &mut evals);
+                }
+            }
+        }
+    }
+
+    let mut best = 0;
+    for i in 1..=n {
+        if fv[i] < fv[best] {
+            best = i;
+        }
+    }
+    NmResult {
+        x: pts[best].clone(),
+        f: fv[best],
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic_bowl() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &NmOptions::default(),
+        );
+        assert!(r.f < 1e-10);
+        assert!((r.x[0] - 3.0).abs() < 1e-4);
+        assert!((r.x[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn minimises_rosenbrock_reasonably() {
+        let rosen =
+            |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let r = nelder_mead(
+            rosen,
+            &[-1.2, 1.0],
+            &NmOptions {
+                max_evals: 20_000,
+                ..Default::default()
+            },
+        );
+        assert!(r.f < 1e-6, "rosenbrock f = {}", r.f);
+    }
+
+    #[test]
+    fn handles_nan_objective_gracefully() {
+        let r = nelder_mead(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 1.0).powi(2)
+                }
+            },
+            &[2.0],
+            &NmOptions::default(),
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let r = nelder_mead(|x| (x[0] - 0.25).powi(2), &[10.0], &NmOptions::default());
+        assert!((r.x[0] - 0.25).abs() < 1e-5);
+    }
+}

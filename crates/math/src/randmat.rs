@@ -1,0 +1,118 @@
+//! Random matrix generation: Ginibre ensembles and Haar-distributed
+//! unitaries.
+
+use crate::complex::{c, Complex};
+use crate::mat::CMat;
+use rand::Rng;
+
+/// Samples one standard normal variate via Box–Muller.
+fn randn(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > 1e-300 {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// An `n×n` matrix with i.i.d. standard complex Gaussian entries.
+pub fn ginibre(n: usize, rng: &mut impl Rng) -> CMat {
+    CMat::from_fn(n, n, |_, _| c(randn(rng), randn(rng)))
+}
+
+/// A Hermitian matrix from the Gaussian unitary ensemble (unnormalised).
+pub fn random_hermitian(n: usize, rng: &mut impl Rng) -> CMat {
+    let g = ginibre(n, rng);
+    (&g + &g.adjoint()).scale(c(0.5, 0.0))
+}
+
+/// A Haar-distributed `n×n` unitary.
+///
+/// Implementation: modified Gram–Schmidt orthonormalisation of a Ginibre
+/// matrix. MGS produces an `R` factor with positive real diagonal, which is
+/// exactly the normalisation required for Haar measure.
+///
+/// # Examples
+///
+/// ```
+/// use ashn_math::randmat::haar_unitary;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let u = haar_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn haar_unitary(n: usize, rng: &mut impl Rng) -> CMat {
+    let g = ginibre(n, rng);
+    let mut q = CMat::zeros(n, n);
+    for j in 0..n {
+        let mut v = g.col(j);
+        for k in 0..j {
+            let col = q.col(k);
+            let inner: Complex = col.iter().zip(v.iter()).map(|(a, b)| a.conj() * *b).sum();
+            for (vi, ci) in v.iter_mut().zip(col.iter()) {
+                *vi -= inner * *ci;
+            }
+        }
+        let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        for vi in v.iter_mut() {
+            *vi = *vi / norm;
+        }
+        q.set_col(j, &v);
+    }
+    q
+}
+
+/// A Haar-distributed special unitary (`det = 1`).
+pub fn haar_su(n: usize, rng: &mut impl Rng) -> CMat {
+    let u = haar_unitary(n, rng);
+    let det = u.det();
+    let phase = Complex::from_polar(1.0, -det.arg() / n as f64);
+    u.scale(phase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn haar_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 3, 4, 8, 16] {
+            assert!(haar_unitary(n, &mut rng).is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn haar_su_has_unit_determinant() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for n in [2usize, 4, 8] {
+            let u = haar_su(n, &mut rng);
+            assert!((u.det() - Complex::ONE).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_hermitian_is_hermitian() {
+        let mut rng = StdRng::seed_from_u64(44);
+        assert!(random_hermitian(6, &mut rng).is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn haar_trace_statistics() {
+        // E[|tr U|²] = 1 for Haar unitaries of any dimension.
+        let mut rng = StdRng::seed_from_u64(45);
+        let samples = 2000;
+        let mean: f64 = (0..samples)
+            .map(|_| haar_unitary(4, &mut rng).trace().norm_sqr())
+            .sum::<f64>()
+            / samples as f64;
+        assert!(
+            (mean - 1.0).abs() < 0.15,
+            "E[|tr U|²] = {mean}, expected ≈ 1"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Scalar and small-system root finding.
+
+/// Finds a root of `f` in `[a, b]` by bisection, requiring a sign change.
+///
+/// Returns `None` when `f(a)` and `f(b)` have the same sign.
+pub fn bisect(f: impl Fn(f64) -> f64, a: f64, b: f64, iters: usize) -> Option<f64> {
+    let (mut lo, mut hi) = (a, b);
+    let (mut flo, fhi) = (f(lo), f(hi));
+    if flo == 0.0 {
+        return Some(lo);
+    }
+    if fhi == 0.0 {
+        return Some(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return None;
+    }
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return Some(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Damped Newton iteration for a two-dimensional system `f(x) = target`,
+/// with a numerically estimated Jacobian.
+///
+/// Returns the solution when the residual (Euclidean norm) drops below
+/// `tol`; otherwise `None`. Steps that increase the residual are halved up
+/// to ten times before giving up on the step.
+pub fn newton2(
+    f: impl Fn([f64; 2]) -> [f64; 2],
+    target: [f64; 2],
+    start: [f64; 2],
+    bounds: [[f64; 2]; 2],
+    tol: f64,
+    max_iter: usize,
+) -> Option<[f64; 2]> {
+    let clamp = |x: [f64; 2]| {
+        [
+            x[0].clamp(bounds[0][0], bounds[0][1]),
+            x[1].clamp(bounds[1][0], bounds[1][1]),
+        ]
+    };
+    let resid = |x: [f64; 2]| {
+        let v = f(x);
+        [v[0] - target[0], v[1] - target[1]]
+    };
+    let norm = |r: [f64; 2]| (r[0] * r[0] + r[1] * r[1]).sqrt();
+
+    let mut x = clamp(start);
+    let mut r = resid(x);
+    for _ in 0..max_iter {
+        let rn = norm(r);
+        if rn < tol {
+            return Some(x);
+        }
+        // Numerical Jacobian (forward differences scaled to the variable).
+        let mut jac = [[0.0f64; 2]; 2];
+        for j in 0..2 {
+            let h = 1e-7 * (1.0 + x[j].abs());
+            let mut xp = x;
+            xp[j] += h;
+            let rp = resid(clamp(xp));
+            jac[0][j] = (rp[0] - r[0]) / h;
+            jac[1][j] = (rp[1] - r[1]) / h;
+        }
+        let det = jac[0][0] * jac[1][1] - jac[0][1] * jac[1][0];
+        if det.abs() < 1e-300 {
+            return None;
+        }
+        let dx = [
+            -(jac[1][1] * r[0] - jac[0][1] * r[1]) / det,
+            -(-jac[1][0] * r[0] + jac[0][0] * r[1]) / det,
+        ];
+        // Damping: halve the step until the residual decreases.
+        let mut lambda = 1.0;
+        let mut improved = false;
+        for _ in 0..10 {
+            let cand = clamp([x[0] + lambda * dx[0], x[1] + lambda * dx[1]]);
+            let rc = resid(cand);
+            if norm(rc) < rn {
+                x = cand;
+                r = rc;
+                improved = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if !improved {
+            return None;
+        }
+    }
+    if norm(resid(x)) < tol {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 80).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_rejects_no_sign_change() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 50).is_none());
+    }
+
+    #[test]
+    fn newton2_solves_coupled_system() {
+        // Solve x² + y² = 5, x·y = 2 → (x, y) = (2, 1) (among others).
+        let f = |v: [f64; 2]| [v[0] * v[0] + v[1] * v[1], v[0] * v[1]];
+        let sol = newton2(
+            f,
+            [5.0, 2.0],
+            [1.5, 0.5],
+            [[0.0, 10.0], [0.0, 10.0]],
+            1e-12,
+            100,
+        )
+        .expect("should converge");
+        let got = f(sol);
+        assert!((got[0] - 5.0).abs() < 1e-10);
+        assert!((got[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton2_respects_bounds() {
+        let f = |v: [f64; 2]| [v[0], v[1]];
+        // Target outside the box: must fail rather than wander off.
+        let sol = newton2(f, [5.0, 5.0], [0.5, 0.5], [[0.0, 1.0], [0.0, 1.0]], 1e-9, 50);
+        assert!(sol.is_none());
+    }
+}

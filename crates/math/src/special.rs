@@ -1,0 +1,97 @@
+//! Small special functions used by the AshN pulse formulas.
+
+/// The unnormalised sinc function `sin(x)/x`, with `sinc(0) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use ashn_math::special::sinc;
+/// assert_eq!(sinc(0.0), 1.0);
+/// assert!(sinc(std::f64::consts::PI).abs() < 1e-15);
+/// ```
+pub fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-8 {
+        1.0 - x * x / 6.0
+    } else {
+        x.sin() / x
+    }
+}
+
+/// Inverse of [`sinc`] on its decreasing branch `[0, π] → [0, 1]`.
+///
+/// This is the branch used by the AshN-ND formulas (paper Algorithms 2–3):
+/// given `y ∈ [0, 1]`, returns the unique `x ∈ [0, π]` with `sinc(x) = y`.
+///
+/// Inputs slightly outside `[0, 1]` (within `1e-9`, from round-off) are
+/// clamped.
+///
+/// # Panics
+///
+/// Panics when `y` is outside `[−1e-9, 1 + 1e-9]`.
+///
+/// # Examples
+///
+/// ```
+/// use ashn_math::special::{sinc, sinc_inv};
+/// let x = sinc_inv(0.6366197723675814); // 2/π = sinc(π/2)
+/// assert!((x - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// assert!((sinc(sinc_inv(0.3)) - 0.3).abs() < 1e-12);
+/// ```
+pub fn sinc_inv(y: f64) -> f64 {
+    assert!(
+        (-1e-9..=1.0 + 1e-9).contains(&y),
+        "sinc_inv domain is [0, 1], got {y}"
+    );
+    let y = y.clamp(0.0, 1.0);
+    if y >= 1.0 {
+        return 0.0;
+    }
+    if y <= 0.0 {
+        return std::f64::consts::PI;
+    }
+    let (mut lo, mut hi) = (0.0_f64, std::f64::consts::PI);
+    // sinc is strictly decreasing on [0, π]: plain bisection converges.
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if sinc(mid) > y {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn sinc_near_zero_is_smooth() {
+        assert!((sinc(1e-10) - 1.0).abs() < 1e-15);
+        assert!((sinc(1e-4) - (1e-4_f64).sin() / 1e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sinc_inv_endpoints() {
+        assert_eq!(sinc_inv(1.0), 0.0);
+        assert!((sinc_inv(0.0) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sinc_inv_round_trip() {
+        for k in 1..100 {
+            let y = k as f64 / 100.0;
+            let x = sinc_inv(y);
+            assert!((0.0..=PI).contains(&x));
+            assert!((sinc(x) - y).abs() < 1e-11, "round trip failed at y={y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sinc_inv domain")]
+    fn sinc_inv_rejects_out_of_range() {
+        sinc_inv(1.5);
+    }
+}

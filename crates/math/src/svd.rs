@@ -1,0 +1,179 @@
+//! Singular value and polar decompositions for square complex matrices.
+
+use crate::complex::{c, Complex};
+use crate::eig::eigh;
+use crate::mat::CMat;
+
+/// Result of a singular value decomposition `A = U diag(σ) V†` (square case).
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (unitary).
+    pub u: CMat,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (unitary).
+    pub v: CMat,
+}
+
+impl Svd {
+    /// Reassembles `U diag(σ) V†`.
+    pub fn reconstruct(&self) -> CMat {
+        let d = CMat::diag(&self.sigma.iter().map(|&s| c(s, 0.0)).collect::<Vec<_>>());
+        self.u.matmul(&d).matmul(&self.v.adjoint())
+    }
+}
+
+/// Gram–Schmidt completion: extends the first `k` orthonormal columns of `u`
+/// to a full orthonormal basis.
+fn complete_basis(u: &mut CMat, k: usize) {
+    let n = u.rows();
+    let mut have = k;
+    let mut cand = 0usize;
+    while have < n {
+        // Start from a standard basis vector and orthogonalise.
+        let mut v = vec![Complex::ZERO; n];
+        v[cand % n] = Complex::ONE;
+        cand += 1;
+        for j in 0..have {
+            let col = u.col(j);
+            let inner: Complex = col.iter().zip(v.iter()).map(|(a, b)| a.conj() * *b).sum();
+            for (vi, ci) in v.iter_mut().zip(col.iter()) {
+                *vi -= inner * *ci;
+            }
+        }
+        let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm > 1e-6 {
+            for vi in v.iter_mut() {
+                *vi = *vi / norm;
+            }
+            u.set_col(have, &v);
+            have += 1;
+        }
+        assert!(cand < 4 * n + 4, "basis completion failed to converge");
+    }
+}
+
+/// Singular value decomposition of a square matrix via the Hermitian
+/// eigenproblem of `A†A`.
+///
+/// Accurate to roughly `√ε` for tiny singular values, which is ample for the
+/// well-conditioned unitary blocks this project manipulates.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn svd(a: &CMat) -> Svd {
+    assert!(a.is_square(), "svd: only square matrices are supported");
+    let n = a.rows();
+    let e = eigh(&a.adjoint().matmul(a));
+    // eigh sorts ascending; we want descending singular values.
+    let mut v = CMat::zeros(n, n);
+    let mut sigma = vec![0.0; n];
+    for j in 0..n {
+        let src = n - 1 - j;
+        sigma[j] = e.values[src].max(0.0).sqrt();
+        v.set_col(j, &e.vectors.col(src));
+    }
+    let mut u = CMat::zeros(n, n);
+    let mut filled = 0usize;
+    for j in 0..n {
+        if sigma[j] > 1e-12 * sigma[0].max(1.0) {
+            let av = a.mul_vec(&v.col(j));
+            let col: Vec<Complex> = av.iter().map(|z| *z / sigma[j]).collect();
+            u.set_col(j, &col);
+            filled = j + 1;
+        } else {
+            break;
+        }
+    }
+    complete_basis(&mut u, filled);
+    Svd { u, sigma, v }
+}
+
+/// Polar decomposition `A = W·P` with `W` unitary and `P = √(A†A)` positive
+/// semidefinite.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn polar(a: &CMat) -> (CMat, CMat) {
+    let s = svd(a);
+    let w = s.u.matmul(&s.v.adjoint());
+    let d = CMat::diag(&s.sigma.iter().map(|&x| c(x, 0.0)).collect::<Vec<_>>());
+    let p = s.v.matmul(&d).matmul(&s.v.adjoint());
+    (w, p)
+}
+
+/// The unitary that maximises `Re tr(A† W)` over all unitaries `W`, namely
+/// the polar factor of `A`.
+///
+/// This is the work-horse of alternating circuit-instantiation updates.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn closest_unitary(a: &CMat) -> CMat {
+    polar(a).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randmat::{ginibre, haar_unitary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn svd_reconstructs_random_matrices() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [2usize, 3, 4, 8] {
+            let a = ginibre(n, &mut rng);
+            let s = svd(&a);
+            assert!(s.u.is_unitary(1e-8), "U not unitary at n={n}");
+            assert!(s.v.is_unitary(1e-8), "V not unitary at n={n}");
+            assert!(s.reconstruct().dist(&a) < 1e-7, "bad SVD at n={n}");
+            for w in s.sigma.windows(2) {
+                assert!(w[0] >= w[1] - 1e-10, "singular values not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_of_unitary_has_unit_singular_values() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let u = haar_unitary(4, &mut rng);
+        let s = svd(&u);
+        for x in &s.sigma {
+            assert!((x - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn svd_of_rank_deficient_matrix() {
+        // Projector |0><0| on C^2 has singular values {1, 0}.
+        let p = CMat::from_rows_f64(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        let s = svd(&p);
+        assert!((s.sigma[0] - 1.0).abs() < 1e-10);
+        assert!(s.sigma[1].abs() < 1e-10);
+        assert!(s.u.is_unitary(1e-9));
+        assert!(s.reconstruct().dist(&p) < 1e-9);
+    }
+
+    #[test]
+    fn polar_factor_is_unitary_and_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = ginibre(4, &mut rng);
+        let (w, p) = polar(&a);
+        assert!(w.is_unitary(1e-8));
+        assert!(p.is_hermitian(1e-8));
+        assert!(w.matmul(&p).dist(&a) < 1e-7);
+    }
+
+    #[test]
+    fn closest_unitary_to_scaled_unitary_is_that_unitary() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let u = haar_unitary(4, &mut rng);
+        let a = u.scale(c(2.5, 0.0));
+        assert!(closest_unitary(&a).dist(&u) < 1e-8);
+    }
+}

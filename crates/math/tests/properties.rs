@@ -1,0 +1,119 @@
+//! Property-based tests for the numerical substrate.
+
+use ashn_math::eig::{eig_unitary, eigh};
+use ashn_math::expm::expm_minus_i_hermitian;
+use ashn_math::randmat::{ginibre, haar_unitary, random_hermitian};
+use ashn_math::special::{sinc, sinc_inv};
+use ashn_math::svd::{polar, svd};
+use ashn_math::{c, CMat, Complex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e3..1e3f64
+}
+
+proptest! {
+    #[test]
+    fn complex_field_axioms(a in finite(), b in finite(), x in finite(), y in finite()) {
+        let z = c(a, b);
+        let w = c(x, y);
+        let scale = z.abs().max(w.abs()).max(1.0);
+        // Distributivity.
+        let lhs = z * (w + c(1.0, 1.0));
+        let rhs = z * w + z * c(1.0, 1.0);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * scale * scale);
+        // Conjugation is a ring homomorphism.
+        prop_assert!(((z * w).conj() - z.conj() * w.conj()).abs() <= 1e-9 * scale * scale);
+        prop_assert!(((z + w).conj() - (z.conj() + w.conj())).abs() <= 1e-9 * scale);
+    }
+
+    #[test]
+    fn modulus_is_multiplicative(a in finite(), b in finite(), x in finite(), y in finite()) {
+        let z = c(a, b);
+        let w = c(x, y);
+        prop_assert!(((z * w).abs() - z.abs() * w.abs()).abs() <= 1e-6 * (1.0 + z.abs() * w.abs()));
+    }
+
+    #[test]
+    fn sinc_inv_inverts_sinc(y in 0.0..1.0f64) {
+        let x = sinc_inv(y);
+        prop_assert!((sinc(x) - y).abs() < 1e-10);
+    }
+
+    #[test]
+    fn haar_unitaries_are_unitary(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 + (seed % 5) as usize;
+        let u = haar_unitary(n, &mut rng);
+        prop_assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn eigh_reconstructs(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 + (seed % 4) as usize;
+        let h = random_hermitian(n, &mut rng);
+        let e = eigh(&h);
+        let d = CMat::diag(&e.values.iter().map(|&v| c(v, 0.0)).collect::<Vec<_>>());
+        let rec = e.vectors.matmul(&d).matmul(&e.vectors.adjoint());
+        prop_assert!(rec.dist(&h) < 1e-8 * (1.0 + h.frobenius_norm()));
+    }
+
+    #[test]
+    fn svd_reconstructs_and_is_sorted(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 + (seed % 4) as usize;
+        let a = ginibre(n, &mut rng);
+        let s = svd(&a);
+        prop_assert!(s.reconstruct().dist(&a) < 1e-6 * (1.0 + a.frobenius_norm()));
+        for w in s.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn polar_unitary_factor(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = ginibre(4, &mut rng);
+        let (w, p) = polar(&a);
+        prop_assert!(w.is_unitary(1e-7));
+        prop_assert!(p.is_hermitian(1e-7));
+        prop_assert!(w.matmul(&p).dist(&a) < 1e-6 * (1.0 + a.frobenius_norm()));
+    }
+
+    #[test]
+    fn evolution_is_unitary_and_composes(seed in 0u64..100, t in 0.01..2.0f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random_hermitian(4, &mut rng);
+        let u = expm_minus_i_hermitian(&h, t);
+        prop_assert!(u.is_unitary(1e-9));
+        let u2 = expm_minus_i_hermitian(&h, 2.0 * t);
+        prop_assert!(u.matmul(&u).dist(&u2) < 1e-8);
+    }
+
+    #[test]
+    fn unitary_eigenvalues_on_circle(seed in 0u64..150) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 + (seed % 3) as usize;
+        let u = haar_unitary(n, &mut rng);
+        let e = eig_unitary(&u);
+        for v in &e.values {
+            prop_assert!((v.abs() - 1.0).abs() < 1e-8);
+        }
+        // The product of the eigenvalues is the determinant.
+        let prod: Complex = e.values.iter().copied().product();
+        prop_assert!((prod - u.det()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn det_is_multiplicative(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = ginibre(3, &mut rng);
+        let b = ginibre(3, &mut rng);
+        let lhs = a.matmul(&b).det();
+        let rhs = a.det() * b.det();
+        prop_assert!((lhs - rhs).abs() < 1e-7 * (1.0 + rhs.abs()));
+    }
+}

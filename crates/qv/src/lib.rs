@@ -1,0 +1,26 @@
+//! # ashn-qv
+//!
+//! Quantum-volume experiments (paper §6.3, Fig. 7): square random circuits
+//! compiled onto a 2-D grid with SWAP routing, executed under
+//! gate-time-proportional depolarizing noise for three native gate sets —
+//! flux-tuned CZ, flux-tuned SQiSW, and AshN — and scored by the exact
+//! heavy-output probability.
+//!
+//! ```no_run
+//! use ashn_qv::{GateSet, QvNoise, mean_hop};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let hop = mean_hop(4, GateSet::Ashn { cutoff: 1.1 }, &QvNoise::with_e_cz(0.007), 20, &mut rng);
+//! assert!(hop > 0.5);
+//! ```
+
+pub mod experiment;
+pub mod gateset;
+pub mod protocol;
+
+pub use experiment::{
+    compile_model, heavy_set, mean_hop, sample_model_circuit, score_circuit, score_compiled,
+    stamp_noise, CircuitScore, CompiledModel, ModelCircuit, QvNoise,
+};
+pub use gateset::GateSet;

@@ -1,0 +1,165 @@
+//! 2-D grid qubit topologies (the connectivity assumed by the paper's
+//! quantum-volume experiments, §6.3).
+
+/// A rectangular grid of physical qubits; qubit `q` sits at
+/// `(q / cols, q % cols)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "empty grid");
+        Self { rows, cols }
+    }
+
+    /// The most-square grid with at least `n` sites.
+    pub fn for_qubits(n: usize) -> Self {
+        assert!(n > 0);
+        let rows = (n as f64).sqrt().floor() as usize;
+        let rows = rows.max(1);
+        let cols = n.div_ceil(rows);
+        Self { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of sites.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` for the 1×1 grid only.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Row/column coordinates of a site.
+    pub fn coords(&self, q: usize) -> (usize, usize) {
+        assert!(q < self.len());
+        (q / self.cols, q % self.cols)
+    }
+
+    /// Manhattan distance between two sites.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+
+    /// `true` when two sites are adjacent (distance 1).
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        self.distance(a, b) == 1
+    }
+
+    /// Neighbours of a site.
+    pub fn neighbours(&self, q: usize) -> Vec<usize> {
+        let (r, c) = self.coords(q);
+        let mut out = Vec::with_capacity(4);
+        if r > 0 {
+            out.push(q - self.cols);
+        }
+        if r + 1 < self.rows {
+            out.push(q + self.cols);
+        }
+        if c > 0 {
+            out.push(q - 1);
+        }
+        if c + 1 < self.cols {
+            out.push(q + 1);
+        }
+        out
+    }
+
+    /// A shortest path from `a` to `b` (inclusive of both endpoints),
+    /// moving greedily row-first then column.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut path = vec![a];
+        let (br, bc) = self.coords(b);
+        let mut cur = a;
+        while cur != b {
+            let (r, c) = self.coords(cur);
+            cur = if r < br {
+                cur + self.cols
+            } else if r > br {
+                cur - self.cols
+            } else if c < bc {
+                cur + 1
+            } else {
+                cur - 1
+            };
+            path.push(cur);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_qubits_is_near_square() {
+        for n in 1..=20 {
+            let g = Grid::for_qubits(n);
+            assert!(g.len() >= n);
+            assert!(g.cols() >= g.rows());
+            assert!(g.cols() - g.rows() <= 2, "n={n}: {}x{}", g.rows(), g.cols());
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_grid_structure() {
+        let g = Grid::new(3, 4);
+        for q in 0..g.len() {
+            for &n in &g.neighbours(q) {
+                assert!(g.adjacent(q, n));
+                assert!(g.neighbours(n).contains(&q));
+            }
+        }
+        // Corner has 2 neighbours, center has 4.
+        assert_eq!(g.neighbours(0).len(), 2);
+        assert_eq!(g.neighbours(5).len(), 4);
+    }
+
+    #[test]
+    fn shortest_path_has_right_length_and_steps() {
+        let g = Grid::new(3, 3);
+        let p = g.shortest_path(0, 8);
+        assert_eq!(p.len(), g.distance(0, 8) + 1);
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 8);
+        for w in p.windows(2) {
+            assert!(g.adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric() {
+        let g = Grid::new(3, 4);
+        for a in 0..g.len() {
+            assert_eq!(g.distance(a, a), 0);
+            for b in 0..g.len() {
+                assert_eq!(g.distance(a, b), g.distance(b, a));
+                for c in 0..g.len() {
+                    assert!(g.distance(a, c) <= g.distance(a, b) + g.distance(b, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! A smarter routing strategy: walk *both* endpoints toward each other and
+//! order the layer's pairs nearest-first, reducing SWAP count relative to
+//! the one-sided greedy [`crate::router::Router`].
+
+use crate::grid::Grid;
+use crate::router::RouteOp;
+
+/// Both-endpoint router with nearest-pair-first scheduling.
+#[derive(Clone, Debug)]
+pub struct LookaheadRouter {
+    grid: Grid,
+    position: Vec<usize>,
+}
+
+impl LookaheadRouter {
+    /// Identity placement of `n` logical qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grid is too small.
+    pub fn new(grid: Grid, n: usize) -> Self {
+        assert!(grid.len() >= n, "grid too small for {n} qubits");
+        Self {
+            grid,
+            position: (0..n).collect(),
+        }
+    }
+
+    /// Current physical site of a logical qubit.
+    pub fn position(&self, logical: usize) -> usize {
+        self.position[logical]
+    }
+
+    fn swap_sites(&mut self, a: usize, b: usize) {
+        for p in self.position.iter_mut() {
+            if *p == a {
+                *p = b;
+            } else if *p == b {
+                *p = a;
+            }
+        }
+    }
+
+    /// Routes one layer of disjoint pairs; see [`crate::router::Router::route_layer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when pairs overlap.
+    pub fn route_layer(&mut self, pairs: &[(usize, usize)]) -> Vec<RouteOp> {
+        let mut seen = vec![false; self.position.len()];
+        for &(a, b) in pairs {
+            assert!(a != b && !seen[a] && !seen[b], "overlapping pairs");
+            seen[a] = true;
+            seen[b] = true;
+        }
+        // Nearest pairs first: they block fewer sites for the others.
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_by_key(|&i| {
+            let (a, b) = pairs[i];
+            self.grid.distance(self.position[a], self.position[b])
+        });
+        let mut ops = Vec::new();
+        for index in order {
+            let (la, lb) = pairs[index];
+            loop {
+                let (pa, pb) = (self.position[la], self.position[lb]);
+                if self.grid.adjacent(pa, pb) {
+                    ops.push(RouteOp::Gate {
+                        index,
+                        a: pa,
+                        b: pb,
+                    });
+                    break;
+                }
+                // Step each endpoint one site toward the other, alternating.
+                let step_a = self.grid.shortest_path(pa, pb)[1];
+                ops.push(RouteOp::Swap(pa, step_a));
+                self.swap_sites(pa, step_a);
+                let (pa, pb) = (self.position[la], self.position[lb]);
+                if self.grid.adjacent(pa, pb) {
+                    continue;
+                }
+                let step_b = self.grid.shortest_path(pb, pa)[1];
+                ops.push(RouteOp::Swap(pb, step_b));
+                self.swap_sites(pb, step_b);
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{random_pairing, Router};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn swap_count(ops: &[RouteOp]) -> usize {
+        ops.iter()
+            .filter(|o| matches!(o, RouteOp::Swap(_, _)))
+            .count()
+    }
+
+    #[test]
+    fn executes_every_pair_adjacent() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let grid = Grid::for_qubits(9);
+        let mut router = LookaheadRouter::new(grid, 9);
+        for _ in 0..15 {
+            let pairs = random_pairing(9, &mut rng);
+            let ops = router.route_layer(&pairs);
+            let gates = ops
+                .iter()
+                .filter(|o| matches!(o, RouteOp::Gate { .. }))
+                .count();
+            assert_eq!(gates, pairs.len());
+            for op in &ops {
+                match op {
+                    RouteOp::Swap(a, b) | RouteOp::Gate { a, b, .. } => {
+                        assert!(grid.adjacent(*a, *b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_is_no_worse_on_average() {
+        let grid = Grid::for_qubits(12);
+        let mut total_greedy = 0usize;
+        let mut total_look = 0usize;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pairs = random_pairing(12, &mut rng);
+            let mut greedy = Router::new(grid, 12);
+            let mut look = LookaheadRouter::new(grid, 12);
+            total_greedy += swap_count(&greedy.route_layer(&pairs));
+            total_look += swap_count(&look.route_layer(&pairs));
+        }
+        assert!(
+            total_look <= total_greedy,
+            "lookahead {total_look} > greedy {total_greedy}"
+        );
+    }
+
+    #[test]
+    fn already_adjacent_layer_needs_no_swaps() {
+        let grid = Grid::new(2, 2);
+        let mut router = LookaheadRouter::new(grid, 4);
+        let ops = router.route_layer(&[(0, 1), (2, 3)]);
+        assert_eq!(swap_count(&ops), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! A minimal circuit IR carrying everything the noise model needs:
+//! the unitary, the acted-on qubits, a duration (in units of `1/g`), and an
+//! optional per-gate error rate.
+
+use crate::density::DensityMatrix;
+use crate::state::StateVector;
+use ashn_math::CMat;
+
+/// One gate instance in a circuit.
+#[derive(Clone, Debug)]
+pub struct Gate {
+    /// Qubits the gate acts on (big-endian order w.r.t. the matrix).
+    pub qubits: Vec<usize>,
+    /// The unitary matrix (dimension `2^qubits.len()`).
+    pub matrix: CMat,
+    /// Human-readable label (e.g. `"CZ"`, `"AshN(0.42,0.1,0.0)"`).
+    pub label: String,
+    /// Gate duration in units of `1/g`; `0` for virtual gates.
+    pub duration: f64,
+    /// Depolarizing error probability applied after the gate; `None` means
+    /// "use the noise-model default for this arity".
+    pub error_rate: Option<f64>,
+}
+
+impl Gate {
+    /// Creates a gate with no duration or error annotation.
+    pub fn new(qubits: Vec<usize>, matrix: CMat, label: impl Into<String>) -> Self {
+        assert_eq!(matrix.rows(), 1 << qubits.len(), "gate dimension mismatch");
+        Self {
+            qubits,
+            matrix,
+            label: label.into(),
+            duration: 0.0,
+            error_rate: None,
+        }
+    }
+
+    /// Sets the duration (builder style).
+    pub fn with_duration(mut self, duration: f64) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets an explicit error rate (builder style).
+    pub fn with_error_rate(mut self, p: f64) -> Self {
+        self.error_rate = Some(p);
+        self
+    }
+}
+
+/// Per-arity default depolarizing rates.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NoiseModel {
+    /// Default error probability after a single-qubit gate.
+    pub one_qubit: f64,
+    /// Default error probability after a two-qubit gate.
+    pub two_qubit: f64,
+}
+
+impl NoiseModel {
+    /// A noiseless model.
+    pub const NOISELESS: NoiseModel = NoiseModel {
+        one_qubit: 0.0,
+        two_qubit: 0.0,
+    };
+
+    fn rate_for(&self, gate: &Gate) -> f64 {
+        gate.error_rate.unwrap_or(match gate.qubits.len() {
+            1 => self.one_qubit,
+            2 => self.two_qubit,
+            _ => 0.0,
+        })
+    }
+}
+
+/// A quantum circuit on `n` qubits.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    n: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate touches qubits outside the register.
+    pub fn push(&mut self, gate: Gate) {
+        assert!(
+            gate.qubits.iter().all(|q| *q < self.n),
+            "gate on out-of-range qubit"
+        );
+        self.gates.push(gate);
+    }
+
+    /// The gates in application order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total duration (sum of gate durations).
+    pub fn total_duration(&self) -> f64 {
+        self.gates.iter().map(|g| g.duration).sum()
+    }
+
+    /// Number of gates acting on ≥ 2 qubits.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.qubits.len() >= 2).count()
+    }
+
+    /// Runs the circuit on `|0…0⟩` without noise.
+    pub fn run_pure(&self) -> StateVector {
+        let mut s = StateVector::zero(self.n);
+        for g in &self.gates {
+            s.apply(&g.qubits, &g.matrix);
+        }
+        s
+    }
+
+    /// Runs the circuit with depolarizing noise after every gate, returning
+    /// the exact output density matrix.
+    pub fn run_noisy(&self, noise: &NoiseModel) -> DensityMatrix {
+        let mut rho = DensityMatrix::zero(self.n);
+        for g in &self.gates {
+            rho.apply(&g.qubits, &g.matrix);
+            let p = noise.rate_for(g);
+            if p > 0.0 {
+                rho.depolarize(&g.qubits, p);
+            }
+        }
+        rho
+    }
+
+    /// The dense unitary of the whole circuit (small `n` only).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n > 10`.
+    pub fn unitary(&self) -> CMat {
+        assert!(self.n <= 10, "dense unitary limited to 10 qubits");
+        let dim = 1usize << self.n;
+        let mut u = CMat::identity(dim);
+        // Column i of the total unitary = circuit applied to basis state i.
+        for i in 0..dim {
+            let mut amps = vec![ashn_math::Complex::ZERO; dim];
+            amps[i] = ashn_math::Complex::ONE;
+            let mut s = StateVector::from_amplitudes_unchecked(amps);
+            for g in &self.gates {
+                s.apply(&g.qubits, &g.matrix);
+            }
+            for (r, a) in s.amplitudes().iter().enumerate() {
+                u[(r, i)] = *a;
+            }
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_math::randmat::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn h_gate() -> CMat {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        CMat::from_rows_f64(&[&[s, s], &[s, -s]])
+    }
+
+    #[test]
+    fn noiseless_density_equals_pure_run() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut c = Circuit::new(3);
+        c.push(Gate::new(vec![0], h_gate(), "H"));
+        c.push(Gate::new(vec![0, 1], haar_unitary(4, &mut rng), "U"));
+        c.push(Gate::new(vec![2, 1], haar_unitary(4, &mut rng), "V"));
+        let pure = c.run_pure();
+        let rho = c.run_noisy(&NoiseModel::NOISELESS);
+        for (a, b) in pure.probabilities().iter().zip(rho.probabilities()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn noise_reduces_purity() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut c = Circuit::new(2);
+        c.push(Gate::new(vec![0, 1], haar_unitary(4, &mut rng), "U"));
+        let rho = c.run_noisy(&NoiseModel {
+            one_qubit: 0.001,
+            two_qubit: 0.02,
+        });
+        assert!(rho.purity() < 1.0 - 0.01);
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn explicit_error_rate_overrides_default() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::new(vec![0], h_gate(), "H").with_error_rate(1.0));
+        let rho = c.run_noisy(&NoiseModel::NOISELESS);
+        // Full depolarizing: maximally mixed.
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_matches_gate_product() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let u01 = haar_unitary(4, &mut rng);
+        let mut c = Circuit::new(2);
+        c.push(Gate::new(vec![0, 1], u01.clone(), "U"));
+        assert!(c.unitary().dist(&u01) < 1e-10);
+    }
+
+    #[test]
+    fn durations_accumulate() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::new(vec![0], h_gate(), "H").with_duration(0.1));
+        c.push(Gate::new(vec![1], h_gate(), "H").with_duration(0.2));
+        assert!((c.total_duration() - 0.3).abs() < 1e-12);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Exact density-matrix simulator with depolarizing channels.
+//!
+//! Used for the quantum-volume experiments (paper §6.3): heavy-output
+//! probabilities are computed exactly from the noisy density matrix, so the
+//! only statistical error left is over the random-circuit ensemble itself.
+
+use crate::state::StateVector;
+use ashn_math::{c, CMat, Complex};
+
+/// An `n`-qubit density matrix.
+#[derive(Clone, Debug)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    mat: Vec<Complex>, // row-major dim×dim
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n >= 1 && n <= 12, "density matrices supported up to 12 qubits");
+        let dim = 1 << n;
+        let mut mat = vec![Complex::ZERO; dim * dim];
+        mat[0] = Complex::ONE;
+        Self { n, dim, mat }
+    }
+
+    /// Density matrix of a pure state.
+    pub fn from_state(s: &StateVector) -> Self {
+        let n = s.n_qubits();
+        let dim = 1 << n;
+        let amps = s.amplitudes();
+        let mut mat = vec![Complex::ZERO; dim * dim];
+        for r in 0..dim {
+            for cc in 0..dim {
+                mat[r * dim + cc] = amps[r] * amps[cc].conj();
+            }
+        }
+        Self { n, dim, mat }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Trace (1 for a valid state).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.mat[i * self.dim + i].re).sum()
+    }
+
+    /// Purity `tr(ρ²)`.
+    pub fn purity(&self) -> f64 {
+        let mut s = 0.0;
+        for r in 0..self.dim {
+            for cc in 0..self.dim {
+                s += (self.mat[r * self.dim + cc] * self.mat[cc * self.dim + r]).re;
+            }
+        }
+        s
+    }
+
+    /// Diagonal measurement probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim)
+            .map(|i| self.mat[i * self.dim + i].re.max(0.0))
+            .collect()
+    }
+
+    /// Applies `ρ → UρU†` with a `k`-qubit unitary on the listed qubits.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`StateVector::apply`].
+    pub fn apply(&mut self, qubits: &[usize], u: &CMat) {
+        let k = qubits.len();
+        assert_eq!(u.rows(), 1 << k, "matrix dimension mismatch");
+        let pos: Vec<usize> = qubits.iter().map(|q| self.n - 1 - q).collect();
+        let targets_mask: usize = pos.iter().map(|p| 1usize << p).sum();
+        let sub = 1usize << k;
+        let expand = |base: usize, m: usize| -> usize {
+            let mut idx = base;
+            for (j, p) in pos.iter().enumerate() {
+                if m >> (k - 1 - j) & 1 == 1 {
+                    idx |= 1 << p;
+                }
+            }
+            idx
+        };
+        // Left multiplication: rows transform by U.
+        let mut gathered = vec![Complex::ZERO; sub];
+        for col in 0..self.dim {
+            for base in 0..self.dim {
+                if base & targets_mask != 0 {
+                    continue;
+                }
+                for m in 0..sub {
+                    gathered[m] = self.mat[expand(base, m) * self.dim + col];
+                }
+                for row in 0..sub {
+                    let mut acc = Complex::ZERO;
+                    for (mcol, g) in gathered.iter().enumerate() {
+                        acc += u[(row, mcol)] * *g;
+                    }
+                    self.mat[expand(base, row) * self.dim + col] = acc;
+                }
+            }
+        }
+        // Right multiplication by U†: columns transform by conj(U).
+        for row in 0..self.dim {
+            for base in 0..self.dim {
+                if base & targets_mask != 0 {
+                    continue;
+                }
+                for m in 0..sub {
+                    gathered[m] = self.mat[row * self.dim + expand(base, m)];
+                }
+                for colm in 0..sub {
+                    let mut acc = Complex::ZERO;
+                    for (mrow, g) in gathered.iter().enumerate() {
+                        acc += u[(colm, mrow)].conj() * *g;
+                    }
+                    self.mat[row * self.dim + expand(base, colm)] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies a `k`-qubit depolarizing channel with probability `p`:
+    /// `ρ → (1−p)·ρ + p·(I/2^k ⊗ Tr_targets ρ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p ∉ [0, 1]` or qubits are invalid.
+    pub fn depolarize(&mut self, qubits: &[usize], p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p == 0.0 {
+            return;
+        }
+        let k = qubits.len();
+        let pos: Vec<usize> = qubits.iter().map(|q| self.n - 1 - q).collect();
+        let targets_mask: usize = pos.iter().map(|p| 1usize << p).sum();
+        let sub = 1usize << k;
+        let expand = |base: usize, m: usize| -> usize {
+            let mut idx = base;
+            for (j, pp) in pos.iter().enumerate() {
+                if m >> (k - 1 - j) & 1 == 1 {
+                    idx |= 1 << pp;
+                }
+            }
+            idx
+        };
+        let norm = 1.0 / sub as f64;
+        // For every pair of non-target index parts, mix in the partial trace.
+        for rbase in 0..self.dim {
+            if rbase & targets_mask != 0 {
+                continue;
+            }
+            for cbase in 0..self.dim {
+                if cbase & targets_mask != 0 {
+                    continue;
+                }
+                // Partial trace over targets for this (rest_r, rest_c) pair.
+                let mut tr = Complex::ZERO;
+                for s in 0..sub {
+                    tr += self.mat[expand(rbase, s) * self.dim + expand(cbase, s)];
+                }
+                let mixed = tr * c(norm, 0.0);
+                for mr in 0..sub {
+                    for mc in 0..sub {
+                        let idx = expand(rbase, mr) * self.dim + expand(cbase, mc);
+                        let fresh = if mr == mc { mixed } else { Complex::ZERO };
+                        self.mat[idx] = self.mat[idx] * (1.0 - p) + fresh * p;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_math::randmat::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn h_gate() -> CMat {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        CMat::from_rows_f64(&[&[s, s], &[s, -s]])
+    }
+
+    #[test]
+    fn pure_state_round_trip() {
+        let mut s = StateVector::zero(3);
+        let mut rng = StdRng::seed_from_u64(11);
+        s.apply(&[0, 1], &haar_unitary(4, &mut rng));
+        s.apply(&[1, 2], &haar_unitary(4, &mut rng));
+        let rho = DensityMatrix::from_state(&s);
+        let ps = s.probabilities();
+        let pr = rho.probabilities();
+        for (a, b) in ps.iter().zip(pr.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unitary_application_matches_statevector() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut s = StateVector::zero(3);
+        let mut rho = DensityMatrix::zero(3);
+        for (qs, dim) in [(vec![0usize], 2usize), (vec![2, 0], 4), (vec![1, 2], 4)] {
+            let u = haar_unitary(dim, &mut rng);
+            s.apply(&qs, &u);
+            rho.apply(&qs, &u);
+        }
+        let expect = DensityMatrix::from_state(&s);
+        let diff: f64 = rho
+            .mat
+            .iter()
+            .zip(expect.mat.iter())
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        assert!(diff < 1e-10, "density/state mismatch: {diff}");
+    }
+
+    #[test]
+    fn trace_preserved_by_unitaries_and_noise() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut rho = DensityMatrix::zero(4);
+        for step in 0..8 {
+            let u = haar_unitary(4, &mut rng);
+            rho.apply(&[step % 3, step % 3 + 1], &u);
+            rho.depolarize(&[step % 4], 0.02);
+            rho.depolarize(&[step % 3, step % 3 + 1], 0.01);
+            assert!((rho.trace() - 1.0).abs() < 1e-9, "trace drifted");
+        }
+        assert!(rho.purity() < 1.0, "noise must reduce purity");
+    }
+
+    #[test]
+    fn full_depolarizing_gives_maximally_mixed() {
+        let mut rho = DensityMatrix::zero(2);
+        rho.apply(&[0], &h_gate());
+        rho.depolarize(&[0, 1], 1.0);
+        for (i, p) in rho.probabilities().iter().enumerate() {
+            assert!((p - 0.25).abs() < 1e-12, "p[{i}] = {p}");
+        }
+        assert!((rho.purity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_qubit_depolarizing_mixes_only_that_qubit() {
+        // Prepare |+0⟩, depolarize qubit 1 fully: qubit 0 stays pure.
+        let mut rho = DensityMatrix::zero(2);
+        rho.apply(&[0], &h_gate());
+        rho.depolarize(&[1], 1.0);
+        let p = rho.probabilities();
+        // All four outcomes: 0.25 each (qubit0 half + half coherent, qubit1 mixed).
+        for v in &p {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+        // But purity is 0.5 (pure ⊗ mixed), not 0.25.
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_is_unitarily_covariant_on_targets() {
+        // D_p(UρU†) = U D_p(ρ) U† when U acts on the depolarized qubits.
+        let mut rng = StdRng::seed_from_u64(14);
+        let u = haar_unitary(4, &mut rng);
+        let mut a = DensityMatrix::zero(3);
+        a.apply(&[0], &h_gate());
+        let mut b = a.clone();
+        a.apply(&[1, 2], &u);
+        a.depolarize(&[1, 2], 0.3);
+        b.depolarize(&[1, 2], 0.3);
+        b.apply(&[1, 2], &u);
+        let diff: f64 = a
+            .mat
+            .iter()
+            .zip(b.mat.iter())
+            .map(|(x, y)| (*x - *y).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        assert!(diff < 1e-10, "covariance violated: {diff}");
+    }
+}

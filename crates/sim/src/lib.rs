@@ -1,0 +1,41 @@
+//! # ashn-sim
+//!
+//! Quantum circuit simulators for the AshN reproduction: a pure-state
+//! (statevector) simulator, an exact density-matrix simulator with
+//! depolarizing channels, and a small circuit IR that carries per-gate
+//! durations and error rates (the quantities the paper's quantum-volume
+//! noise model is built from).
+//!
+//! ## Example: a noisy Bell pair
+//!
+//! ```
+//! use ashn_sim::{Circuit, Gate, NoiseModel};
+//! use ashn_math::CMat;
+//!
+//! let h = CMat::from_rows_f64(&[
+//!     &[std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2],
+//!     &[std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2],
+//! ]);
+//! let cnot = CMat::from_rows_f64(&[
+//!     &[1.0, 0.0, 0.0, 0.0],
+//!     &[0.0, 1.0, 0.0, 0.0],
+//!     &[0.0, 0.0, 0.0, 1.0],
+//!     &[0.0, 0.0, 1.0, 0.0],
+//! ]);
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::new(vec![0], h, "H"));
+//! c.push(Gate::new(vec![0, 1], cnot, "CNOT"));
+//! let rho = c.run_noisy(&NoiseModel { one_qubit: 0.001, two_qubit: 0.01 });
+//! let p = rho.probabilities();
+//! assert!((p[0] + p[3]) > 0.98); // mostly correlated outcomes
+//! ```
+
+pub mod circuit;
+pub mod density;
+pub mod measure;
+pub mod state;
+pub mod trajectory;
+
+pub use circuit::{Circuit, Gate, NoiseModel};
+pub use density::DensityMatrix;
+pub use state::StateVector;

@@ -1,0 +1,166 @@
+//! Projective measurement: sampling with state collapse, and repeated-shot
+//! counting — the readout layer used by the calibration experiments.
+
+use crate::state::StateVector;
+use ashn_math::Complex;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Outcome of measuring a single qubit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bit {
+    /// Outcome 0.
+    Zero,
+    /// Outcome 1.
+    One,
+}
+
+/// Measures one qubit projectively, collapsing the state. Returns the
+/// outcome.
+///
+/// # Panics
+///
+/// Panics when `qubit` is out of range.
+pub fn measure_qubit(state: &mut StateVector, qubit: usize, rng: &mut impl Rng) -> Bit {
+    let n = state.n_qubits();
+    assert!(qubit < n, "qubit out of range");
+    let pos = n - 1 - qubit;
+    let p1: f64 = state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i >> pos & 1 == 1)
+        .map(|(_, a)| a.norm_sqr())
+        .sum();
+    let outcome = if rng.gen::<f64>() < p1 { Bit::One } else { Bit::Zero };
+    let keep = matches!(outcome, Bit::One);
+    let norm = if keep { p1.sqrt() } else { (1.0 - p1).sqrt() };
+    let amps: Vec<Complex> = state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            if (i >> pos & 1 == 1) == keep {
+                *a / norm
+            } else {
+                Complex::ZERO
+            }
+        })
+        .collect();
+    *state = StateVector::from_amplitudes_unchecked(amps);
+    outcome
+}
+
+/// Measures all qubits (in register order), collapsing to a basis state.
+/// Returns the measured basis index.
+pub fn measure_all(state: &mut StateVector, rng: &mut impl Rng) -> usize {
+    let idx = state.sample(rng);
+    let dim = state.amplitudes().len();
+    let mut amps = vec![Complex::ZERO; dim];
+    amps[idx] = Complex::ONE;
+    *state = StateVector::from_amplitudes_unchecked(amps);
+    idx
+}
+
+/// Repeats state preparation and full measurement, returning outcome counts.
+pub fn shot_counts(
+    prepare: &mut dyn FnMut() -> StateVector,
+    shots: usize,
+    rng: &mut impl Rng,
+) -> BTreeMap<usize, usize> {
+    let mut counts = BTreeMap::new();
+    for _ in 0..shots {
+        let state = prepare();
+        *counts.entry(state.sample(rng)).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_math::CMat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn h_gate() -> CMat {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        CMat::from_rows_f64(&[&[s, s], &[s, -s]])
+    }
+
+    #[test]
+    fn measuring_a_basis_state_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut s = StateVector::zero(3);
+        for q in 0..3 {
+            assert_eq!(measure_qubit(&mut s, q, &mut rng), Bit::Zero);
+        }
+    }
+
+    #[test]
+    fn collapse_is_consistent_with_entanglement() {
+        // Bell pair: the two outcomes must agree, each branch equally likely.
+        let mut rng = StdRng::seed_from_u64(72);
+        let mut ones = 0;
+        let n = 400;
+        for _ in 0..n {
+            let mut s = StateVector::zero(2);
+            s.apply(&[0], &h_gate());
+            s.apply(
+                &[0, 1],
+                &CMat::from_rows_f64(&[
+                    &[1.0, 0.0, 0.0, 0.0],
+                    &[0.0, 1.0, 0.0, 0.0],
+                    &[0.0, 0.0, 0.0, 1.0],
+                    &[0.0, 0.0, 1.0, 0.0],
+                ]),
+            );
+            let a = measure_qubit(&mut s, 0, &mut rng);
+            let b = measure_qubit(&mut s, 1, &mut rng);
+            assert_eq!(a, b, "Bell outcomes must correlate");
+            if a == Bit::One {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.08, "branch frequency {frac}");
+    }
+
+    #[test]
+    fn post_measurement_state_is_normalised_and_consistent() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut s = StateVector::zero(2);
+        s.apply(&[0], &h_gate());
+        s.apply(&[1], &h_gate());
+        let _ = measure_qubit(&mut s, 0, &mut rng);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        // Second measurement of the same qubit repeats the outcome.
+        let o1 = measure_qubit(&mut s, 0, &mut rng);
+        let o2 = measure_qubit(&mut s, 0, &mut rng);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn measure_all_collapses_to_basis() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let mut s = StateVector::zero(3);
+        for q in 0..3 {
+            s.apply(&[q], &h_gate());
+        }
+        let idx = measure_all(&mut s, &mut rng);
+        assert!((s.probabilities()[idx] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shot_counts_match_distribution() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let mut prepare = || {
+            let mut s = StateVector::zero(1);
+            s.apply(&[0], &h_gate());
+            s
+        };
+        let counts = shot_counts(&mut prepare, 10_000, &mut rng);
+        let zero = *counts.get(&0).unwrap_or(&0) as f64;
+        assert!((zero / 10_000.0 - 0.5).abs() < 0.02);
+    }
+}

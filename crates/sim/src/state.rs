@@ -1,0 +1,312 @@
+//! Pure-state (statevector) simulator.
+//!
+//! Qubit 0 is the most significant bit of the basis index, matching the
+//! Kronecker-product convention `q0 ⊗ q1 ⊗ …` used by `ashn-math`.
+
+use ashn_math::{CMat, Complex};
+use rand::Rng;
+
+/// A normalised `n`-qubit state vector.
+#[derive(Clone, Debug)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The computational basis state `|0…0⟩`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n >= 1 && n <= 24, "qubit count out of supported range");
+        let mut amps = vec![Complex::ZERO; 1 << n];
+        amps[0] = Complex::ONE;
+        Self { n, amps }
+    }
+
+    /// Builds a state from raw amplitudes (must have power-of-two length).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the length is not a power of two or the norm differs from
+    /// 1 by more than `1e-6`.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len >= 2, "bad amplitude count");
+        let n = len.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-6, "state is not normalised: {norm}");
+        Self { n, amps }
+    }
+
+    /// Builds a state from raw amplitudes without the normalisation check.
+    ///
+    /// Useful for propagating basis columns when assembling dense circuit
+    /// unitaries; prefer [`StateVector::from_amplitudes`] elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the length is not a power of two.
+    pub fn from_amplitudes_unchecked(amps: Vec<Complex>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len >= 2, "bad amplitude count");
+        let n = len.trailing_zeros() as usize;
+        Self { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Raw amplitudes in computational-basis order.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Measurement probabilities `|⟨i|ψ⟩|²`.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Squared norm (should stay 1 under unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-count mismatch.
+    pub fn inner(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.n, other.n);
+        self.amps
+            .iter()
+            .zip(other.amps.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Applies a `k`-qubit unitary to the listed qubits (distinct, each
+    /// `< n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix dimension is not `2^k`, qubits repeat, or an
+    /// index is out of range.
+    pub fn apply(&mut self, qubits: &[usize], u: &CMat) {
+        let k = qubits.len();
+        assert!(k >= 1 && k <= self.n, "bad qubit count");
+        assert_eq!(u.rows(), 1 << k, "matrix dimension mismatch");
+        assert!(u.is_square());
+        for (i, q) in qubits.iter().enumerate() {
+            assert!(*q < self.n, "qubit {q} out of range");
+            assert!(
+                !qubits[i + 1..].contains(q),
+                "duplicate qubit {q} in gate application"
+            );
+        }
+        // Bit position of qubit q (q0 = most significant).
+        let pos: Vec<usize> = qubits.iter().map(|q| self.n - 1 - q).collect();
+        let targets_mask: usize = pos.iter().map(|p| 1usize << p).sum();
+        let dim = 1usize << self.n;
+        let sub = 1usize << k;
+        let mut gathered = vec![Complex::ZERO; sub];
+        for base in 0..dim {
+            if base & targets_mask != 0 {
+                continue;
+            }
+            // Gather amplitudes: sub-index bit j (big-endian over `qubits`)
+            // maps to bit position pos[j].
+            for m in 0..sub {
+                let mut idx = base;
+                for (j, p) in pos.iter().enumerate() {
+                    if m >> (k - 1 - j) & 1 == 1 {
+                        idx |= 1 << p;
+                    }
+                }
+                gathered[m] = self.amps[idx];
+            }
+            for (row, _) in gathered.iter().enumerate() {
+                let mut acc = Complex::ZERO;
+                for (col, g) in gathered.iter().enumerate() {
+                    acc += u[(row, col)] * *g;
+                }
+                let mut idx = base;
+                for (j, p) in pos.iter().enumerate() {
+                    if row >> (k - 1 - j) & 1 == 1 {
+                        idx |= 1 << p;
+                    }
+                }
+                self.amps[idx] = acc;
+            }
+        }
+    }
+
+    /// Samples a basis state index from the measurement distribution.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let mut u: f64 = rng.gen();
+        for (i, a) in self.amps.iter().enumerate() {
+            u -= a.norm_sqr();
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// Expectation value of `Z` on one qubit.
+    pub fn expect_z(&self, qubit: usize) -> f64 {
+        assert!(qubit < self.n);
+        let p = self.n - 1 - qubit;
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let sign = if i >> p & 1 == 0 { 1.0 } else { -1.0 };
+                sign * a.norm_sqr()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_math::c;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn x_gate() -> CMat {
+        CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]])
+    }
+
+    fn h_gate() -> CMat {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        CMat::from_rows_f64(&[&[s, s], &[s, -s]])
+    }
+
+    fn cnot_gate() -> CMat {
+        CMat::from_rows_f64(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[0.0, 0.0, 1.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn x_on_each_qubit_sets_the_right_bit() {
+        for n in 1..=4 {
+            for q in 0..n {
+                let mut s = StateVector::zero(n);
+                s.apply(&[q], &x_gate());
+                let expect = 1usize << (n - 1 - q);
+                let p = s.probabilities();
+                assert!((p[expect] - 1.0).abs() < 1e-12, "n={n} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn bell_state_construction() {
+        let mut s = StateVector::zero(2);
+        s.apply(&[0], &h_gate());
+        s.apply(&[0, 1], &cnot_gate());
+        let p = s.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12 && p[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_gate_on_reversed_pair() {
+        // CNOT with control q1, target q0 on |01⟩ flips q0: |01⟩ → |11⟩.
+        let mut s = StateVector::zero(2);
+        s.apply(&[1], &x_gate()); // |01⟩
+        s.apply(&[1, 0], &cnot_gate());
+        let p = s.probabilities();
+        assert!((p[0b11] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_is_preserved_by_random_unitaries() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = StateVector::zero(4);
+        for step in 0..20 {
+            let u = ashn_math::randmat::haar_unitary(4, &mut rng);
+            let q = step % 3;
+            s.apply(&[q, q + 1], &u);
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_dense_kron_application() {
+        // Applying U on (q0,q2) of 3 qubits must equal the dense matrix
+        // built by explicit permutation/kron.
+        let mut rng = StdRng::seed_from_u64(6);
+        let u = ashn_math::randmat::haar_unitary(4, &mut rng);
+        // Prepare a random product state.
+        let mut s = StateVector::zero(3);
+        for q in 0..3 {
+            let g = ashn_math::randmat::haar_unitary(2, &mut rng);
+            s.apply(&[q], &g);
+        }
+        let before = s.amplitudes().to_vec();
+        s.apply(&[0, 2], &u);
+        // Dense: permute qubits (0,2,1) so targets are adjacent, apply
+        // U ⊗ I, permute back. Build full 8×8 operator directly instead.
+        let mut dense = CMat::zeros(8, 8);
+        for r in 0..8 {
+            for cc in 0..8 {
+                // bits: q0 q1 q2 (msb→lsb)
+                let (r0, r1, r2) = (r >> 2 & 1, r >> 1 & 1, r & 1);
+                let (c0, c1, c2) = (cc >> 2 & 1, cc >> 1 & 1, cc & 1);
+                if r1 == c1 {
+                    dense[(r, cc)] = u[((r0 << 1) | r2, (c0 << 1) | c2)];
+                }
+            }
+        }
+        let expect = dense.mul_vec(&before);
+        for (a, b) in s.amplitudes().iter().zip(expect.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expect_z_signs() {
+        let mut s = StateVector::zero(2);
+        assert!((s.expect_z(0) - 1.0).abs() < 1e-12);
+        s.apply(&[0], &x_gate());
+        assert!((s.expect_z(0) + 1.0).abs() < 1e-12);
+        assert!((s.expect_z(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut s = StateVector::zero(1);
+        s.apply(&[0], &h_gate());
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| s.sample(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn from_amplitudes_round_trip() {
+        let s = StateVector::from_amplitudes(vec![
+            c(0.6, 0.0),
+            c(0.0, 0.8),
+        ]);
+        assert_eq!(s.n_qubits(), 1);
+        assert!((s.probabilities()[1] - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn rejects_duplicate_qubits() {
+        let mut s = StateVector::zero(2);
+        s.apply(&[0, 0], &cnot_gate());
+    }
+}

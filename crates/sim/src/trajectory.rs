@@ -1,0 +1,149 @@
+//! Monte-Carlo (quantum-trajectory) simulation of depolarizing noise on the
+//! statevector — the scalable alternative to the exact density-matrix
+//! simulator for larger registers.
+//!
+//! A `k`-qubit depolarizing channel of probability `p` is realized exactly
+//! in distribution by applying, with probability `p`, a uniformly random
+//! `k`-qubit Pauli (identity included).
+
+use crate::circuit::{Circuit, NoiseModel};
+use crate::state::StateVector;
+use ashn_math::{c, CMat, Complex};
+use rand::Rng;
+
+fn pauli_matrix(which: usize) -> CMat {
+    match which {
+        0 => CMat::identity(2),
+        1 => CMat::from_rows(&[
+            &[Complex::ZERO, Complex::ONE],
+            &[Complex::ONE, Complex::ZERO],
+        ]),
+        2 => CMat::from_rows(&[
+            &[Complex::ZERO, c(0.0, -1.0)],
+            &[c(0.0, 1.0), Complex::ZERO],
+        ]),
+        _ => CMat::diag(&[Complex::ONE, c(-1.0, 0.0)]),
+    }
+}
+
+/// Runs one stochastic trajectory of the circuit under its per-gate
+/// depolarizing annotations, returning the final pure state.
+pub fn run_trajectory(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    rng: &mut impl Rng,
+) -> StateVector {
+    let mut s = StateVector::zero(circuit.n_qubits());
+    for g in circuit.gates() {
+        s.apply(&g.qubits, &g.matrix);
+        let p = g.error_rate.unwrap_or(match g.qubits.len() {
+            1 => noise.one_qubit,
+            2 => noise.two_qubit,
+            _ => 0.0,
+        });
+        if p > 0.0 && rng.gen::<f64>() < p {
+            // Uniformly random Pauli on each touched qubit (4^k options,
+            // identity included — this is the exact unravelling of D_p).
+            for &q in &g.qubits {
+                let which = rng.gen_range(0..4usize);
+                if which != 0 {
+                    s.apply(&[q], &pauli_matrix(which));
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Estimates outcome probabilities by averaging `n_traj` trajectories.
+pub fn trajectory_probabilities(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    n_traj: usize,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let dim = 1usize << circuit.n_qubits();
+    let mut acc = vec![0.0; dim];
+    for _ in 0..n_traj {
+        let s = run_trajectory(circuit, noise, rng);
+        for (a, p) in acc.iter_mut().zip(s.probabilities()) {
+            *a += p;
+        }
+    }
+    for a in acc.iter_mut() {
+        *a /= n_traj as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Gate;
+    use ashn_math::randmat::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_circuit(n: usize, rng: &mut StdRng, p2: f64) -> Circuit {
+        let mut c = Circuit::new(n);
+        for layer in 0..3 {
+            for q in 0..n - 1 {
+                if (q + layer) % 2 == 0 {
+                    c.push(
+                        Gate::new(vec![q, q + 1], haar_unitary(4, rng), "U")
+                            .with_error_rate(p2),
+                    );
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn noiseless_trajectory_equals_pure_run() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let circuit = sample_circuit(3, &mut rng, 0.0);
+        let traj = run_trajectory(&circuit, &NoiseModel::NOISELESS, &mut rng);
+        let pure = circuit.run_pure();
+        for (a, b) in traj.probabilities().iter().zip(pure.probabilities()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trajectories_converge_to_density_matrix() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let circuit = sample_circuit(3, &mut rng, 0.08);
+        let exact = circuit.run_noisy(&NoiseModel::NOISELESS).probabilities();
+        let est = trajectory_probabilities(&circuit, &NoiseModel::NOISELESS, 4000, &mut rng);
+        let linf = exact
+            .iter()
+            .zip(est.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(linf < 0.02, "trajectory vs exact deviation {linf}");
+    }
+
+    #[test]
+    fn full_depolarizing_trajectories_mix() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let mut circuit = Circuit::new(2);
+        circuit.push(
+            Gate::new(vec![0, 1], haar_unitary(4, &mut rng), "U").with_error_rate(1.0),
+        );
+        let est = trajectory_probabilities(&circuit, &NoiseModel::NOISELESS, 8000, &mut rng);
+        for p in est {
+            assert!((p - 0.25).abs() < 0.03, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn trajectory_states_stay_normalised() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let circuit = sample_circuit(4, &mut rng, 0.2);
+        for _ in 0..20 {
+            let s = run_trajectory(&circuit, &NoiseModel::NOISELESS, &mut rng);
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Two-qubit circuit representation used by all two-qubit synthesis
+//! routines, plus the KAK alignment step that turns "same Weyl class" into
+//! "exactly equal up to computed locals".
+
+use ashn_gates::kak::kak;
+use ashn_math::{CMat, Complex};
+
+/// One element of a two-qubit circuit.
+#[derive(Clone, Debug)]
+pub enum Op2 {
+    /// Single-qubit gate on qubit 0.
+    L0(CMat),
+    /// Single-qubit gate on qubit 1.
+    L1(CMat),
+    /// A native two-qubit gate.
+    Entangler {
+        /// Display label (`"CNOT"`, `"SQiSW"`, `"AshN"`, …).
+        label: String,
+        /// The 4×4 unitary.
+        matrix: CMat,
+        /// Duration in units of `1/g`.
+        duration: f64,
+    },
+}
+
+/// A two-qubit circuit with a global phase, applied first-op-first.
+#[derive(Clone, Debug)]
+pub struct TwoQubitCircuit {
+    /// Global phase multiplying the circuit unitary.
+    pub phase: Complex,
+    /// Ops in application order.
+    pub ops: Vec<Op2>,
+}
+
+impl TwoQubitCircuit {
+    /// The empty (identity) circuit.
+    pub fn identity() -> Self {
+        Self {
+            phase: Complex::ONE,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Total circuit unitary (4×4), including the phase.
+    pub fn unitary(&self) -> CMat {
+        let id2 = CMat::identity(2);
+        let mut u = CMat::identity(4);
+        for op in &self.ops {
+            let m = match op {
+                Op2::L0(g) => g.kron(&id2),
+                Op2::L1(g) => id2.kron(g),
+                Op2::Entangler { matrix, .. } => matrix.clone(),
+            };
+            u = m.matmul(&u);
+        }
+        u.scale(self.phase)
+    }
+
+    /// Number of native two-qubit gates.
+    pub fn entangler_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op2::Entangler { .. }))
+            .count()
+    }
+
+    /// Summed duration of the native two-qubit gates.
+    pub fn entangler_duration(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                Op2::Entangler { duration, .. } => *duration,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Frobenius distance between this circuit and a target unitary.
+    pub fn error(&self, target: &CMat) -> f64 {
+        self.unitary().dist(target)
+    }
+}
+
+/// Dresses `base` (whose Weyl class must equal `target`'s) with single-qubit
+/// gates so the result equals `target` exactly (up to numerics).
+///
+/// # Panics
+///
+/// Panics when the classes differ by more than `1e-6` in coordinates — that
+/// is a caller bug.
+pub fn align_to_target(target: &CMat, base: TwoQubitCircuit) -> TwoQubitCircuit {
+    let mut ku = kak(target);
+    let ub = base.unitary();
+    let mut kc = kak(&ub);
+    // Near the x = π/4 face the two decompositions can land on different
+    // mirror branches; bring them onto the same one.
+    if ku.coords.dist(kc.coords) > 1e-6 {
+        let kcm = kc.mirrored();
+        if ku.coords.dist(kcm.coords) <= 1e-6 {
+            kc = kcm;
+        } else {
+            let kum = ku.mirrored();
+            if kum.coords.dist(kc.coords) <= 1e-6 {
+                ku = kum;
+            }
+        }
+    }
+    assert!(
+        ku.coords.dist(kc.coords) < 1e-6,
+        "align_to_target: class mismatch {} vs {}",
+        ku.coords,
+        kc.coords
+    );
+    // target = gU (A⊗A') CAN (B⊗B'); base = gC (P⊗P') CAN (Q⊗Q')
+    // ⟹ target = (gU/gC) (AP†⊗A'P'†) · base · (Q†B⊗Q'†B').
+    let mut ops = Vec::with_capacity(base.ops.len() + 4);
+    ops.push(Op2::L0(kc.b1.adjoint().matmul(&ku.b1)));
+    ops.push(Op2::L1(kc.b2.adjoint().matmul(&ku.b2)));
+    ops.extend(base.ops);
+    ops.push(Op2::L0(ku.a1.matmul(&kc.a1.adjoint())));
+    ops.push(Op2::L1(ku.a2.matmul(&kc.a2.adjoint())));
+    TwoQubitCircuit {
+        phase: base.phase * ku.phase / kc.phase,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_gates::two::{cnot, iswap};
+    use ashn_math::randmat::haar_su;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unitary_composes_in_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = haar_su(2, &mut rng);
+        let b = haar_su(2, &mut rng);
+        let c = TwoQubitCircuit {
+            phase: Complex::ONE,
+            ops: vec![
+                Op2::L0(a.clone()),
+                Op2::Entangler {
+                    label: "CNOT".into(),
+                    matrix: cnot(),
+                    duration: 1.0,
+                },
+                Op2::L1(b.clone()),
+            ],
+        };
+        let id2 = CMat::identity(2);
+        let expect = id2
+            .kron(&b)
+            .matmul(&cnot())
+            .matmul(&a.kron(&id2));
+        assert!(c.unitary().dist(&expect) < 1e-12);
+        assert_eq!(c.entangler_count(), 1);
+        assert!((c.entangler_duration() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn align_dressing_reproduces_target() {
+        // iSWAP dressed with random locals should be recovered exactly from
+        // a bare iSWAP base circuit.
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = haar_su(2, &mut rng).kron(&haar_su(2, &mut rng));
+        let r = haar_su(2, &mut rng).kron(&haar_su(2, &mut rng));
+        let target = l.matmul(&iswap()).matmul(&r);
+        let base = TwoQubitCircuit {
+            phase: Complex::ONE,
+            ops: vec![Op2::Entangler {
+                label: "iSWAP".into(),
+                matrix: iswap(),
+                duration: 1.0,
+            }],
+        };
+        let aligned = align_to_target(&target, base);
+        assert!(aligned.error(&target) < 1e-8);
+        assert_eq!(aligned.entangler_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "class mismatch")]
+    fn align_rejects_wrong_class() {
+        let base = TwoQubitCircuit::identity();
+        align_to_target(&cnot(), base);
+    }
+}

@@ -1,0 +1,213 @@
+//! Cosine–sine decomposition (CSD) of a unitary split by its most
+//! significant qubit:
+//!
+//! ```text
+//! U = [L0  0 ] [C −S] [R0†  0 ]
+//!     [0  L1 ] [S  C] [0   R1†]
+//! ```
+//!
+//! with `C = diag(cos θᵢ)`, `S = diag(sin θᵢ)`. The middle factor is a
+//! multiplexed `Ry(2θᵢ)` on the split qubit — the backbone of the quantum
+//! Shannon decomposition.
+
+use ashn_math::svd::{closest_unitary, svd};
+use ashn_math::{CMat, Complex};
+
+/// Result of a cosine–sine decomposition.
+#[derive(Clone, Debug)]
+pub struct Csd {
+    /// Upper-left block factor.
+    pub l0: CMat,
+    /// Lower-right block factor.
+    pub l1: CMat,
+    /// Right factors (`R0†`, `R1†` appear in the reconstruction).
+    pub r0: CMat,
+    /// See `r0`.
+    pub r1: CMat,
+    /// The CS angles `θᵢ ∈ [0, π/2]`.
+    pub theta: Vec<f64>,
+}
+
+impl Csd {
+    /// Reassembles the full unitary.
+    pub fn reconstruct(&self) -> CMat {
+        let p = self.theta.len();
+        let dim = 2 * p;
+        let mut mid = CMat::zeros(dim, dim);
+        for (i, &t) in self.theta.iter().enumerate() {
+            mid[(i, i)] = ashn_math::c(t.cos(), 0.0);
+            mid[(i + p, i + p)] = ashn_math::c(t.cos(), 0.0);
+            mid[(i, i + p)] = ashn_math::c(-t.sin(), 0.0);
+            mid[(i + p, i)] = ashn_math::c(t.sin(), 0.0);
+        }
+        let mut left = CMat::zeros(dim, dim);
+        left.set_block(0, 0, &self.l0);
+        left.set_block(p, p, &self.l1);
+        let mut right = CMat::zeros(dim, dim);
+        right.set_block(0, 0, &self.r0.adjoint());
+        right.set_block(p, p, &self.r1.adjoint());
+        left.matmul(&mid).matmul(&right)
+    }
+}
+
+/// Computes the CSD of a square unitary of even dimension.
+///
+/// # Panics
+///
+/// Panics when `u` is not unitary, has odd dimension, or the reconstruction
+/// fails numerically (`> 1e-7`), which would indicate a degenerate-cluster
+/// bug rather than a user error.
+pub fn csd(u: &CMat) -> Csd {
+    assert!(u.is_square() && u.rows() % 2 == 0, "even dimension required");
+    assert!(u.is_unitary(1e-8), "csd requires a unitary input");
+    let p = u.rows() / 2;
+    let u11 = u.block(0, 0, p, p);
+    let u12 = u.block(0, p, p, p);
+    let u21 = u.block(p, 0, p, p);
+    let u22 = u.block(p, p, p, p);
+
+    // U11 = L0 · C · R0†, singular values descending = cos θ ascending in θ.
+    let s = svd(&u11);
+    let l0 = s.u.clone();
+    let r0 = s.v.clone();
+    let theta: Vec<f64> = s.sigma.iter().map(|&c| c.clamp(0.0, 1.0).acos()).collect();
+
+    // U21·R0 has orthogonal columns of norm sin θᵢ.
+    let w = u21.matmul(&r0);
+    let mut l1 = CMat::zeros(p, p);
+    let mut filled = vec![false; p];
+    for i in 0..p {
+        let col = w.col(i);
+        let norm = col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm > 1e-8 {
+            let c: Vec<Complex> = col.iter().map(|z| *z / norm).collect();
+            l1.set_col(i, &c);
+            filled[i] = true;
+        }
+    }
+    // Complete unfilled columns via Gram–Schmidt against every filled one.
+    let mut cand = 0usize;
+    for i in 0..p {
+        if filled[i] {
+            continue;
+        }
+        loop {
+            assert!(cand < 4 * p + 4, "csd: basis completion failed");
+            let mut v = vec![Complex::ZERO; p];
+            v[cand % p] = Complex::ONE;
+            cand += 1;
+            for j in 0..p {
+                if !filled[j] {
+                    continue;
+                }
+                let col = l1.col(j);
+                let inner: Complex =
+                    col.iter().zip(v.iter()).map(|(a, b)| a.conj() * *b).sum();
+                for (vi, ci) in v.iter_mut().zip(col.iter()) {
+                    *vi -= inner * *ci;
+                }
+            }
+            let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if norm > 1e-6 {
+                for vi in v.iter_mut() {
+                    *vi = *vi / norm;
+                }
+                l1.set_col(i, &v);
+                filled[i] = true;
+                break;
+            }
+        }
+    }
+
+    // R1† = C·L1†·U22 − S·L0†·U12.
+    let cmat = CMat::diag(
+        &theta
+            .iter()
+            .map(|&t| ashn_math::c(t.cos(), 0.0))
+            .collect::<Vec<_>>(),
+    );
+    let smat = CMat::diag(
+        &theta
+            .iter()
+            .map(|&t| ashn_math::c(t.sin(), 0.0))
+            .collect::<Vec<_>>(),
+    );
+    let r1_dag = cmat.matmul(&l1.adjoint()).matmul(&u22)
+        - smat.matmul(&l0.adjoint()).matmul(&u12);
+    // Guard against round-off in near-degenerate clusters.
+    let r1 = closest_unitary(&r1_dag).adjoint();
+
+    let out = Csd {
+        l0,
+        l1,
+        r0,
+        r1,
+        theta,
+    };
+    let err = out.reconstruct().dist(u);
+    assert!(err < 1e-7, "csd reconstruction failed: {err:.2e}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_math::randmat::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_unitaries_decompose() {
+        let mut rng = StdRng::seed_from_u64(81);
+        for dim in [2usize, 4, 8, 16] {
+            let u = haar_unitary(dim, &mut rng);
+            let d = csd(&u);
+            assert!(d.l0.is_unitary(1e-8));
+            assert!(d.l1.is_unitary(1e-8));
+            assert!(d.r0.is_unitary(1e-8));
+            assert!(d.r1.is_unitary(1e-8));
+            for &t in &d.theta {
+                assert!((0.0..=std::f64::consts::FRAC_PI_2 + 1e-12).contains(&t));
+            }
+            assert!(d.reconstruct().dist(&u) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn block_diagonal_input_gives_zero_angles() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let a = haar_unitary(4, &mut rng);
+        let b = haar_unitary(4, &mut rng);
+        let mut u = CMat::zeros(8, 8);
+        u.set_block(0, 0, &a);
+        u.set_block(4, 4, &b);
+        let d = csd(&u);
+        for &t in &d.theta {
+            assert!(t.abs() < 1e-7, "expected θ = 0, got {t}");
+        }
+    }
+
+    #[test]
+    fn antidiagonal_input_gives_right_angles() {
+        // [[0, −I],[I, 0]] has all θ = π/2.
+        let p = 4;
+        let mut u = CMat::zeros(8, 8);
+        for i in 0..p {
+            u[(i, i + p)] = ashn_math::c(-1.0, 0.0);
+            u[(i + p, i)] = ashn_math::c(1.0, 0.0);
+        }
+        let d = csd(&u);
+        for &t in &d.theta {
+            assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn swap_gate_decomposes() {
+        // SWAP has a structured, highly degenerate CSD — a stress test for
+        // the completion logic.
+        let swap = ashn_gates::two::swap();
+        let d = csd(&swap);
+        assert!(d.reconstruct().dist(&swap) < 1e-8);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for circuit synthesis: minimal counts and exact
+//! reconstruction over randomized inputs.
+
+use ashn_gates::kak::weyl_coordinates;
+use ashn_gates::two::canonical;
+use ashn_math::randmat::haar_unitary;
+use ashn_synth::cnot_basis::{cnot_count_for, decompose_cnot};
+use ashn_synth::csd::csd;
+use ashn_synth::multiplexor::{demultiplex, mux_rotation, Axis};
+use ashn_synth::ncircuit::embed;
+use ashn_synth::sqisw_basis::{in_w0, sqisw_count_for};
+use ashn_synth::three_qubit::lemma14;
+use ashn_math::CMat;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::FRAC_PI_4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cnot_decomposition_reconstructs_and_is_minimal(seed in 0u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(4, &mut rng);
+        let c = decompose_cnot(&u);
+        prop_assert!(c.error(&u) < 1e-6);
+        prop_assert_eq!(c.entangler_count(), 3); // Haar ⇒ generically 3
+    }
+
+    #[test]
+    fn canonical_gates_use_the_predicted_count(
+        a in 0.05f64..0.78, b in 0.0f64..1.0, zsign in proptest::bool::ANY,
+    ) {
+        let x = a.min(FRAC_PI_4 - 1e-3);
+        let y = b * x;
+        let g = canonical(x, y, 0.0);
+        let count = cnot_count_for(weyl_coordinates(&g));
+        prop_assert!(count <= 2, "z = 0 classes need ≤ 2 CNOTs, got {count}");
+        let _ = zsign;
+    }
+
+    #[test]
+    fn sqisw_counts_agree_with_region(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(4, &mut rng);
+        let p = weyl_coordinates(&u);
+        let count = sqisw_count_for(p);
+        if in_w0(p) {
+            prop_assert!(count <= 2);
+        } else {
+            prop_assert_eq!(count, 3);
+        }
+    }
+
+    #[test]
+    fn csd_reconstructs_random_unitaries(seed in 0u64..200, half in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = haar_unitary(2 << half, &mut rng);
+        let d = csd(&u);
+        prop_assert!(d.reconstruct().dist(&u) < 1e-7);
+        for &t in &d.theta {
+            prop_assert!((0.0..=std::f64::consts::FRAC_PI_2 + 1e-9).contains(&t));
+        }
+    }
+
+    #[test]
+    fn demultiplex_is_exact(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u0 = haar_unitary(4, &mut rng);
+        let u1 = haar_unitary(4, &mut rng);
+        let (v, angles, w) = demultiplex(&u0, &u1);
+        let mut mux = CMat::zeros(8, 8);
+        mux.set_block(0, 0, &u0);
+        mux.set_block(4, 4, &u1);
+        let rest: Vec<usize> = vec![1, 2];
+        let rebuilt = embed(3, &rest, &v)
+            .matmul(&mux_rotation(Axis::Z, &angles))
+            .matmul(&embed(3, &rest, &w));
+        prop_assert!(rebuilt.dist(&mux) < 1e-7);
+    }
+
+    #[test]
+    fn lemma14_five_gates_three_diagonal(seed in 0u64..200, mirrored in proptest::bool::ANY) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u0 = haar_unitary(4, &mut rng);
+        let u1 = haar_unitary(4, &mut rng);
+        let gates = lemma14(&u0, &u1, 0, 1, 2, mirrored);
+        prop_assert_eq!(gates.len(), 5);
+        let diag = gates.iter().filter(|g| g.is_diagonal(1e-8)).count();
+        prop_assert_eq!(diag, 3);
+        // Reconstruction.
+        let mut c = ashn_synth::ncircuit::NCircuit::new(3);
+        for g in gates {
+            c.push(g);
+        }
+        let mut mux = CMat::zeros(8, 8);
+        mux.set_block(0, 0, &u0);
+        mux.set_block(4, 4, &u1);
+        prop_assert!(c.unitary().dist(&mux) < 1e-6);
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulating the Heisenberg XYZ model — the experiment the paper's
+//! discussion singles out as a natural AshN application (§7): each Trotter
+//! step `exp(−i·dt·(Jx XX + Jy YY + Jz ZZ))` on a bond is *one point of the
+//! Weyl chamber*, hence ONE AshN pulse, where a CNOT instruction set pays
+//! three entanglers per bond per step.
+//!
+//! ```bash
+//! cargo run --release --example heisenberg_xyz
+//! ```
+
+use ashn::core::scheme::AshnScheme;
+use ashn::gates::kak::weyl_coordinates;
+use ashn::gates::pauli::{xx, yy, zz};
+use ashn::gates::weyl::WeylPoint;
+use ashn::math::expm::expm_minus_i_hermitian;
+use ashn::math::{c, CMat};
+use ashn::sim::StateVector;
+use ashn::synth::cnot_basis::decompose_cnot;
+
+fn bond_gate(jx: f64, jy: f64, jz: f64, dt: f64) -> CMat {
+    let h = xx().scale(c(jx, 0.0)) + yy().scale(c(jy, 0.0)) + zz().scale(c(jz, 0.0));
+    expm_minus_i_hermitian(&h, dt)
+}
+
+fn main() {
+    // Anisotropic couplings and Trotter step.
+    let (jx, jy, jz) = (1.0, 0.7, 0.4);
+    let dt = 0.25;
+    let n = 6; // chain length
+    let steps = 8;
+
+    let gate = bond_gate(jx, jy, jz, dt);
+    let coords = weyl_coordinates(&gate);
+    let scheme = AshnScheme::new(0.0);
+    let pulse = scheme.compile(coords).expect("one pulse per bond gate");
+    let cnots = decompose_cnot(&gate).entangler_count();
+
+    println!("XYZ bond gate exp(−i·dt·(JxXX+JyYY+JzZZ)), dt = {dt}:");
+    println!("  Weyl coordinates {coords}");
+    println!(
+        "  AshN: 1 pulse ({}) of τ·g = {:.4}; CNOT basis: {} entanglers",
+        pulse.scheme, pulse.tau, cnots
+    );
+
+    // Trotterized evolution of a Néel-like initial state on a chain.
+    let mut state = StateVector::zero(n);
+    let x = ashn::gates::pauli::Pauli::X.matrix();
+    for q in (0..n).step_by(2) {
+        state.apply(&[q], &x); // |101010…⟩
+    }
+    println!("\nTrotter evolution of |{}⟩:", "10".repeat(n / 2));
+    println!("  step   ⟨Z_0⟩      ⟨Z_1⟩      2q pulses (AshN)   2q gates (CNOT)");
+    let mut pulses = 0usize;
+    for step in 0..=steps {
+        if step > 0 {
+            for parity in 0..2 {
+                let mut q = parity;
+                while q + 1 < n {
+                    state.apply(&[q, q + 1], &gate);
+                    pulses += 1;
+                    q += 2;
+                }
+            }
+        }
+        println!(
+            "  {:>4} {:>9.5} {:>10.5} {:>15} {:>17}",
+            step,
+            state.expect_z(0),
+            state.expect_z(1),
+            pulses,
+            pulses * cnots
+        );
+    }
+    println!(
+        "\nEvery bond-step is a single native AshN instruction; the CNOT box\n\
+         pays {cnots}x the entangler count (and more wall-clock time) for the\n\
+         identical physics."
+    );
+    // Sanity: the bond gate's class lies strictly inside the chamber
+    // (generic XYZ point, not a named gate).
+    assert!(coords.in_chamber(1e-9));
+    assert!(coords.dist(WeylPoint::CNOT) > 1e-3);
+}

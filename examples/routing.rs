@@ -1,0 +1,59 @@
+//! Qubit routing economics (paper §6.4): AshN's single-pulse SWAP against
+//! three-native-gate SWAPs on CZ/SQiSW hardware.
+//!
+//! ```bash
+//! cargo run --release --example routing
+//! ```
+
+use ashn::qv::GateSet;
+use ashn::route::{random_pairing, Grid, RouteOp, Router};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let d = 9;
+    let layers = 9;
+    let grid = Grid::for_qubits(d);
+    let mut rng = StdRng::seed_from_u64(5);
+    println!(
+        "{d} qubits on a {}x{} grid, {layers} layers of random pairings:\n",
+        grid.rows(),
+        grid.cols()
+    );
+
+    let mut router = Router::new(grid, d);
+    let mut swaps = 0usize;
+    let mut gates = 0usize;
+    for _ in 0..layers {
+        for op in router.route_layer(&random_pairing(d, &mut rng)) {
+            match op {
+                RouteOp::Swap(_, _) => swaps += 1,
+                RouteOp::Gate { .. } => gates += 1,
+            }
+        }
+    }
+    println!("routing inserted {swaps} SWAPs for {gates} layer gates\n");
+
+    println!(
+        "{:<14} {:>16} {:>18} {:>22}",
+        "gate set", "natives per SWAP", "SWAP time (1/g)", "total routing time"
+    );
+    for gs in [GateSet::Cz, GateSet::Sqisw, GateSet::Ashn { cutoff: 0.0 }] {
+        let compiled = gs.compile_swap(0, 1);
+        let natives = compiled.iter().filter(|g| g.qubits.len() == 2).count();
+        let time: f64 = compiled.iter().map(|g| g.duration).sum();
+        println!(
+            "{:<14} {:>16} {:>18.4} {:>22.2}",
+            gs.name(),
+            natives,
+            time,
+            time * swaps as f64
+        );
+    }
+    println!(
+        "\nAshN routes with one 3π/4 pulse per SWAP — a {:.2}x interaction-time\n\
+         saving over flux-tuned CZ routing (paper: up to 3.219x vs fSim-style\n\
+         schemes).",
+        (3.0 * std::f64::consts::PI / std::f64::consts::SQRT_2) / (3.0 * std::f64::consts::PI / 4.0)
+    );
+}

@@ -1,0 +1,37 @@
+//! ZZ-error immunity (paper §4.1/§6.4): the AshN scheme treats parasitic
+//! `ZZ` coupling as a compilation input, not an error source.
+//!
+//! ```bash
+//! cargo run --release --example zz_immunity
+//! ```
+
+use ashn::core::zz::immunity_report;
+use ashn::gates::weyl::WeylPoint;
+
+fn main() {
+    println!(
+        "Compiling with knowledge of h̃ (aware) vs assuming h̃ = 0 (naive),\n\
+         then executing on hardware with the true ZZ coupling:\n"
+    );
+    for target in [WeylPoint::CNOT, WeylPoint::ISWAP, WeylPoint::SWAP, WeylPoint::B] {
+        println!("target {target}:");
+        println!(
+            "  {:>6} {:>14} {:>14} {:>14} {:>14}",
+            "h̃", "aware err", "naive err", "aware F", "naive F"
+        );
+        for h in [0.05, 0.2, 0.5] {
+            let r = immunity_report(target, h).expect("compiles");
+            println!(
+                "  {:>6.2} {:>14.2e} {:>14.2e} {:>14.9} {:>14.9}",
+                h, r.aware_error, r.naive_error, r.aware_fidelity, r.naive_fidelity
+            );
+        }
+        println!();
+    }
+    println!(
+        "The aware column is at numerical precision for every class and every\n\
+         h̃ ≤ 1 — the scheme parameters simply absorb the ZZ term (paper: the\n\
+         AshN scheme is \"completely impervious to ZZ error\"). Undriven classes\n\
+         like [iSWAP] suffer most under naive compilation."
+    );
+}

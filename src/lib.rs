@@ -1,0 +1,41 @@
+//! # ashn — One Gate Scheme to Rule Them All, in Rust
+//!
+//! A full reproduction of the AshN quantum instruction set (Chen, Ding,
+//! Gong, Huang, Ye — ASPLOS 2024, arXiv:2312.05652): a single physical
+//! control scheme for `XX+YY`-coupled qubits that realizes **any** two-qubit
+//! gate, in provably optimal time, immune to parasitic `ZZ` coupling — a
+//! quantum *Complex yet Reduced Instruction Set Computer*.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`math`] — self-contained complex linear algebra and numerics;
+//! * [`gates`] — gate library, Weyl chamber, KAK decomposition;
+//! * [`core`] — the AshN scheme (pulse compilation, Algorithm 1);
+//! * [`sim`] — statevector/density-matrix simulators with noise;
+//! * [`synth`] — circuit synthesis (CNOT/SQiSW/AshN bases, QSD, Theorem 12);
+//! * [`route`] — 2-D grid qubit routing;
+//! * [`qv`] — quantum-volume experiments (paper Fig. 7);
+//! * [`cal`] — calibration (Cartan doubles, QPE, FRB, control models).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ashn::core::scheme::AshnScheme;
+//! use ashn::gates::weyl::WeylPoint;
+//!
+//! // Device: XX+YY coupling g, 10% parasitic ZZ, bounded drive strength.
+//! let scheme = AshnScheme::with_cutoff(0.1, 1.1);
+//! let pulse = scheme.compile(WeylPoint::CNOT)?;
+//! assert!((pulse.tau - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+//! assert!(pulse.coordinate_error() < 1e-7);
+//! # Ok::<(), ashn::core::scheme::CompileError>(())
+//! ```
+
+pub use ashn_cal as cal;
+pub use ashn_core as core;
+pub use ashn_gates as gates;
+pub use ashn_math as math;
+pub use ashn_qv as qv;
+pub use ashn_route as route;
+pub use ashn_sim as sim;
+pub use ashn_synth as synth;

@@ -1,0 +1,149 @@
+//! Cross-crate integration tests: full pipelines from pulse compilation
+//! through simulation, synthesis, routing, and calibration.
+
+use ashn::cal::cartan::estimate_coords;
+use ashn::core::scheme::{AshnScheme, SubScheme};
+use ashn::core::verify::{average_gate_fidelity, entanglement_fidelity};
+use ashn::gates::cost::optimal_time;
+use ashn::gates::kak::weyl_coordinates;
+use ashn::gates::weyl::WeylPoint;
+use ashn::math::randmat::haar_unitary;
+use ashn::math::CMat;
+use ashn::qv::{compile_model, sample_model_circuit, score_compiled, GateSet, QvNoise};
+use ashn::sim::{Circuit, Gate, NoiseModel};
+use ashn::synth::ashn_basis::decompose_ashn;
+use ashn::synth::qsd::{qsd, SynthBasis};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pulse → simulator → Cartan-double estimation round trip: compile a class,
+/// run the pulse unitary through the statevector simulator as a gate, and
+/// re-estimate its coordinates from simulated process data.
+#[test]
+fn pulse_to_simulator_to_estimation_round_trip() {
+    let scheme = AshnScheme::new(0.15);
+    for target in [WeylPoint::CNOT, WeylPoint::B, WeylPoint::new(0.5, 0.3, -0.2)] {
+        let pulse = scheme.compile(target).expect("compiles");
+        let u = pulse.unitary();
+        // Run through the circuit IR.
+        let mut c = Circuit::new(2);
+        c.push(Gate::new(vec![0, 1], u.clone(), "AshN").with_duration(pulse.tau));
+        let from_sim = c.unitary();
+        assert!(from_sim.dist(&u) < 1e-12);
+        // Estimate coordinates the calibration way.
+        let est = estimate_coords(&from_sim, target);
+        assert!(
+            est.gate_dist(target.canonicalize()) < 1e-7,
+            "estimated {est} for target {target}"
+        );
+    }
+}
+
+/// Synthesis → AshN pulses: a three-qubit unitary decomposed by Theorem 12,
+/// with every generic gate re-expressed as one verified AshN pulse, must
+/// still reconstruct the original up to per-gate local corrections.
+#[test]
+fn theorem12_gates_all_compile_to_single_pulses() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let u = haar_unitary(8, &mut rng);
+    let circuit = ashn::synth::three_qubit::decompose_three_qubit(&u);
+    let scheme = AshnScheme::new(0.0);
+    assert_eq!(circuit.two_qubit_count(), 11);
+    let mut total_time = 0.0;
+    for g in &circuit.gates {
+        let s = decompose_ashn(&g.matrix, &scheme).expect("compiles");
+        assert_eq!(s.circuit.entangler_count() <= 1, true);
+        assert!(s.circuit.error(&g.matrix) < 1e-6);
+        total_time += s.pulse.tau;
+    }
+    // Eleven pulses, each at most π: comfortably bounded.
+    assert!(total_time < 11.0 * std::f64::consts::PI);
+}
+
+/// End-to-end QV smoke test with all gate sets on the same circuit,
+/// checking the paper's ordering and that compilation is exact.
+#[test]
+fn qv_pipeline_orders_gate_sets() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let noise = QvNoise::with_e_cz(0.017);
+    let mut hops = [0.0f64; 3];
+    let sets = [GateSet::Cz, GateSet::Sqisw, GateSet::Ashn { cutoff: 1.1 }];
+    for _ in 0..4 {
+        let model = sample_model_circuit(4, &mut rng);
+        for (k, gs) in sets.iter().enumerate() {
+            hops[k] += score_compiled(&compile_model(&model, *gs), &noise).hop;
+        }
+    }
+    assert!(
+        hops[2] > hops[1] && hops[1] > hops[0],
+        "expected AshN > SQiSW > CZ, got {hops:?}"
+    );
+}
+
+/// QSD output simulated gate-by-gate equals the dense unitary.
+#[test]
+fn qsd_circuit_runs_identically_in_simulator() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let u = haar_unitary(8, &mut rng);
+    let circ = qsd(&u, SynthBasis::Cnot);
+    let mut sim_circuit = Circuit::new(3);
+    for g in &circ.gates {
+        sim_circuit.push(Gate::new(g.qubits.clone(), g.matrix.clone(), g.label.clone()));
+    }
+    let out = sim_circuit.unitary().scale(circ.phase);
+    assert!(out.dist(&u) < 1e-6, "error {}", out.dist(&u));
+}
+
+/// Depolarizing noise degrades average fidelity of a compiled pulse run, in
+/// proportion to the rate.
+#[test]
+fn noise_model_scales_with_rate() {
+    let scheme = AshnScheme::new(0.0);
+    let pulse = scheme.compile(WeylPoint::CNOT).unwrap();
+    let u = pulse.unitary();
+    let purity_at = |p: f64| {
+        let mut c = Circuit::new(2);
+        c.push(
+            Gate::new(vec![0, 1], u.clone(), "AshN")
+                .with_duration(pulse.tau)
+                .with_error_rate(p),
+        );
+        c.run_noisy(&NoiseModel::NOISELESS).purity()
+    };
+    let clean = purity_at(0.0);
+    let light = purity_at(0.01);
+    let heavy = purity_at(0.1);
+    assert!((clean - 1.0).abs() < 1e-10);
+    assert!(light > heavy);
+}
+
+/// The headline claim, end to end: for Haar-random targets, AshN needs one
+/// pulse at the optimal time and reconstructs the target exactly; a CNOT box
+/// needs three entanglers and strictly more interaction time.
+#[test]
+fn one_gate_scheme_vs_cnot_boxes() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let scheme = AshnScheme::new(0.0);
+    for _ in 0..5 {
+        let u = haar_unitary(4, &mut rng);
+        let coords = weyl_coordinates(&u);
+        let ashn = decompose_ashn(&u, &scheme).unwrap();
+        let cnot = ashn::synth::cnot_basis::decompose_cnot(&u);
+        assert_eq!(ashn.circuit.entangler_count(), 1);
+        assert_eq!(cnot.entangler_count(), 3);
+        assert!(ashn.circuit.entangler_duration() <= optimal_time(0.0, coords) + 1e-9);
+        assert!(cnot.entangler_duration() > ashn.circuit.entangler_duration());
+        assert!(average_gate_fidelity(&ashn.circuit.unitary(), &u) > 1.0 - 1e-8);
+        assert!(average_gate_fidelity(&cnot.unitary(), &u) > 1.0 - 1e-8);
+    }
+}
+
+/// Identity-class targets produce empty pulses that really are the identity.
+#[test]
+fn identity_pulse_is_trivial_everywhere() {
+    for h in [0.0, 0.4, -0.6] {
+        let pulse = AshnScheme::new(h).compile(WeylPoint::IDENTITY).unwrap();
+        assert_eq!(pulse.scheme, SubScheme::Identity);
+        assert!(entanglement_fidelity(&pulse.unitary(), &CMat::identity(4)) > 1.0 - 1e-12);
+    }
+}
