@@ -1,0 +1,47 @@
+//! Criterion benchmark: the end-to-end `ashn::Compiler` pipeline
+//! (synthesize + route + schedule + simulate) at `n = 4`, per gate set —
+//! the baseline for future batching/caching work.
+
+use ashn::{Compiler, GateSet, QvNoise};
+use ashn_qv::sample_model_circuit;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let model = sample_model_circuit(4, &mut rng);
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(10);
+    for gs in [GateSet::Cz, GateSet::Sqisw, GateSet::Ashn { cutoff: 1.1 }] {
+        let compiler = Compiler::new()
+            .gate_set(gs)
+            .noise(QvNoise::with_e_cz(0.012));
+        group.bench_function(&format!("compile_d4_{}", gs.name()), |b| {
+            b.iter(|| black_box(compiler.compile(&model).expect("compiles")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_and_score(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(18);
+    let model = sample_model_circuit(4, &mut rng);
+    let compiler = Compiler::new()
+        .gate_set(GateSet::Ashn { cutoff: 1.1 })
+        .noise(QvNoise::with_e_cz(0.012));
+    let compiled = compiler.compile(&model).expect("compiles");
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("end_to_end_d4_ashn", |b| {
+        b.iter(|| black_box(compiler.compile(&model).expect("compiles").score()))
+    });
+    group.bench_function("score_only_d4_ashn", |b| {
+        b.iter(|| black_box(compiled.score()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_compile_and_score);
+criterion_main!(benches);

@@ -41,7 +41,7 @@ fn bench_density(c: &mut Criterion) {
 fn bench_qv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let model = sample_model_circuit(4, &mut rng);
-    let compiled = compile_model(&model, GateSet::Ashn { cutoff: 1.1 });
+    let compiled = compile_model(&model, GateSet::Ashn { cutoff: 1.1 }).expect("compiles");
     let noise = QvNoise::with_e_cz(0.012);
     let mut group = c.benchmark_group("qv");
     group.sample_size(10);

@@ -61,19 +61,15 @@ fn main() {
     let e = eig_unitary(&gamma);
     let m_bits = 7;
     let mut measured = [0.0f64; 4];
-    for j in 0..4 {
+    for (j, m) in measured.iter_mut().enumerate() {
         let col = e.vectors.col(j);
         let input: [Complex; 4] = [col[0], col[1], col[2], col[3]];
         let hist = qpe_histogram(&gamma, &input, m_bits, shots / 4, &mut rng);
-        measured[j] = dominant_phases(&hist, m_bits, 1)[0];
+        *m = dominant_phases(&hist, m_bits, 1)[0];
     }
     row(&["eigenphase".into(), "exact".into(), "QPE".into()]);
-    for j in 0..4 {
-        row(&[
-            format!("θ_{j}"),
-            f4(e.values[j].arg()),
-            f4(measured[j]),
-        ]);
+    for (j, m) in measured.iter().enumerate() {
+        row(&[format!("θ_{j}"), f4(e.values[j].arg()), f4(*m)]);
     }
     let est_qpe = coords_from_phases(&measured, realized);
     println!(
@@ -91,13 +87,18 @@ fn main() {
         },
         h_ratio: 0.0,
     };
-    let probes: Vec<_> = [WeylPoint::CNOT, WeylPoint::SWAP, WeylPoint::B, WeylPoint::SQISW]
-        .iter()
-        .map(|&p| {
-            let pl = scheme.compile(p).unwrap();
-            (pl.drive, pl.tau)
-        })
-        .collect();
+    let probes: Vec<_> = [
+        WeylPoint::CNOT,
+        WeylPoint::SWAP,
+        WeylPoint::B,
+        WeylPoint::SQISW,
+    ]
+    .iter()
+    .map(|&p| {
+        let pl = scheme.compile(p).unwrap();
+        (pl.drive, pl.tau)
+    })
+    .collect();
     let fitted = calibrate(&hw, &probes, shots, &mut rng);
     println!(
         "true model: scale {:.3}, offset {:.3}, detuning {:.3}",
@@ -137,8 +138,14 @@ fn main() {
         let raw = execute_pulse(&hw, &pl, None);
         let kc = ashn_gates::kak::kak(&pl.unitary());
         // Dress the raw pulse with the same locals the compiler would use.
-        let l = k.a1.matmul(&kc.a1.adjoint()).kron(&k.a2.matmul(&kc.a2.adjoint()));
-        let r = kc.b1.adjoint().matmul(&k.b1).kron(&kc.b2.adjoint().matmul(&k.b2));
+        let l =
+            k.a1.matmul(&kc.a1.adjoint())
+                .kron(&k.a2.matmul(&kc.a2.adjoint()));
+        let r = kc
+            .b1
+            .adjoint()
+            .matmul(&k.b1)
+            .kron(&kc.b2.adjoint().matmul(&k.b2));
         l.matmul(&raw).matmul(&r)
     };
     let curve = frb_curve(&[1, 2, 4, 8], 6, &mut implement, 0, &mut rng);

@@ -7,9 +7,7 @@
 //! compiled pulses, verifying the Eq. 4.4 bound `π/r + 1/2`.
 
 use ashn_bench::{f4, row, Args};
-use ashn_core::avg_time::{
-    tavg_closed_form, tavg_monte_carlo, MEAN_OPTIMAL_TIME, SQISW_MEAN_TIME,
-};
+use ashn_core::avg_time::{tavg_closed_form, tavg_monte_carlo, MEAN_OPTIMAL_TIME, SQISW_MEAN_TIME};
 use ashn_core::scheme::AshnScheme;
 use ashn_gates::haar::sample_weyl_density;
 use rand::rngs::StdRng;

@@ -64,13 +64,7 @@ fn main() {
             let mut total = 0.0;
             for _ in 0..targets {
                 let target = haar_su(1 << n, &mut rng);
-                let e = instantiate_best(
-                    &target,
-                    |r| make(n, count, r),
-                    restarts,
-                    &opts,
-                    &mut rng,
-                );
+                let e = instantiate_best(&target, |r| make(n, count, r), restarts, &opts, &mut rng);
                 total += e;
             }
             let mean = total / targets as f64;

@@ -44,7 +44,7 @@ fn main() {
             for _ in 0..circuits {
                 let model = sample_model_circuit(d, &mut rng);
                 for (k, gs) in gate_sets.iter().enumerate() {
-                    let compiled = compile_model(&model, *gs);
+                    let compiled = compile_model(&model, *gs).expect("compiles");
                     hops[k] += score_compiled(&compiled, &noise).hop;
                 }
             }

@@ -39,21 +39,24 @@ fn main() {
             format!("{:.1e}", pulse.coordinate_error()),
         ]);
     }
-    println!("\npaper values: [CNOT] A1 = −√15 ≈ −3.873; [SWAP] ∓2.108 and 2δ = −1.528; [B] −2.238");
+    println!(
+        "\npaper values: [CNOT] A1 = −√15 ≈ −3.873; [SWAP] ∓2.108 and 2δ = −1.528; [B] −2.238"
+    );
 
     println!("\nExact produced gates (paper §6.4):");
     let f_ms = entanglement_fidelity(&cnot_pulse(0.0).unitary(), &cnot_pulse_exact_gate());
-    println!("  [CNOT] pulse vs Mølmer–Sørensen XX(π/2): F = {:.12}", f_ms);
+    println!(
+        "  [CNOT] pulse vs Mølmer–Sørensen XX(π/2): F = {:.12}",
+        f_ms
+    );
     let f_zs = entanglement_fidelity(&swap_pulse().unitary(), &swap_pulse_exact_gate());
-    println!("  [SWAP] pulse vs ZZ·SWAP:                 F = {:.12}", f_zs);
+    println!(
+        "  [SWAP] pulse vs ZZ·SWAP:                 F = {:.12}",
+        f_zs
+    );
 
     println!("\n[CNOT] closed form under ZZ coupling (τ = π/2 always):");
-    row(&[
-        "h̃".into(),
-        "A1".into(),
-        "A2".into(),
-        "coord err".into(),
-    ]);
+    row(&["h̃".into(), "A1".into(), "A2".into(), "coord err".into()]);
     for h in [0.0, 0.2, 0.5, 0.8, 1.0] {
         let p = cnot_pulse(h);
         let (a1, a2, _) = p.physical_amplitudes(1.0);
@@ -66,11 +69,18 @@ fn main() {
     }
 
     println!("\n[SWAP] optimal time under ZZ: τ_opt = 3π/(4(1+|h̃|/2)) — ZZ helps:");
-    row(&["h̃".into(), "τ_opt".into(), "3π/(4(1+|h̃|/2))".into(), "compiled".into()]);
+    row(&[
+        "h̃".into(),
+        "τ_opt".into(),
+        "3π/(4(1+|h̃|/2))".into(),
+        "compiled".into(),
+    ]);
     for h in [0.0, 0.2, 0.5, 0.8] {
         let t = optimal_time(h, WeylPoint::SWAP);
         let formula = 3.0 * PI / (4.0 * (1.0 + h / 2.0));
-        let pulse = AshnScheme::new(h).compile(WeylPoint::SWAP).expect("compiles");
+        let pulse = AshnScheme::new(h)
+            .compile(WeylPoint::SWAP)
+            .expect("compiles");
         row(&[f4(h), f4(t), f4(formula), f4(pulse.tau)]);
         assert!((t - formula).abs() < 1e-9);
         assert!((pulse.tau - t).abs() < 1e-9);

@@ -33,23 +33,31 @@ fn main() {
         let mc = tavg_monte_carlo(r, samples, &mut rng);
         let series = MEAN_OPTIMAL_TIME + 2213.0 / 5040.0 * r.powi(9)
             - 160303.0 / (204120.0 * PI) * r.powi(10);
-        row(&[f4(r), format!("{cf:.6}"), format!("{mc:.6}"), format!("{series:.6}")]);
-        assert!((cf - mc).abs() < 0.01, "closed form vs MC mismatch at r={r}");
+        row(&[
+            f4(r),
+            format!("{cf:.6}"),
+            format!("{mc:.6}"),
+            format!("{series:.6}"),
+        ]);
+        assert!(
+            (cf - mc).abs() < 0.01,
+            "closed form vs MC mismatch at r={r}"
+        );
     }
 
     println!("\n§6.1 baselines (average two-qubit interaction time for Haar gates):");
-    row(&["scheme".into(), "mean time".into(), "vs AshN optimal".into()]);
+    row(&[
+        "scheme".into(),
+        "mean time".into(),
+        "vs AshN optimal".into(),
+    ]);
     for (name, t) in [
         ("AshN (r=0)", MEAN_OPTIMAL_TIME),
         ("SQiSW", SQISW_MEAN_TIME),
         ("iSWAP (flux)", ISWAP_MEAN_TIME),
         ("CZ (flux)", CZ_MEAN_TIME),
     ] {
-        row(&[
-            name.into(),
-            f4(t),
-            format!("{:.2}x", t / MEAN_OPTIMAL_TIME),
-        ]);
+        row(&[name.into(), f4(t), format!("{:.2}x", t / MEAN_OPTIMAL_TIME)]);
     }
     println!("\npaper §6.1: 1.29x (SQiSW), 3.51x (iSWAP), 4.97x (CZ)");
 }

@@ -80,7 +80,9 @@ pub fn fit_decay(curve: &[(usize, f64)]) -> (f64, f64, f64) {
     for b0 in [0.25, 0.0, p1.min(0.9)] {
         let a0 = (p0 - b0).max(1e-3);
         let ratio = ((p1 - b0) / a0).clamp(1e-6, 1.0);
-        let f0 = ratio.powf(1.0 / (l1 - l0).max(1) as f64).clamp(0.1, 0.99999);
+        let f0 = ratio
+            .powf(1.0 / (l1 - l0).max(1) as f64)
+            .clamp(0.1, 0.99999);
         seeds.push([a0, f0, b0]);
     }
     seeds.push([0.75, 0.99, 0.25]);

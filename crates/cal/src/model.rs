@@ -204,13 +204,18 @@ mod tests {
 
     fn probe_pulses() -> Vec<(DriveParams, f64)> {
         let scheme = AshnScheme::new(0.0);
-        [WeylPoint::CNOT, WeylPoint::SWAP, WeylPoint::B, WeylPoint::SQISW]
-            .iter()
-            .map(|&p| {
-                let pulse = scheme.compile(p).unwrap();
-                (pulse.drive, pulse.tau)
-            })
-            .collect()
+        [
+            WeylPoint::CNOT,
+            WeylPoint::SWAP,
+            WeylPoint::B,
+            WeylPoint::SQISW,
+        ]
+        .iter()
+        .map(|&p| {
+            let pulse = scheme.compile(p).unwrap();
+            (pulse.drive, pulse.tau)
+        })
+        .collect()
     }
 
     #[test]
@@ -232,7 +237,10 @@ mod tests {
         let hw = true_hw();
         let mut rng = StdRng::seed_from_u64(71);
         let fitted = calibrate(&hw, &probe_pulses(), 0, &mut rng);
-        assert!((fitted.amp_scale - hw.true_model.amp_scale).abs() < 1e-4, "{fitted:?}");
+        assert!(
+            (fitted.amp_scale - hw.true_model.amp_scale).abs() < 1e-4,
+            "{fitted:?}"
+        );
         assert!((fitted.amp_offset - hw.true_model.amp_offset).abs() < 1e-4);
         assert!((fitted.detuning_offset - hw.true_model.detuning_offset).abs() < 1e-4);
     }
@@ -242,7 +250,10 @@ mod tests {
         let hw = true_hw();
         let mut rng = StdRng::seed_from_u64(72);
         let fitted = calibrate(&hw, &probe_pulses(), 20_000, &mut rng);
-        assert!((fitted.amp_scale - hw.true_model.amp_scale).abs() < 0.02, "{fitted:?}");
+        assert!(
+            (fitted.amp_scale - hw.true_model.amp_scale).abs() < 0.02,
+            "{fitted:?}"
+        );
         assert!((fitted.detuning_offset - hw.true_model.detuning_offset).abs() < 0.02);
     }
 

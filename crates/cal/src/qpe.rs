@@ -34,7 +34,7 @@ pub fn qpe_histogram(
     rng: &mut impl Rng,
 ) -> BTreeMap<usize, usize> {
     assert_eq!(v.rows(), 4);
-    assert!(m_bits >= 1 && m_bits <= 10);
+    assert!((1..=10).contains(&m_bits));
     let n = m_bits + 2;
     // Prepare |+⟩^m ⊗ |ψ⟩ directly.
     let dim = 1usize << n;
@@ -60,8 +60,14 @@ pub fn qpe_histogram(
     // labels reversed and absorb the final SWAPs into a classical
     // bit-reversal at readout.
     let h = CMat::from_rows_f64(&[
-        &[std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2],
-        &[std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2],
+        &[
+            std::f64::consts::FRAC_1_SQRT_2,
+            std::f64::consts::FRAC_1_SQRT_2,
+        ],
+        &[
+            std::f64::consts::FRAC_1_SQRT_2,
+            -std::f64::consts::FRAC_1_SQRT_2,
+        ],
     ]);
     let rev = |q: usize| m_bits - 1 - q;
     for i in (0..m_bits).rev() {
@@ -111,7 +117,7 @@ pub fn bin_to_phase(bin: usize, m_bits: usize) -> f64 {
 /// Extracts up to `k` dominant phases from a QPE histogram.
 pub fn dominant_phases(hist: &BTreeMap<usize, usize>, m_bits: usize, k: usize) -> Vec<f64> {
     let mut entries: Vec<(usize, usize)> = hist.iter().map(|(a, b)| (*a, *b)).collect();
-    entries.sort_by(|a, b| b.1.cmp(&a.1));
+    entries.sort_by_key(|e| std::cmp::Reverse(e.1));
     entries
         .into_iter()
         .take(k)
@@ -184,7 +190,9 @@ mod tests {
         let hist = qpe_histogram(&v, &input, m, 300, &mut rng);
         let est = dominant_phases(&hist, m, 1)[0];
         let truth = e.values[0].arg();
-        let diff = (est - truth).abs().min(std::f64::consts::TAU - (est - truth).abs());
+        let diff = (est - truth)
+            .abs()
+            .min(std::f64::consts::TAU - (est - truth).abs());
         assert!(
             diff < std::f64::consts::TAU / (1 << m) as f64 * 1.5,
             "estimated {est}, truth {truth}"

@@ -16,7 +16,7 @@
 
 use ashn_math::randmat::haar_su;
 use ashn_math::CMat;
-use ashn_sim::{Circuit, Gate, NoiseModel};
+use ashn_sim::{Circuit, Instruction, NoiseModel, Simulate};
 use rand::Rng;
 
 /// One XEB random circuit: `depth` repetitions of (1q Haar layer, the gate
@@ -32,11 +32,11 @@ fn build_pair(
     for _ in 0..depth {
         for q in 0..2 {
             let u = haar_su(2, rng);
-            ideal.push(Gate::new(vec![q], u.clone(), "1q"));
-            real.push(Gate::new(vec![q], u, "1q"));
+            ideal.push(Instruction::new(vec![q], u.clone(), "1q"));
+            real.push(Instruction::new(vec![q], u, "1q"));
         }
-        ideal.push(Gate::new(vec![0, 1], ideal_gate.clone(), "G"));
-        real.push(Gate::new(vec![0, 1], real_gate.clone(), "G"));
+        ideal.push(Instruction::new(vec![0, 1], ideal_gate.clone(), "G"));
+        real.push(Instruction::new(vec![0, 1], real_gate.clone(), "G"));
     }
     (ideal, real)
 }
@@ -96,12 +96,12 @@ pub fn xeb_fidelity_noisy(
         for _ in 0..depth {
             for q in 0..2 {
                 let u = haar_su(2, rng);
-                ideal.push(Gate::new(vec![q], u.clone(), "1q"));
-                noisy.push(Gate::new(vec![q], u, "1q").with_error_rate(0.0));
+                ideal.push(Instruction::new(vec![q], u.clone(), "1q"));
+                noisy.push(Instruction::new(vec![q], u, "1q").with_error_rate(0.0));
             }
-            ideal.push(Gate::new(vec![0, 1], ideal_gate.clone(), "G"));
+            ideal.push(Instruction::new(vec![0, 1], ideal_gate.clone(), "G"));
             noisy.push(
-                Gate::new(vec![0, 1], ideal_gate.clone(), "G").with_error_rate(error_rate),
+                Instruction::new(vec![0, 1], ideal_gate.clone(), "G").with_error_rate(error_rate),
             );
         }
         let p_ideal = ideal.run_pure().probabilities();

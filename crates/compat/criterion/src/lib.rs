@@ -1,0 +1,139 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::bench_function`, benchmark groups, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Timing is a straightforward
+//! warmup + timed-batch mean (no statistics, plots, or baselines); good
+//! enough for relative comparisons in an offline environment.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Per-iteration timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, accumulating into the bencher.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches/branch predictors settle and estimate cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Timed batch: aim for ~200ms of measurement.
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters);
+        let target = (200_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = target;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<44} (no iterations)");
+            return;
+        }
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if ns < 1_000.0 {
+            (ns, "ns")
+        } else if ns < 1_000_000.0 {
+            (ns / 1_000.0, "µs")
+        } else {
+            (ns / 1_000_000.0, "ms")
+        };
+        println!(
+            "{name:<44} {value:>10.3} {unit}/iter  ({} iters)",
+            self.iters
+        );
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (`sample_size` is accepted and ignored).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Opaque value barrier, re-exported for parity with `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $f(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -47,10 +47,10 @@ pub fn tavg_closed_form(r: f64) -> f64 {
     let s = |k: f64| (k * r).sin();
     let c = |k: f64| (k * r).cos();
     (225.0 * (-176.0 * r * r + 96.0 * PI * r - 105.0) * c(4.0)
-        + 50.0
-            * (-576.0 * r * r + 576.0 * PI * r - 30.0 * c(6.0) + 252.0 * PI * PI + 97.0)
+        + 50.0 * (-576.0 * r * r + 576.0 * PI * r - 30.0 * c(6.0) + 252.0 * PI * PI + 97.0)
         + 60.0
-            * (480.0 * (PI - 2.0 * r) * s(1.0) - 603.0 * (PI - 2.0 * r) * s(2.0)
+            * (480.0 * (PI - 2.0 * r) * s(1.0)
+                - 603.0 * (PI - 2.0 * r) * s(2.0)
                 - 128.0 * (PI - 2.0 * r) * s(3.0)
                 + 30.0 * (19.0 * PI - 33.0 * r) * s(4.0)
                 - 480.0 * (PI - 2.0 * r) * s(5.0)

@@ -64,9 +64,8 @@ pub const SWAP_DELTA: f64 = -0.7637626158259734; // −√21 / 6
 /// `[B]`-gate pulse at `h̃ = 0` (paper Table 1): `τ = π/2`,
 /// `A₁ ≈ −2.238·g`, `A₂ = 0` — i.e. `Ω₁ = Ω₂ ≈ 0.5595·g`, no detuning.
 pub fn b_pulse() -> AshnPulse {
-    let (tau, drive) =
-        crate::nd::ashn_nd(0.0, WeylPoint::B.x, WeylPoint::B.y, WeylPoint::B.z)
-            .expect("B lies in the ND polygon");
+    let (tau, drive) = crate::nd::ashn_nd(0.0, WeylPoint::B.x, WeylPoint::B.y, WeylPoint::B.z)
+        .expect("B lies in the ND polygon");
     AshnPulse {
         target: WeylPoint::B,
         h_ratio: 0.0,
@@ -133,7 +132,11 @@ mod tests {
         assert!((a1 + 2.108).abs() < 5e-4, "A₁ = {a1}");
         assert!((a2 - 2.108).abs() < 5e-4, "A₂ = {a2}");
         assert!((two_delta + 1.528).abs() < 5e-4, "2δ = {two_delta}");
-        assert!(p.coordinate_error() < 1e-7, "error {}", p.coordinate_error());
+        assert!(
+            p.coordinate_error() < 1e-7,
+            "error {}",
+            p.coordinate_error()
+        );
     }
 
     #[test]
@@ -166,6 +169,9 @@ mod tests {
         let x = ashn_gates::pauli::Pauli::X.matrix();
         let xi = x.kron(&CMat::identity(2));
         let p2 = weyl_coordinates(&b.matmul(&xi).matmul(&b));
-        assert!(p1.dist(p2) > 0.3, "B-sandwich classes too close: {p1} vs {p2}");
+        assert!(
+            p1.dist(p2) > 0.3,
+            "B-sandwich classes too close: {p1} vs {p2}"
+        );
     }
 }

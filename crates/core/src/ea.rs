@@ -84,7 +84,10 @@ fn seeds(tau: f64) -> Vec<[f64; 2]> {
         let alpha = i as f64 / n as f64;
         for j in 0..=n {
             let beta = beta_max * j as f64 / n as f64;
-            let omega = ((1.0 - alpha) * beta * (1.0 + alpha + beta)).max(0.0).sqrt() / 2.0;
+            let omega = ((1.0 - alpha) * beta * (1.0 + alpha + beta))
+                .max(0.0)
+                .sqrt()
+                / 2.0;
             let delta = (alpha * (alpha + beta) * (1.0 + beta)).max(0.0).sqrt() / 2.0;
             out.push([omega, delta]);
         }
@@ -120,21 +123,38 @@ pub fn ashn_ea(
     };
 
     // Rank seeds by objective, refine the best few.
-    let mut ranked: Vec<([f64; 2], f64)> = seeds(tau)
-        .into_iter()
-        .map(|s| (s, objective(&s)))
-        .collect();
+    let mut ranked: Vec<([f64; 2], f64)> =
+        seeds(tau).into_iter().map(|s| (s, objective(&s))).collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
+    // Refine the best-ranked seeds; on a miss, retry with jittered copies
+    // of the leaders and larger simplex steps (rare targets near face
+    // boundaries need the wider exploration).
+    let jittered: Vec<[f64; 2]> = ranked
+        .iter()
+        .take(4)
+        .flat_map(|(s, _)| {
+            [
+                [s[0] * 1.17 + 0.05, s[1] * 0.83 - 0.04],
+                [s[0] * 0.71 + 0.21, s[1] * 1.29 + 0.11],
+            ]
+        })
+        .collect();
+    let attempts: Vec<([f64; 2], f64)> = ranked
+        .iter()
+        .take(12)
+        .map(|(s, _)| (*s, 0.15))
+        .chain(jittered.into_iter().map(|s| (s, 0.45)))
+        .collect();
     let mut best_dist = f64::INFINITY;
-    for (seed, _) in ranked.iter().take(6) {
+    for (seed, step) in attempts {
         let res = nelder_mead(
             objective,
             &[seed[0], seed[1]],
             &NmOptions {
-                max_evals: 2000,
+                max_evals: 3000,
                 f_tol: 1e-28,
-                initial_step: 0.15,
+                initial_step: step,
             },
         );
         let drive = drive_of(variant, res.x[0].abs(), res.x[1]);

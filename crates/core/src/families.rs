@@ -23,11 +23,7 @@ pub fn xy_coords(beta: f64) -> WeylPoint {
 /// # Errors
 ///
 /// Propagates [`CompileError`] (should not occur: AshN spans `SU(4)`).
-pub fn fsim_pulse(
-    scheme: &AshnScheme,
-    theta: f64,
-    phi: f64,
-) -> Result<AshnPulse, CompileError> {
+pub fn fsim_pulse(scheme: &AshnScheme, theta: f64, phi: f64) -> Result<AshnPulse, CompileError> {
     scheme.compile(fsim_coords(theta, phi))
 }
 
@@ -67,7 +63,10 @@ mod tests {
         // fSim(π/2, 0) ~ iSWAP; fSim(0, φ) ~ CPhase family (x = |φ|/4, y=z).
         assert!(fsim_coords(FRAC_PI_2, 0.0).gate_dist(WeylPoint::ISWAP) < 1e-8);
         let cphase = fsim_coords(0.0, std::f64::consts::PI);
-        assert!(cphase.gate_dist(WeylPoint::CNOT) < 1e-8, "CZ point: {cphase}");
+        assert!(
+            cphase.gate_dist(WeylPoint::CNOT) < 1e-8,
+            "CZ point: {cphase}"
+        );
     }
 
     #[test]

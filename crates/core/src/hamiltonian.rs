@@ -9,9 +9,9 @@
 //! The drives have square envelopes, making `H` time-independent; evolution
 //! for time `τ` (in units of `1/g`) gives `U = exp(−i·H·τ)`.
 
+use ashn_gates::pauli::{pauli_string, xx, yy, zz, Pauli};
 use ashn_math::expm::expm_minus_i_hermitian;
 use ashn_math::{c, CMat};
-use ashn_gates::pauli::{pauli_string, xx, yy, zz, Pauli};
 
 /// Drive parameters of a single AshN pulse, in units of the coupling `g`
 /// (`Ω`s and `δ`) and of `1/g` (`τ`).
@@ -116,7 +116,10 @@ mod tests {
     fn evolution_is_symmetric_unitary() {
         let u = evolve(0.2, DriveParams::new(0.5, 0.1, -0.3), 1.1);
         assert!(u.is_unitary(1e-11));
-        assert!((&u - &u.transpose()).frobenius_norm() < 1e-10, "U = Uᵀ fails");
+        assert!(
+            (&u - &u.transpose()).frobenius_norm() < 1e-10,
+            "U = Uᵀ fails"
+        );
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub mod zz;
 
 pub use hamiltonian::{evolve, hamiltonian, DriveParams};
 pub use scheme::{AshnPulse, AshnScheme, CompileError, SubScheme};
-pub mod phase;
 pub mod families;
+pub mod phase;

@@ -20,12 +20,7 @@ use ashn_math::{c, CMat, Complex};
 /// the drives couple as `cos ϕᵢ·X − sin ϕᵢ·Y` on each qubit.
 ///
 /// With `ϕ₁ = ϕ₂ = 0` this reduces to [`crate::hamiltonian::hamiltonian`].
-pub fn hamiltonian_with_phases(
-    h_ratio: f64,
-    drive: DriveParams,
-    phi1: f64,
-    phi2: f64,
-) -> CMat {
+pub fn hamiltonian_with_phases(h_ratio: f64, drive: DriveParams, phi1: f64, phi2: f64) -> CMat {
     let (a1, a2) = drive.amplitudes();
     let xi = pauli_string(&[Pauli::X, Pauli::I]);
     let ix = pauli_string(&[Pauli::I, Pauli::X]);

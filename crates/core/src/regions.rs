@@ -89,10 +89,7 @@ pub fn region_census(h_ratio: f64, cutoff: f64, resolution: usize) -> Vec<(Strin
             }
         }
     }
-    counts
-        .into_iter()
-        .map(|(k, v)| (k, v / total))
-        .collect()
+    counts.into_iter().map(|(k, v)| (k, v / total)).collect()
 }
 
 #[cfg(test)]
@@ -130,10 +127,7 @@ mod tests {
         // With h̃ = 0 and no cutoff, only ND / EA± appear (Fig. 2), with ND
         // dominating the Haar mass.
         for (label, frac) in &census {
-            assert!(
-                !label.contains("EXT"),
-                "unexpected region {label} ({frac})"
-            );
+            assert!(!label.contains("EXT"), "unexpected region {label} ({frac})");
         }
         let nd = census
             .iter()

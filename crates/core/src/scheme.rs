@@ -292,8 +292,7 @@ impl AshnScheme {
     }
 
     fn try_nd_ext(&self, p: WeylPoint) -> Result<AshnPulse, String> {
-        let (tau, drive) =
-            ashn_nd_ext(self.h_ratio, p.x, p.y, p.z).map_err(|e| e.to_string())?;
+        let (tau, drive) = ashn_nd_ext(self.h_ratio, p.x, p.y, p.z).map_err(|e| e.to_string())?;
         let pulse = AshnPulse {
             target: p,
             h_ratio: self.h_ratio,
@@ -395,10 +394,7 @@ mod tests {
             let p = random_chamber_point(&mut rng);
             let d = scheme.compile(p).unwrap().drive;
             let product = d.omega1 * d.omega2 * d.delta;
-            assert!(
-                product.abs() < 1e-12,
-                "Ω₁Ω₂δ = {product} for target {p}"
-            );
+            assert!(product.abs() < 1e-12, "Ω₁Ω₂δ = {product} for target {p}");
         }
     }
 

@@ -87,7 +87,11 @@ mod tests {
 
     #[test]
     fn class_fidelity_of_same_class_is_one() {
-        for p in [WeylPoint::CNOT, WeylPoint::SWAP, WeylPoint::new(0.3, 0.2, -0.1)] {
+        for p in [
+            WeylPoint::CNOT,
+            WeylPoint::SWAP,
+            WeylPoint::new(0.3, 0.2, -0.1),
+        ] {
             assert!((class_fidelity(p, p) - 1.0).abs() < 1e-12);
         }
     }

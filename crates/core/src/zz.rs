@@ -36,10 +36,7 @@ pub struct ImmunityReport {
 /// # Errors
 ///
 /// Propagates [`CompileError`] if either compilation fails.
-pub fn immunity_report(
-    target: WeylPoint,
-    h_ratio: f64,
-) -> Result<ImmunityReport, CompileError> {
+pub fn immunity_report(target: WeylPoint, h_ratio: f64) -> Result<ImmunityReport, CompileError> {
     let aware: AshnPulse = AshnScheme::new(h_ratio).compile(target)?;
     let naive: AshnPulse = AshnScheme::new(0.0).compile(target)?;
 

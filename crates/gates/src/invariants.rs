@@ -82,7 +82,10 @@ mod tests {
         // unity phase choice; what matters is internal consistency, pinned by
         // `matrix_and_coordinate_paths_agree`.)
         let (g1, g2) = makhlin(&swap());
-        assert!((g1 - ashn_math::c(-1.0, 0.0)).abs() < 1e-10, "G1(SWAP) = {g1}");
+        assert!(
+            (g1 - ashn_math::c(-1.0, 0.0)).abs() < 1e-10,
+            "G1(SWAP) = {g1}"
+        );
         assert!((g2 + 3.0).abs() < 1e-10, "G2(SWAP) = {g2}");
     }
 

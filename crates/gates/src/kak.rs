@@ -143,9 +143,9 @@ fn diag_symmetric_unitary(m: &CMat) -> CMat {
     let y = m.map(|z| c(z.im, 0.0));
     let mixes = [
         0.83762419517,
-        1.41421356237 / 2.0,
+        std::f64::consts::SQRT_2 / 2.0,
         0.33711731212,
-        1.73205080757 / 2.0,
+        1.732_050_807_57 / 2.0,
         0.12087012471,
     ];
     for &t in &mixes {
@@ -320,7 +320,7 @@ pub fn kak(u: &CMat) -> Kak {
     let w = ub.matmul(&o);
     let mut theta = [0.0f64; 4];
     let mut l = CMat::zeros(4, 4);
-    for j in 0..4 {
+    for (j, th) in theta.iter_mut().enumerate() {
         let col = w.col(j);
         let (mut bi, mut bv) = (0usize, 0.0);
         for (i, z) in col.iter().enumerate() {
@@ -330,7 +330,7 @@ pub fn kak(u: &CMat) -> Kak {
             }
         }
         let ph = col[bi].arg();
-        theta[j] = ph;
+        *th = ph;
         let rcol: Vec<Complex> = col.iter().map(|z| *z * Complex::cis(-ph)).collect();
         let imag: f64 = rcol.iter().map(|z| z.im * z.im).sum::<f64>().sqrt();
         assert!(
@@ -441,7 +441,11 @@ mod tests {
                 "a1 not special unitary"
             );
             assert!((d.b2.det() - Complex::ONE).abs() < 1e-7);
-            assert!(d.error(&u) < 1e-7, "iteration {i}: error {:.2e}", d.error(&u));
+            assert!(
+                d.error(&u) < 1e-7,
+                "iteration {i}: error {:.2e}",
+                d.error(&u)
+            );
         }
     }
 
@@ -482,7 +486,10 @@ mod tests {
             let g = canonical(p.x, p.y, p.z);
             let got = weyl_coordinates(&g);
             let expect = p.canonicalize();
-            assert!(got.approx_eq(expect, 1e-8), "CAN{p} → {got}, expected {expect}");
+            assert!(
+                got.approx_eq(expect, 1e-8),
+                "CAN{p} → {got}, expected {expect}"
+            );
         }
     }
 
@@ -492,7 +499,11 @@ mod tests {
         for _ in 0..10 {
             let u = haar_unitary(4, &mut rng);
             let d = kak(&u).mirrored();
-            assert!(d.error(&u) < 1e-7, "mirror reconstruction error {}", d.error(&u));
+            assert!(
+                d.error(&u) < 1e-7,
+                "mirror reconstruction error {}",
+                d.error(&u)
+            );
             // The mirrored coordinates sit at (π/2−x, y, −z).
             let base = weyl_coordinates(&u);
             assert!((d.coords.x - (FRAC_PI_2 - base.x)).abs() < 1e-9);

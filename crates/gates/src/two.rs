@@ -81,7 +81,12 @@ pub fn fsim(theta: f64, phi: f64) -> CMat {
         &[Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO],
         &[Complex::ZERO, c(co, 0.0), c(0.0, -s), Complex::ZERO],
         &[Complex::ZERO, c(0.0, -s), c(co, 0.0), Complex::ZERO],
-        &[Complex::ZERO, Complex::ZERO, Complex::ZERO, Complex::cis(-phi)],
+        &[
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::cis(-phi),
+        ],
     ])
 }
 

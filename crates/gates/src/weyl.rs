@@ -190,19 +190,19 @@ mod tests {
     #[test]
     fn permuted_and_flipped_points_canonicalize() {
         let target = WeylPoint::new(0.7, 0.5, 0.2).canonicalize();
-        for perm in [
-            [0.7, 0.5, 0.2],
-            [0.5, 0.7, 0.2],
-            [0.2, 0.5, 0.7],
-        ] {
-            for flip in [[1.0, 1.0, 1.0], [-1.0, -1.0, 1.0], [1.0, -1.0, -1.0], [-1.0, 1.0, -1.0]] {
-                let p = WeylPoint::new(
-                    perm[0] * flip[0],
-                    perm[1] * flip[1],
-                    perm[2] * flip[2],
-                )
-                .canonicalize();
-                assert!(p.approx_eq(target, 1e-12), "orbit member mapped to {p}, expected {target}");
+        for perm in [[0.7, 0.5, 0.2], [0.5, 0.7, 0.2], [0.2, 0.5, 0.7]] {
+            for flip in [
+                [1.0, 1.0, 1.0],
+                [-1.0, -1.0, 1.0],
+                [1.0, -1.0, -1.0],
+                [-1.0, 1.0, -1.0],
+            ] {
+                let p = WeylPoint::new(perm[0] * flip[0], perm[1] * flip[1], perm[2] * flip[2])
+                    .canonicalize();
+                assert!(
+                    p.approx_eq(target, 1e-12),
+                    "orbit member mapped to {p}, expected {target}"
+                );
             }
         }
     }
@@ -210,7 +210,16 @@ mod tests {
     #[test]
     fn canonical_result_is_in_chamber() {
         // A deterministic sweep of awkward values.
-        let vals = [-2.9, -1.1, -0.3, 0.0, 0.4, 0.785398, 1.2, 2.35];
+        let vals = [
+            -2.9,
+            -1.1,
+            -0.3,
+            0.0,
+            0.4,
+            std::f64::consts::FRAC_PI_4,
+            1.2,
+            2.35,
+        ];
         for &x in &vals {
             for &y in &vals {
                 for &z in &vals {
@@ -224,6 +233,9 @@ mod tests {
     #[test]
     fn swap_face_sign_fix() {
         let p = WeylPoint::new(FRAC_PI_4, 0.2, -0.1).canonicalize();
-        assert!(p.z > 0.0, "z must be non-negative on the x=π/4 face, got {p}");
+        assert!(
+            p.z > 0.0,
+            "z must be non-negative on the x=π/4 face, got {p}"
+        );
     }
 }

@@ -1,0 +1,85 @@
+//! The native-gate-set synthesis interface.
+//!
+//! Each hardware-native two-qubit gate set (flux-tuned CZ, SQiSW, AshN, …)
+//! implements [`Basis`]: given an arbitrary `SU(4)` target it produces a
+//! two-qubit [`Circuit`] over its native entangler, or a [`SynthError`]
+//! when its (possibly numerical) synthesis cannot. `ashn_qv::GateSet` is a
+//! thin enum-to-`dyn Basis` dispatcher over the implementations in
+//! `ashn-synth`; new bases (B-gate, iSWAP, …) are one `impl` away and slot
+//! into routing, quantum-volume scoring, and the `ashn::Compiler` pipeline
+//! unchanged.
+
+use crate::circuit::Circuit;
+use crate::error::SynthError;
+use ashn_math::CMat;
+
+/// The 4×4 SWAP matrix (local copy: `ashn-ir` sits below `ashn-gates`).
+pub(crate) fn swap_matrix() -> CMat {
+    CMat::from_rows_f64(&[
+        &[1.0, 0.0, 0.0, 0.0],
+        &[0.0, 0.0, 1.0, 0.0],
+        &[0.0, 1.0, 0.0, 0.0],
+        &[0.0, 0.0, 0.0, 1.0],
+    ])
+}
+
+/// A native two-qubit gate set with per-basis synthesis rules.
+pub trait Basis {
+    /// Short display name (e.g. `"CZ"`, `"SQiSW"`, `"AshN(r=1.1)"`).
+    fn name(&self) -> String;
+
+    /// Compiles an arbitrary two-qubit unitary into a circuit on qubits
+    /// `{0, 1}` whose entanglers are all native to this basis.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError`] when synthesis fails (numerical non-convergence,
+    /// pulse-compiler rejection, malformed target).
+    fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError>;
+
+    /// The compiled SWAP, used by routing. The default synthesizes the SWAP
+    /// matrix; bases with a cheaper native SWAP (AshN's single `3π/4`
+    /// pulse arises automatically; an iSWAP-like basis might override).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SynthError`] from synthesis.
+    fn native_swap(&self) -> Result<Circuit, SynthError> {
+        self.synthesize(&swap_matrix())
+    }
+
+    /// Number of native entanglers this basis needs for the class of `u`
+    /// (the analytic count; [`Basis::synthesize`] is expected to achieve
+    /// it).
+    fn expected_entanglers(&self, u: &CMat) -> usize;
+}
+
+impl<B: Basis + ?Sized> Basis for &B {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
+        (**self).synthesize(u)
+    }
+    fn native_swap(&self) -> Result<Circuit, SynthError> {
+        (**self).native_swap()
+    }
+    fn expected_entanglers(&self, u: &CMat) -> usize {
+        (**self).expected_entanglers(u)
+    }
+}
+
+impl Basis for Box<dyn Basis> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
+        (**self).synthesize(u)
+    }
+    fn native_swap(&self) -> Result<Circuit, SynthError> {
+        (**self).native_swap()
+    }
+    fn expected_entanglers(&self, u: &CMat) -> usize {
+        (**self).expected_entanglers(u)
+    }
+}

@@ -1,0 +1,135 @@
+//! The single canonical gate representation.
+
+use crate::error::IrError;
+use ashn_math::CMat;
+
+/// One gate instance: the unitary, the acted-on qubits (big-endian order
+/// w.r.t. the matrix), a duration in units of `1/g`, and an optional
+/// per-gate depolarizing error rate.
+///
+/// This type subsumes the former `ashn_sim::Gate` and `ashn_synth::NGate`.
+#[derive(Clone, Debug)]
+pub struct Instruction {
+    /// Qubits the gate acts on (big-endian order w.r.t. the matrix).
+    pub qubits: Vec<usize>,
+    /// The unitary matrix (dimension `2^qubits.len()`).
+    pub matrix: CMat,
+    /// Human-readable label (e.g. `"CZ"`, `"AshN[ND]"`).
+    pub label: String,
+    /// Gate duration in units of `1/g`; `0` for virtual gates.
+    pub duration: f64,
+    /// Depolarizing error probability applied after the gate; `None` means
+    /// "use the noise-model default for this arity".
+    pub error_rate: Option<f64>,
+}
+
+impl Instruction {
+    /// Creates an instruction, validating dimensions and qubit uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::NonSquare`], [`IrError::DimensionMismatch`], or
+    /// [`IrError::RepeatedQubit`] on a malformed gate.
+    pub fn try_new(
+        qubits: Vec<usize>,
+        matrix: CMat,
+        label: impl Into<String>,
+    ) -> Result<Self, IrError> {
+        if !matrix.is_square() {
+            return Err(IrError::NonSquare {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+            });
+        }
+        if matrix.rows() != 1 << qubits.len() {
+            return Err(IrError::DimensionMismatch {
+                qubits: qubits.len(),
+                rows: matrix.rows(),
+            });
+        }
+        for (i, q) in qubits.iter().enumerate() {
+            if qubits[i + 1..].contains(q) {
+                return Err(IrError::RepeatedQubit { qubit: *q });
+            }
+        }
+        Ok(Self {
+            qubits,
+            matrix,
+            label: label.into(),
+            duration: 0.0,
+            error_rate: None,
+        })
+    }
+
+    /// Creates an instruction with no duration or error annotation.
+    ///
+    /// Convenience wrapper over [`Instruction::try_new`] for statically
+    /// well-formed gates (tests, literals); library synthesis paths use
+    /// `try_new` and propagate [`IrError`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or repeated qubits.
+    pub fn new(qubits: Vec<usize>, matrix: CMat, label: impl Into<String>) -> Self {
+        match Self::try_new(qubits, matrix, label) {
+            Ok(i) => i,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Sets the duration (builder style).
+    #[must_use]
+    pub fn with_duration(mut self, duration: f64) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets an explicit error rate (builder style).
+    #[must_use]
+    pub fn with_error_rate(mut self, p: f64) -> Self {
+        self.error_rate = Some(p);
+        self
+    }
+
+    /// `true` when the gate acts on two or more qubits.
+    pub fn is_entangler(&self) -> bool {
+        self.qubits.len() >= 2
+    }
+
+    /// `true` when the gate matrix is diagonal (within `tol`, Frobenius).
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        let m = &self.matrix;
+        let mut off = 0.0;
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                if r != c {
+                    off += m[(r, c)].norm_sqr();
+                }
+            }
+        }
+        off.sqrt() < tol
+    }
+
+    /// The instruction relabeled onto new qubit indices via `targets`
+    /// (`targets[q]` = new index of source qubit `q`).
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::QubitOutOfRange`] when a source qubit has no target.
+    pub fn remapped(&self, targets: &[usize]) -> Result<Instruction, IrError> {
+        let qubits = self
+            .qubits
+            .iter()
+            .map(|&q| {
+                targets.get(q).copied().ok_or(IrError::QubitOutOfRange {
+                    qubit: q,
+                    n: targets.len(),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut out = Instruction::try_new(qubits, self.matrix.clone(), self.label.clone())?;
+        out.duration = self.duration;
+        out.error_rate = self.error_rate;
+        Ok(out)
+    }
+}

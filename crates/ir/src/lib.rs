@@ -1,0 +1,46 @@
+//! # ashn-ir
+//!
+//! The single canonical circuit representation of the AshN workspace, plus
+//! the [`Basis`] abstraction every native-gate-set synthesizer implements.
+//!
+//! The paper's thesis is that AshN is *one* instruction set serving every
+//! two-qubit workload; this crate is the code-level counterpart: one
+//! [`Instruction`]/[`Circuit`] pair shared by the simulator (`ashn-sim`),
+//! the synthesizers (`ashn-synth`), the router (`ashn-route`), and the
+//! quantum-volume experiments (`ashn-qv`), replacing the three private IRs
+//! the crates previously stitched together by hand.
+//!
+//! * [`Instruction`] — one gate: acted-on qubits, unitary, label, duration
+//!   (units of `1/g`), optional per-gate error rate.
+//! * [`Circuit`] — an `n`-qubit register, a global phase, and instructions
+//!   in application order, with [`Circuit::unitary`],
+//!   [`Circuit::entangler_count`], [`Circuit::entangler_duration`],
+//!   [`Circuit::embed`], and single-qubit fusion.
+//! * [`Basis`] — the per-gate-set synthesis interface
+//!   (`synthesize`, `name`, `native_swap`, `expected_entanglers`), so new
+//!   native bases (B-gate, iSWAP, …) are one `impl` away.
+//! * [`IrError`]/[`SynthError`] — the fallible construction and synthesis
+//!   error types the rest of the workspace builds its error hierarchy on.
+//!
+//! ## Example
+//!
+//! ```
+//! use ashn_ir::{Circuit, Instruction};
+//! use ashn_math::CMat;
+//!
+//! let x = CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]]);
+//! let mut c = Circuit::new(2);
+//! c.push(Instruction::new(vec![1], x, "X").with_duration(0.0));
+//! assert_eq!(c.entangler_count(), 0);
+//! assert!(c.unitary().is_unitary(1e-12));
+//! ```
+
+pub mod basis;
+pub mod circuit;
+pub mod error;
+pub mod instruction;
+
+pub use basis::Basis;
+pub use circuit::{embed, Circuit};
+pub use error::{IrError, SynthError};
+pub use instruction::Instruction;

@@ -213,6 +213,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: Complex) -> Complex {
         self * o.inv()
     }

@@ -136,6 +136,7 @@ pub fn eig_unitary(w: &CMat) -> UnitaryEig {
     let h2 = (w - &wh).scale(c(0.0, -0.5));
     // Deterministic sequence of mixing coefficients; irrational ratios make
     // accidental eigenvalue collisions essentially impossible.
+    #[allow(clippy::excessive_precision)]
     let mixes = [
         0.7548776662466927,
         1.3247179572447460,

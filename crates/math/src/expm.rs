@@ -44,9 +44,8 @@ pub fn expm_factor_hermitian(h: &CMat, z: Complex) -> CMat {
     let n = h.rows();
     let phases: Vec<Complex> = e.values.iter().map(|&l| (z * l).exp()).collect();
     let mut out = CMat::zeros(n, n);
-    for j in 0..n {
+    for (j, p) in phases.iter().copied().enumerate() {
         let col = e.vectors.col(j);
-        let p = phases[j];
         for r in 0..n {
             let a = col[r] * p;
             for cc in 0..n {

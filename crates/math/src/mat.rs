@@ -217,13 +217,13 @@ impl CMat {
     pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
         assert_eq!(v.len(), self.cols, "mul_vec shape mismatch");
         let mut out = vec![Complex::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut acc = Complex::ZERO;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc += *a * *b;
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }
@@ -613,10 +613,7 @@ mod tests {
 
     #[test]
     fn det_of_triangular_is_diagonal_product() {
-        let a = CMat::from_rows(&[
-            &[c(2.0, 0.0), c(5.0, 1.0)],
-            &[Complex::ZERO, c(0.0, 3.0)],
-        ]);
+        let a = CMat::from_rows(&[&[c(2.0, 0.0), c(5.0, 1.0)], &[Complex::ZERO, c(0.0, 3.0)]]);
         assert!((a.det() - c(0.0, 6.0)).abs() < 1e-13);
     }
 

@@ -41,11 +41,7 @@ pub struct NmResult {
 /// # Panics
 ///
 /// Panics if `x0` is empty.
-pub fn nelder_mead(
-    mut f: impl FnMut(&[f64]) -> f64,
-    x0: &[f64],
-    opts: &NmOptions,
-) -> NmResult {
+pub fn nelder_mead(mut f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &NmOptions) -> NmResult {
     let n = x0.len();
     assert!(n > 0, "nelder_mead needs at least one dimension");
     let mut evals = 0usize;
@@ -93,7 +89,10 @@ pub fn nelder_mead(
             }
         }
         let lerp = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
-            a.iter().zip(b.iter()).map(|(x, y)| x + t * (y - x)).collect()
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| x + t * (y - x))
+                .collect()
         };
 
         let refl = lerp(&cen, &pts[n], -1.0);
@@ -162,8 +161,7 @@ mod tests {
 
     #[test]
     fn minimises_rosenbrock_reasonably() {
-        let rosen =
-            |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let rosen = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
         let r = nelder_mead(
             rosen,
             &[-1.2, 1.0],

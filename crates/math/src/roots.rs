@@ -144,7 +144,14 @@ mod tests {
     fn newton2_respects_bounds() {
         let f = |v: [f64; 2]| [v[0], v[1]];
         // Target outside the box: must fail rather than wander off.
-        let sol = newton2(f, [5.0, 5.0], [0.5, 0.5], [[0.0, 1.0], [0.0, 1.0]], 1e-9, 50);
+        let sol = newton2(
+            f,
+            [5.0, 5.0],
+            [0.5, 0.5],
+            [[0.0, 1.0], [0.0, 1.0]],
+            1e-9,
+            50,
+        );
         assert!(sol.is_none());
     }
 }

@@ -69,9 +69,9 @@ pub fn svd(a: &CMat) -> Svd {
     // eigh sorts ascending; we want descending singular values.
     let mut v = CMat::zeros(n, n);
     let mut sigma = vec![0.0; n];
-    for j in 0..n {
+    for (j, s) in sigma.iter_mut().enumerate() {
         let src = n - 1 - j;
-        sigma[j] = e.values[src].max(0.0).sqrt();
+        *s = e.values[src].max(0.0).sqrt();
         v.set_col(j, &e.vectors.col(src));
     }
     let mut u = CMat::zeros(n, n);

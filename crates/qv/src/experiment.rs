@@ -4,10 +4,11 @@
 //! exact heavy-output probability.
 
 use crate::gateset::GateSet;
+use ashn_ir::{Basis, Circuit, SynthError};
 use ashn_math::randmat::haar_su;
 use ashn_math::CMat;
-use ashn_route::{random_pairing, Grid, RouteOp, Router};
-use ashn_sim::{Circuit, Gate, NoiseModel};
+use ashn_route::{expand_route_ops, random_pairing, Grid, Router};
+use ashn_sim::{NoiseModel, Simulate};
 use ashn_synth::cnot_basis::CZ_DURATION;
 use rand::Rng;
 
@@ -92,52 +93,61 @@ impl CompiledModel {
 }
 
 /// Compiles a model circuit onto the grid with the given gate set: routing
-/// SWAPs and layer gates become native gates with durations. Error rates
-/// are **not** stamped here — use [`stamp_noise`] so one compilation serves
+/// SWAPs and layer gates are synthesized per [`ashn_ir::Basis`] and
+/// embedded at their physical sites by `ashn_route`. Error rates are
+/// **not** stamped here — use [`stamp_noise`] so one compilation serves
 /// several noise levels.
-pub fn compile_model(model: &ModelCircuit, gate_set: GateSet) -> CompiledModel {
-    let grid = Grid::for_qubits(model.d);
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from basis synthesis (instead of the former
+/// `expect` panics).
+pub fn compile_model(model: &ModelCircuit, gate_set: GateSet) -> Result<CompiledModel, SynthError> {
+    compile_model_on(model, gate_set.basis().as_ref(), None)
+}
+
+/// The basis-generic compilation engine behind [`compile_model`] and
+/// `ashn::Compiler`: synthesizes per-layer gates and routing SWAPs over
+/// `basis`, routes them on `grid` (auto-sized to the model when `None`),
+/// and assembles one physical-site circuit.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from synthesis and assembly.
+///
+/// # Panics
+///
+/// Panics when an explicit `grid` is too small for the model (callers
+/// validate, e.g. `ashn::Compiler` turns this into a config error).
+pub fn compile_model_on(
+    model: &ModelCircuit,
+    basis: &dyn Basis,
+    grid: Option<Grid>,
+) -> Result<CompiledModel, SynthError> {
+    let grid = grid.unwrap_or_else(|| Grid::for_qubits(model.d));
     let n_sites = grid.len();
     let mut router = Router::new(grid, model.d);
     let mut circuit = Circuit::new(n_sites);
     // The routed SWAP is always the same circuit up to relabeling; compile
     // it once (the SQiSW decomposition in particular is a numerical search).
-    let swap_template = gate_set.compile_swap(0, 1);
-    let remap = |template: &[Gate], a: usize, b: usize| -> Vec<Gate> {
-        template
-            .iter()
-            .map(|g| {
-                let qubits: Vec<usize> =
-                    g.qubits.iter().map(|&q| if q == 0 { a } else { b }).collect();
-                Gate::new(qubits, g.matrix.clone(), g.label.clone())
-                    .with_duration(g.duration)
-            })
-            .collect()
-    };
+    let swap = basis.native_swap()?.fuse_single_qubit_runs();
     for layer in &model.layers {
         let pairs: Vec<(usize, usize)> = layer.iter().map(|(p, _)| *p).collect();
         let ops = router.route_layer(&pairs);
-        for op in ops {
-            let gates = match op {
-                RouteOp::Swap(a, b) => remap(&swap_template, a, b),
-                RouteOp::Gate { index, a, b } => {
-                    let (_, u) = &layer[index];
-                    gate_set.compile(u, a, b)
-                }
-            };
-            for g in gates {
-                circuit.push(g);
-            }
-        }
+        let routed = expand_route_ops(n_sites, &ops, &swap, |index| {
+            Ok(basis.synthesize(&layer[index].1)?.fuse_single_qubit_runs())
+        })?;
+        circuit.append(routed)?;
     }
     let positions = (0..model.d).map(|l| router.position(l)).collect();
-    CompiledModel { circuit, positions }
+    Ok(CompiledModel { circuit, positions })
 }
 
 /// Stamps per-gate depolarizing rates from the noise model (single-qubit
 /// fixed; two-qubit proportional to duration).
 pub fn stamp_noise(circuit: &Circuit, noise: &QvNoise) -> Circuit {
     let mut out = Circuit::new(circuit.n_qubits());
+    out.phase = circuit.phase;
     for g in circuit.gates() {
         let rate = noise.rate(g.qubits.len(), g.duration);
         out.push(g.clone().with_error_rate(rate));
@@ -188,25 +198,37 @@ pub fn score_compiled(compiled: &CompiledModel, noise: &QvNoise) -> CircuitScore
 }
 
 /// Compiles and scores one model circuit.
-pub fn score_circuit(model: &ModelCircuit, gate_set: GateSet, noise: &QvNoise) -> CircuitScore {
-    score_compiled(&compile_model(model, gate_set), noise)
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from compilation.
+pub fn score_circuit(
+    model: &ModelCircuit,
+    gate_set: GateSet,
+    noise: &QvNoise,
+) -> Result<CircuitScore, SynthError> {
+    Ok(score_compiled(&compile_model(model, gate_set)?, noise))
 }
 
 /// Mean heavy-output probability over `n_circuits` random model circuits of
 /// size `d` — one point of paper Fig. 7.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from compilation.
 pub fn mean_hop(
     d: usize,
     gate_set: GateSet,
     noise: &QvNoise,
     n_circuits: usize,
     rng: &mut impl Rng,
-) -> f64 {
+) -> Result<f64, SynthError> {
     let mut total = 0.0;
     for _ in 0..n_circuits {
         let model = sample_model_circuit(d, rng);
-        total += score_circuit(&model, gate_set, noise).hop;
+        total += score_circuit(&model, gate_set, noise)?.hop;
     }
-    total / n_circuits as f64
+    Ok(total / n_circuits as f64)
 }
 
 #[cfg(test)]
@@ -232,7 +254,7 @@ mod tests {
             e_cz: 0.0,
             e_1q: 0.0,
         };
-        let hop = mean_hop(4, GateSet::Ashn { cutoff: 0.0 }, &noise, 4, &mut rng);
+        let hop = mean_hop(4, GateSet::Ashn { cutoff: 0.0 }, &noise, 4, &mut rng).unwrap();
         assert!(hop > 0.75, "noiseless HOP = {hop}");
     }
 
@@ -247,14 +269,20 @@ mod tests {
                 e_cz: 0.0,
                 e_1q: 0.0,
             },
-        );
+        )
+        .unwrap();
         let noisy = score_circuit(
             &model,
             GateSet::Ashn { cutoff: 0.0 },
             &QvNoise::with_e_cz(0.05),
-        );
+        )
+        .unwrap();
         assert!(noisy.hop < clean.hop);
-        assert!(noisy.hop > 0.45, "HOP should stay above ~0.5, got {}", noisy.hop);
+        assert!(
+            noisy.hop > 0.45,
+            "HOP should stay above ~0.5, got {}",
+            noisy.hop
+        );
     }
 
     #[test]
@@ -267,7 +295,7 @@ mod tests {
             .enumerate()
         {
             let mut rng = StdRng::seed_from_u64(33); // same circuits for both
-            hops[k] = mean_hop(4, gs, &noise, 3, &mut rng);
+            hops[k] = mean_hop(4, gs, &noise, 3, &mut rng).unwrap();
         }
         assert!(
             hops[1] > hops[0],
@@ -282,10 +310,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(34);
         let model = sample_model_circuit(4, &mut rng);
         let noise = QvNoise::with_e_cz(0.01);
-        let t_cz = score_circuit(&model, GateSet::Cz, &noise).interaction_time;
-        let t_sq = score_circuit(&model, GateSet::Sqisw, &noise).interaction_time;
-        let t_ashn =
-            score_circuit(&model, GateSet::Ashn { cutoff: 0.0 }, &noise).interaction_time;
+        let t_cz = score_circuit(&model, GateSet::Cz, &noise)
+            .unwrap()
+            .interaction_time;
+        let t_sq = score_circuit(&model, GateSet::Sqisw, &noise)
+            .unwrap()
+            .interaction_time;
+        let t_ashn = score_circuit(&model, GateSet::Ashn { cutoff: 0.0 }, &noise)
+            .unwrap()
+            .interaction_time;
         assert!(t_ashn < t_sq && t_sq < t_cz, "{t_ashn} {t_sq} {t_cz}");
     }
 }

@@ -1,15 +1,18 @@
 //! Native two-qubit gate sets compared in the paper's quantum-volume
 //! experiment (§6.3): flux-tuned CZ, flux-tuned SQiSW, and AshN (with and
 //! without cutoff).
+//!
+//! `GateSet` is a thin enum-to-[`Basis`] dispatcher over the
+//! implementations in `ashn-synth`; everything downstream (routing,
+//! compilation, scoring, the `ashn::Compiler`) is generic over
+//! `dyn Basis`, so a new native basis only needs a `Basis` impl — no
+//! changes here beyond an optional enum variant.
 
-use ashn_core::scheme::AshnScheme;
-use ashn_gates::two::swap;
+use ashn_ir::{Basis, Circuit, SynthError};
 use ashn_math::CMat;
-use ashn_sim::Gate;
-use ashn_synth::circuit2::{Op2, TwoQubitCircuit};
-use ashn_synth::{ashn_basis, cnot_basis, sqisw_basis};
+use ashn_synth::basis::{AshnBasis, CzBasis, SqiswBasis};
 
-/// A native two-qubit gate set.
+/// A native two-qubit gate set (the paper's three contenders).
 #[derive(Clone, Copy, Debug)]
 pub enum GateSet {
     /// Flux-tuned CZ, gate time `π/√2·(1/g)`; generic gates need 3.
@@ -25,120 +28,64 @@ pub enum GateSet {
 }
 
 impl GateSet {
+    /// The [`Basis`] implementation this gate set dispatches to.
+    pub fn basis(&self) -> Box<dyn Basis> {
+        match self {
+            GateSet::Cz => Box::new(CzBasis),
+            GateSet::Sqisw => Box::new(SqiswBasis),
+            GateSet::Ashn { cutoff } => Box::new(AshnBasis::with_cutoff(0.0, *cutoff)),
+        }
+    }
+
     /// Short display name.
     pub fn name(&self) -> String {
-        match self {
-            GateSet::Cz => "CZ".into(),
-            GateSet::Sqisw => "SQiSW".into(),
-            GateSet::Ashn { cutoff } => format!("AshN(r={cutoff})"),
-        }
+        self.basis().name()
     }
 
-    /// Compiles an arbitrary two-qubit unitary to this gate set, acting on
-    /// the physical qubit pair `(a, b)`. Returns simulator gates with
-    /// durations in units of `1/g`.
-    pub fn compile(&self, u: &CMat, a: usize, b: usize) -> Vec<Gate> {
-        let circuit = self.compile_circuit(u);
-        flatten(circuit, a, b)
-    }
-
-    fn compile_circuit(&self, u: &CMat) -> TwoQubitCircuit {
-        match self {
-            GateSet::Cz => cnot_basis::to_cz_basis(cnot_basis::decompose_cnot(u)),
-            GateSet::Sqisw => {
-                sqisw_basis::decompose_sqisw(u).expect("SQiSW synthesis converges")
-            }
-            GateSet::Ashn { cutoff } => {
-                let scheme = AshnScheme::with_cutoff(0.0, *cutoff);
-                ashn_basis::decompose_ashn(u, &scheme)
-                    .expect("AshN compilation covers SU(4)")
-                    .circuit
-            }
-        }
+    /// Compiles an arbitrary two-qubit unitary to this gate set as a
+    /// two-qubit [`Circuit`] (adjacent single-qubit gates fused), ready to
+    /// be [`Circuit::embed`]ded at its physical sites.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError`] when synthesis fails (e.g. the SQiSW interleaver
+    /// search does not converge) instead of the former `expect` panic.
+    pub fn compile_circuit(&self, u: &CMat) -> Result<Circuit, SynthError> {
+        self.basis()
+            .synthesize(u)
+            .map(|c| c.fuse_single_qubit_runs())
     }
 
     /// The compiled SWAP (for routing). CZ and SQiSW both need 3 natives;
     /// AshN needs a single `3π/4` pulse (§6.4).
-    pub fn compile_swap(&self, a: usize, b: usize) -> Vec<Gate> {
-        self.compile(&swap(), a, b)
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SynthError`] from synthesis.
+    pub fn compile_swap(&self) -> Result<Circuit, SynthError> {
+        self.basis()
+            .native_swap()
+            .map(|c| c.fuse_single_qubit_runs())
     }
 
     /// Total two-qubit interaction time of a compiled gate, units of `1/g`.
-    pub fn gate_duration(&self, u: &CMat) -> f64 {
-        self.compile_circuit(u).entangler_duration()
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SynthError`] from synthesis.
+    pub fn gate_duration(&self, u: &CMat) -> Result<f64, SynthError> {
+        Ok(self.basis().synthesize(u)?.entangler_duration())
     }
-}
-
-/// Flattens a [`TwoQubitCircuit`] into simulator gates on physical qubits
-/// `(a, b)`, merging adjacent single-qubit gates per wire.
-fn flatten(c: TwoQubitCircuit, a: usize, b: usize) -> Vec<Gate> {
-    let mut out = Vec::new();
-    let mut pending: [Option<CMat>; 2] = [None, None];
-    let flush = |slot: usize, pending: &mut [Option<CMat>; 2], out: &mut Vec<Gate>| {
-        if let Some(m) = pending[slot].take() {
-            let q = if slot == 0 { a } else { b };
-            out.push(Gate::new(vec![q], m, "1q").with_duration(0.0));
-        }
-    };
-    for op in c.ops {
-        match op {
-            Op2::L0(g) => {
-                pending[0] = Some(match pending[0].take() {
-                    Some(prev) => g.matmul(&prev),
-                    None => g,
-                });
-            }
-            Op2::L1(g) => {
-                pending[1] = Some(match pending[1].take() {
-                    Some(prev) => g.matmul(&prev),
-                    None => g,
-                });
-            }
-            Op2::Entangler {
-                label,
-                matrix,
-                duration,
-            } => {
-                flush(0, &mut pending, &mut out);
-                flush(1, &mut pending, &mut out);
-                out.push(Gate::new(vec![a, b], matrix, label).with_duration(duration));
-            }
-        }
-    }
-    flush(0, &mut pending, &mut out);
-    flush(1, &mut pending, &mut out);
-    // Global phase: attach to the first single-qubit gate (or emit one).
-    if (c.phase - ashn_math::Complex::ONE).abs() > 1e-12 {
-        out.insert(
-            0,
-            Gate::new(
-                vec![a],
-                CMat::identity(2).scale(c.phase),
-                "phase",
-            )
-            .with_duration(0.0)
-            .with_error_rate(0.0),
-        );
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ashn_gates::two::swap;
     use ashn_math::randmat::haar_unitary;
-    use ashn_sim::Circuit;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::f64::consts::PI;
-
-    fn reconstruct(gates: &[Gate], n: usize) -> CMat {
-        let mut c = Circuit::new(n);
-        for g in gates {
-            c.push(g.clone());
-        }
-        c.unitary()
-    }
 
     #[test]
     fn all_gate_sets_reproduce_targets() {
@@ -150,41 +97,46 @@ mod tests {
             GateSet::Ashn { cutoff: 0.0 },
             GateSet::Ashn { cutoff: 1.1 },
         ] {
-            let gates = gs.compile(&u, 0, 1);
-            let got = reconstruct(&gates, 2);
+            let circuit = gs.compile_circuit(&u).unwrap_or_else(|e| panic!("{e}"));
             assert!(
-                got.dist(&u) < 1e-5,
+                circuit.error(&u) < 1e-5,
                 "{}: reconstruction error {}",
                 gs.name(),
-                got.dist(&u)
+                circuit.error(&u)
             );
         }
     }
 
     #[test]
-    fn compile_respects_physical_pair() {
+    fn compile_embeds_onto_physical_pair() {
         let mut rng = StdRng::seed_from_u64(22);
         let u = haar_unitary(4, &mut rng);
-        let gates = GateSet::Ashn { cutoff: 0.0 }.compile(&u, 2, 0);
-        for g in &gates {
+        let circuit = GateSet::Ashn { cutoff: 0.0 }
+            .compile_circuit(&u)
+            .unwrap()
+            .embed(3, &[2, 0])
+            .unwrap();
+        for g in &circuit.instructions {
             for q in &g.qubits {
                 assert!(*q == 0 || *q == 2);
             }
         }
+        assert!(circuit.unitary().is_unitary(1e-9));
     }
 
     #[test]
     fn swap_durations_match_paper() {
         // CZ: 3·π/√2; SQiSW: 3·π/4; AshN: 3π/4 in ONE pulse (§6.4).
-        let dur = |gs: GateSet| -> f64 {
-            GateSet::gate_duration(&gs, &swap())
-        };
+        let dur = |gs: GateSet| -> f64 { gs.gate_duration(&swap()).unwrap() };
         assert!((dur(GateSet::Cz) - 3.0 * PI / 2f64.sqrt()).abs() < 1e-9);
         assert!((dur(GateSet::Sqisw) - 3.0 * PI / 4.0).abs() < 1e-9);
         assert!((dur(GateSet::Ashn { cutoff: 0.0 }) - 3.0 * PI / 4.0).abs() < 1e-9);
-        let swap_gates = GateSet::Ashn { cutoff: 0.0 }.compile_swap(0, 1);
-        let two_q = swap_gates.iter().filter(|g| g.qubits.len() == 2).count();
-        assert_eq!(two_q, 1, "AshN implements SWAP in one pulse");
+        let swap_circuit = GateSet::Ashn { cutoff: 0.0 }.compile_swap().unwrap();
+        assert_eq!(
+            swap_circuit.entangler_count(),
+            1,
+            "AshN implements SWAP in one pulse"
+        );
     }
 
     #[test]
@@ -193,9 +145,9 @@ mod tests {
         let mut totals = [0.0f64; 3];
         for _ in 0..5 {
             let u = haar_unitary(4, &mut rng);
-            totals[0] += GateSet::Cz.gate_duration(&u);
-            totals[1] += GateSet::Sqisw.gate_duration(&u);
-            totals[2] += GateSet::Ashn { cutoff: 0.0 }.gate_duration(&u);
+            totals[0] += GateSet::Cz.gate_duration(&u).unwrap();
+            totals[1] += GateSet::Sqisw.gate_duration(&u).unwrap();
+            totals[2] += GateSet::Ashn { cutoff: 0.0 }.gate_duration(&u).unwrap();
         }
         assert!(totals[2] < totals[1] && totals[1] < totals[0]);
     }

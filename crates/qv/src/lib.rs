@@ -11,8 +11,9 @@
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
-//! let hop = mean_hop(4, GateSet::Ashn { cutoff: 1.1 }, &QvNoise::with_e_cz(0.007), 20, &mut rng);
+//! let hop = mean_hop(4, GateSet::Ashn { cutoff: 1.1 }, &QvNoise::with_e_cz(0.007), 20, &mut rng)?;
 //! assert!(hop > 0.5);
+//! # Ok::<(), ashn_ir::SynthError>(())
 //! ```
 
 pub mod experiment;
@@ -20,7 +21,7 @@ pub mod gateset;
 pub mod protocol;
 
 pub use experiment::{
-    compile_model, heavy_set, mean_hop, sample_model_circuit, score_circuit, score_compiled,
-    stamp_noise, CircuitScore, CompiledModel, ModelCircuit, QvNoise,
+    compile_model, compile_model_on, heavy_set, mean_hop, sample_model_circuit, score_circuit,
+    score_compiled, stamp_noise, CircuitScore, CompiledModel, ModelCircuit, QvNoise,
 };
 pub use gateset::GateSet;

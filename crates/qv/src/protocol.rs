@@ -4,6 +4,7 @@
 
 use crate::experiment::{compile_model, sample_model_circuit, score_compiled, QvNoise};
 use crate::gateset::GateSet;
+use ashn_ir::SynthError;
 use rand::Rng;
 
 /// Result of the protocol at one size.
@@ -20,49 +21,56 @@ pub struct QvPoint {
 }
 
 /// Evaluates one size with `n_circuits` samples.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from compilation.
 pub fn qv_point(
     d: usize,
     gate_set: GateSet,
     noise: &QvNoise,
     n_circuits: usize,
     rng: &mut impl Rng,
-) -> QvPoint {
+) -> Result<QvPoint, SynthError> {
     let mut hops = Vec::with_capacity(n_circuits);
     for _ in 0..n_circuits {
         let model = sample_model_circuit(d, rng);
-        hops.push(score_compiled(&compile_model(&model, gate_set), noise).hop);
+        hops.push(score_compiled(&compile_model(&model, gate_set)?, noise).hop);
     }
     let mean = hops.iter().sum::<f64>() / n_circuits as f64;
-    let var = hops.iter().map(|h| (h - mean).powi(2)).sum::<f64>()
-        / (n_circuits.max(2) - 1) as f64;
+    let var = hops.iter().map(|h| (h - mean).powi(2)).sum::<f64>() / (n_circuits.max(2) - 1) as f64;
     let std_err = (var / n_circuits as f64).sqrt();
-    QvPoint {
+    Ok(QvPoint {
         d,
         mean_hop: mean,
         std_err,
         pass: mean - 2.0 * std_err > 2.0 / 3.0,
-    }
+    })
 }
 
 /// The largest passing size up to `d_max`; the quantum volume is `2^d`.
 /// Returns `(d, log2_qv_points)`.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from compilation.
 pub fn quantum_volume(
     gate_set: GateSet,
     noise: &QvNoise,
     d_max: usize,
     n_circuits: usize,
     rng: &mut impl Rng,
-) -> (usize, Vec<QvPoint>) {
+) -> Result<(usize, Vec<QvPoint>), SynthError> {
     let mut best = 0usize;
     let mut points = Vec::new();
     for d in 2..=d_max {
-        let p = qv_point(d, gate_set, noise, n_circuits, rng);
+        let p = qv_point(d, gate_set, noise, n_circuits, rng)?;
         if p.pass {
             best = d;
         }
         points.push(p);
     }
-    (best, points)
+    Ok((best, points))
 }
 
 #[cfg(test)]
@@ -78,7 +86,7 @@ mod tests {
             e_cz: 0.0,
             e_1q: 0.0,
         };
-        let p = qv_point(3, GateSet::Ashn { cutoff: 0.0 }, &noise, 8, &mut rng);
+        let p = qv_point(3, GateSet::Ashn { cutoff: 0.0 }, &noise, 8, &mut rng).unwrap();
         assert!(p.pass, "noiseless d=3 must pass: {p:?}");
         assert!(p.std_err < 0.1);
     }
@@ -87,7 +95,7 @@ mod tests {
     fn very_noisy_device_fails() {
         let mut rng = StdRng::seed_from_u64(62);
         let noise = QvNoise::with_e_cz(0.25);
-        let p = qv_point(4, GateSet::Cz, &noise, 6, &mut rng);
+        let p = qv_point(4, GateSet::Cz, &noise, 6, &mut rng).unwrap();
         assert!(!p.pass, "25% CZ error at d=4 must fail: {p:?}");
         assert!(p.mean_hop < 2.0 / 3.0 + 0.05);
     }
@@ -97,7 +105,7 @@ mod tests {
         let noise = QvNoise::with_e_cz(0.05);
         let run = |gs| {
             let mut rng = StdRng::seed_from_u64(63);
-            quantum_volume(gs, &noise, 4, 6, &mut rng).0
+            quantum_volume(gs, &noise, 4, 6, &mut rng).unwrap().0
         };
         let qv_cz = run(GateSet::Cz);
         let qv_ashn = run(GateSet::Ashn { cutoff: 1.1 });

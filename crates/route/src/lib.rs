@@ -16,10 +16,12 @@
 //! assert!(!ops.is_empty());
 //! ```
 
+pub mod assemble;
 pub mod grid;
 pub mod lookahead;
 pub mod router;
 
+pub use assemble::expand_route_ops;
 pub use grid::Grid;
 pub use lookahead::LookaheadRouter;
 pub use router::{random_pairing, RouteOp, Router};

@@ -1,52 +1,21 @@
-//! A minimal circuit IR carrying everything the noise model needs:
-//! the unitary, the acted-on qubits, a duration (in units of `1/g`), and an
-//! optional per-gate error rate.
+//! Circuit-level simulation on the canonical [`ashn_ir::Circuit`] IR.
+//!
+//! The circuit representation itself lives in `ashn-ir` (one IR for the
+//! whole workspace); this module keeps the noise model and provides the
+//! [`Simulate`] extension trait so `circuit.run_pure()` /
+//! `circuit.run_noisy(..)` read as before. The former `ashn_sim::Gate` and
+//! the private `Circuit` are thin deprecated aliases for one release.
 
 use crate::density::DensityMatrix;
 use crate::state::StateVector;
-use ashn_math::CMat;
+pub use ashn_ir::{Circuit, Instruction};
 
-/// One gate instance in a circuit.
-#[derive(Clone, Debug)]
-pub struct Gate {
-    /// Qubits the gate acts on (big-endian order w.r.t. the matrix).
-    pub qubits: Vec<usize>,
-    /// The unitary matrix (dimension `2^qubits.len()`).
-    pub matrix: CMat,
-    /// Human-readable label (e.g. `"CZ"`, `"AshN(0.42,0.1,0.0)"`).
-    pub label: String,
-    /// Gate duration in units of `1/g`; `0` for virtual gates.
-    pub duration: f64,
-    /// Depolarizing error probability applied after the gate; `None` means
-    /// "use the noise-model default for this arity".
-    pub error_rate: Option<f64>,
-}
-
-impl Gate {
-    /// Creates a gate with no duration or error annotation.
-    pub fn new(qubits: Vec<usize>, matrix: CMat, label: impl Into<String>) -> Self {
-        assert_eq!(matrix.rows(), 1 << qubits.len(), "gate dimension mismatch");
-        Self {
-            qubits,
-            matrix,
-            label: label.into(),
-            duration: 0.0,
-            error_rate: None,
-        }
-    }
-
-    /// Sets the duration (builder style).
-    pub fn with_duration(mut self, duration: f64) -> Self {
-        self.duration = duration;
-        self
-    }
-
-    /// Sets an explicit error rate (builder style).
-    pub fn with_error_rate(mut self, p: f64) -> Self {
-        self.error_rate = Some(p);
-        self
-    }
-}
+/// Deprecated name of [`Instruction`], kept for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ashn_ir::Instruction` (re-exported as `ashn_sim::Instruction`)"
+)]
+pub type Gate = Instruction;
 
 /// Per-arity default depolarizing rates.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -64,7 +33,7 @@ impl NoiseModel {
         two_qubit: 0.0,
     };
 
-    fn rate_for(&self, gate: &Gate) -> f64 {
+    pub(crate) fn rate_for(&self, gate: &Instruction) -> f64 {
         gate.error_rate.unwrap_or(match gate.qubits.len() {
             1 => self.one_qubit,
             2 => self.two_qubit,
@@ -73,69 +42,33 @@ impl NoiseModel {
     }
 }
 
-/// A quantum circuit on `n` qubits.
-#[derive(Clone, Debug, Default)]
-pub struct Circuit {
-    n: usize,
-    gates: Vec<Gate>,
+/// Execution of [`ashn_ir::Circuit`]s on the simulators in this crate.
+pub trait Simulate {
+    /// Runs the circuit on `|0…0⟩` without noise.
+    fn run_pure(&self) -> StateVector;
+
+    /// Runs the circuit with depolarizing noise after every gate, returning
+    /// the exact output density matrix.
+    fn run_noisy(&self, noise: &NoiseModel) -> DensityMatrix;
 }
 
-impl Circuit {
-    /// An empty circuit on `n` qubits.
-    pub fn new(n: usize) -> Self {
-        Self {
-            n,
-            gates: Vec::new(),
-        }
-    }
-
-    /// Number of qubits.
-    pub fn n_qubits(&self) -> usize {
-        self.n
-    }
-
-    /// Appends a gate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the gate touches qubits outside the register.
-    pub fn push(&mut self, gate: Gate) {
-        assert!(
-            gate.qubits.iter().all(|q| *q < self.n),
-            "gate on out-of-range qubit"
-        );
-        self.gates.push(gate);
-    }
-
-    /// The gates in application order.
-    pub fn gates(&self) -> &[Gate] {
-        &self.gates
-    }
-
-    /// Total duration (sum of gate durations).
-    pub fn total_duration(&self) -> f64 {
-        self.gates.iter().map(|g| g.duration).sum()
-    }
-
-    /// Number of gates acting on ≥ 2 qubits.
-    pub fn two_qubit_gate_count(&self) -> usize {
-        self.gates.iter().filter(|g| g.qubits.len() >= 2).count()
-    }
-
-    /// Runs the circuit on `|0…0⟩` without noise.
-    pub fn run_pure(&self) -> StateVector {
-        let mut s = StateVector::zero(self.n);
-        for g in &self.gates {
+impl Simulate for Circuit {
+    fn run_pure(&self) -> StateVector {
+        // Seed |0…0⟩ scaled by the circuit's global phase so amplitudes
+        // agree with `Circuit::unitary()` column 0 (the former gate-list
+        // representation carried the phase as an explicit gate).
+        let mut amps = vec![ashn_math::Complex::ZERO; 1 << self.n];
+        amps[0] = self.phase;
+        let mut s = StateVector::from_amplitudes_unchecked(amps);
+        for g in &self.instructions {
             s.apply(&g.qubits, &g.matrix);
         }
         s
     }
 
-    /// Runs the circuit with depolarizing noise after every gate, returning
-    /// the exact output density matrix.
-    pub fn run_noisy(&self, noise: &NoiseModel) -> DensityMatrix {
+    fn run_noisy(&self, noise: &NoiseModel) -> DensityMatrix {
         let mut rho = DensityMatrix::zero(self.n);
-        for g in &self.gates {
+        for g in &self.instructions {
             rho.apply(&g.qubits, &g.matrix);
             let p = noise.rate_for(g);
             if p > 0.0 {
@@ -144,36 +77,13 @@ impl Circuit {
         }
         rho
     }
-
-    /// The dense unitary of the whole circuit (small `n` only).
-    ///
-    /// # Panics
-    ///
-    /// Panics for `n > 10`.
-    pub fn unitary(&self) -> CMat {
-        assert!(self.n <= 10, "dense unitary limited to 10 qubits");
-        let dim = 1usize << self.n;
-        let mut u = CMat::identity(dim);
-        // Column i of the total unitary = circuit applied to basis state i.
-        for i in 0..dim {
-            let mut amps = vec![ashn_math::Complex::ZERO; dim];
-            amps[i] = ashn_math::Complex::ONE;
-            let mut s = StateVector::from_amplitudes_unchecked(amps);
-            for g in &self.gates {
-                s.apply(&g.qubits, &g.matrix);
-            }
-            for (r, a) in s.amplitudes().iter().enumerate() {
-                u[(r, i)] = *a;
-            }
-        }
-        u
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ashn_math::randmat::haar_unitary;
+    use ashn_math::CMat;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -186,9 +96,9 @@ mod tests {
     fn noiseless_density_equals_pure_run() {
         let mut rng = StdRng::seed_from_u64(21);
         let mut c = Circuit::new(3);
-        c.push(Gate::new(vec![0], h_gate(), "H"));
-        c.push(Gate::new(vec![0, 1], haar_unitary(4, &mut rng), "U"));
-        c.push(Gate::new(vec![2, 1], haar_unitary(4, &mut rng), "V"));
+        c.push(Instruction::new(vec![0], h_gate(), "H"));
+        c.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "U"));
+        c.push(Instruction::new(vec![2, 1], haar_unitary(4, &mut rng), "V"));
         let pure = c.run_pure();
         let rho = c.run_noisy(&NoiseModel::NOISELESS);
         for (a, b) in pure.probabilities().iter().zip(rho.probabilities()) {
@@ -200,7 +110,7 @@ mod tests {
     fn noise_reduces_purity() {
         let mut rng = StdRng::seed_from_u64(22);
         let mut c = Circuit::new(2);
-        c.push(Gate::new(vec![0, 1], haar_unitary(4, &mut rng), "U"));
+        c.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "U"));
         let rho = c.run_noisy(&NoiseModel {
             one_qubit: 0.001,
             two_qubit: 0.02,
@@ -212,7 +122,7 @@ mod tests {
     #[test]
     fn explicit_error_rate_overrides_default() {
         let mut c = Circuit::new(1);
-        c.push(Gate::new(vec![0], h_gate(), "H").with_error_rate(1.0));
+        c.push(Instruction::new(vec![0], h_gate(), "H").with_error_rate(1.0));
         let rho = c.run_noisy(&NoiseModel::NOISELESS);
         // Full depolarizing: maximally mixed.
         assert!((rho.purity() - 0.5).abs() < 1e-12);
@@ -223,16 +133,35 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let u01 = haar_unitary(4, &mut rng);
         let mut c = Circuit::new(2);
-        c.push(Gate::new(vec![0, 1], u01.clone(), "U"));
+        c.push(Instruction::new(vec![0, 1], u01.clone(), "U"));
         assert!(c.unitary().dist(&u01) < 1e-10);
     }
 
     #[test]
     fn durations_accumulate() {
         let mut c = Circuit::new(2);
-        c.push(Gate::new(vec![0], h_gate(), "H").with_duration(0.1));
-        c.push(Gate::new(vec![1], h_gate(), "H").with_duration(0.2));
+        c.push(Instruction::new(vec![0], h_gate(), "H").with_duration(0.1));
+        c.push(Instruction::new(vec![1], h_gate(), "H").with_duration(0.2));
         assert!((c.total_duration() - 0.3).abs() < 1e-12);
         assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    fn run_pure_carries_the_global_phase() {
+        let mut c = Circuit::new(2);
+        c.phase = ashn_math::Complex::cis(0.9);
+        c.push(Instruction::new(vec![0], h_gate(), "H"));
+        let amps = c.run_pure();
+        let u = c.unitary();
+        for (r, a) in amps.amplitudes().iter().enumerate() {
+            assert!((*a - u[(r, 0)]).abs() < 1e-12, "row {r}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_gate_alias_still_constructs() {
+        let g = Gate::new(vec![0], h_gate(), "H");
+        assert_eq!(g.qubits, vec![0]);
     }
 }

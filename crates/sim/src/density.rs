@@ -18,7 +18,10 @@ pub struct DensityMatrix {
 impl DensityMatrix {
     /// The pure state `|0…0⟩⟨0…0|`.
     pub fn zero(n: usize) -> Self {
-        assert!(n >= 1 && n <= 12, "density matrices supported up to 12 qubits");
+        assert!(
+            (1..=12).contains(&n),
+            "density matrices supported up to 12 qubits"
+        );
         let dim = 1 << n;
         let mut mat = vec![Complex::ZERO; dim * dim];
         mat[0] = Complex::ONE;
@@ -94,8 +97,8 @@ impl DensityMatrix {
                 if base & targets_mask != 0 {
                     continue;
                 }
-                for m in 0..sub {
-                    gathered[m] = self.mat[expand(base, m) * self.dim + col];
+                for (m, g) in gathered.iter_mut().enumerate() {
+                    *g = self.mat[expand(base, m) * self.dim + col];
                 }
                 for row in 0..sub {
                     let mut acc = Complex::ZERO;
@@ -112,8 +115,8 @@ impl DensityMatrix {
                 if base & targets_mask != 0 {
                     continue;
                 }
-                for m in 0..sub {
-                    gathered[m] = self.mat[row * self.dim + expand(base, m)];
+                for (m, g) in gathered.iter_mut().enumerate() {
+                    *g = self.mat[row * self.dim + expand(base, m)];
                 }
                 for colm in 0..sub {
                     let mut acc = Complex::ZERO;

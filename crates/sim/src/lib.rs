@@ -9,7 +9,7 @@
 //! ## Example: a noisy Bell pair
 //!
 //! ```
-//! use ashn_sim::{Circuit, Gate, NoiseModel};
+//! use ashn_sim::{Circuit, Instruction, NoiseModel, Simulate};
 //! use ashn_math::CMat;
 //!
 //! let h = CMat::from_rows_f64(&[
@@ -23,8 +23,8 @@
 //!     &[0.0, 0.0, 1.0, 0.0],
 //! ]);
 //! let mut c = Circuit::new(2);
-//! c.push(Gate::new(vec![0], h, "H"));
-//! c.push(Gate::new(vec![0, 1], cnot, "CNOT"));
+//! c.push(Instruction::new(vec![0], h, "H"));
+//! c.push(Instruction::new(vec![0, 1], cnot, "CNOT"));
 //! let rho = c.run_noisy(&NoiseModel { one_qubit: 0.001, two_qubit: 0.01 });
 //! let p = rho.probabilities();
 //! assert!((p[0] + p[3]) > 0.98); // mostly correlated outcomes
@@ -36,6 +36,8 @@ pub mod measure;
 pub mod state;
 pub mod trajectory;
 
-pub use circuit::{Circuit, Gate, NoiseModel};
+#[allow(deprecated)]
+pub use circuit::Gate;
+pub use circuit::{Circuit, Instruction, NoiseModel, Simulate};
 pub use density::DensityMatrix;
 pub use state::StateVector;

@@ -32,7 +32,11 @@ pub fn measure_qubit(state: &mut StateVector, qubit: usize, rng: &mut impl Rng) 
         .filter(|(i, _)| i >> pos & 1 == 1)
         .map(|(_, a)| a.norm_sqr())
         .sum();
-    let outcome = if rng.gen::<f64>() < p1 { Bit::One } else { Bit::Zero };
+    let outcome = if rng.gen::<f64>() < p1 {
+        Bit::One
+    } else {
+        Bit::Zero
+    };
     let keep = matches!(outcome, Bit::One);
     let norm = if keep { p1.sqrt() } else { (1.0 - p1).sqrt() };
     let amps: Vec<Complex> = state

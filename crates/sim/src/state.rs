@@ -16,7 +16,7 @@ pub struct StateVector {
 impl StateVector {
     /// The computational basis state `|0…0⟩`.
     pub fn zero(n: usize) -> Self {
-        assert!(n >= 1 && n <= 24, "qubit count out of supported range");
+        assert!((1..=24).contains(&n), "qubit count out of supported range");
         let mut amps = vec![Complex::ZERO; 1 << n];
         amps[0] = Complex::ONE;
         Self { n, amps }
@@ -105,41 +105,7 @@ impl StateVector {
                 "duplicate qubit {q} in gate application"
             );
         }
-        // Bit position of qubit q (q0 = most significant).
-        let pos: Vec<usize> = qubits.iter().map(|q| self.n - 1 - q).collect();
-        let targets_mask: usize = pos.iter().map(|p| 1usize << p).sum();
-        let dim = 1usize << self.n;
-        let sub = 1usize << k;
-        let mut gathered = vec![Complex::ZERO; sub];
-        for base in 0..dim {
-            if base & targets_mask != 0 {
-                continue;
-            }
-            // Gather amplitudes: sub-index bit j (big-endian over `qubits`)
-            // maps to bit position pos[j].
-            for m in 0..sub {
-                let mut idx = base;
-                for (j, p) in pos.iter().enumerate() {
-                    if m >> (k - 1 - j) & 1 == 1 {
-                        idx |= 1 << p;
-                    }
-                }
-                gathered[m] = self.amps[idx];
-            }
-            for (row, _) in gathered.iter().enumerate() {
-                let mut acc = Complex::ZERO;
-                for (col, g) in gathered.iter().enumerate() {
-                    acc += u[(row, col)] * *g;
-                }
-                let mut idx = base;
-                for (j, p) in pos.iter().enumerate() {
-                    if row >> (k - 1 - j) & 1 == 1 {
-                        idx |= 1 << p;
-                    }
-                }
-                self.amps[idx] = acc;
-            }
-        }
+        ashn_ir::circuit::apply_gate(&mut self.amps, self.n, qubits, u);
     }
 
     /// Samples a basis state index from the measurement distribution.
@@ -295,10 +261,7 @@ mod tests {
 
     #[test]
     fn from_amplitudes_round_trip() {
-        let s = StateVector::from_amplitudes(vec![
-            c(0.6, 0.0),
-            c(0.0, 0.8),
-        ]);
+        let s = StateVector::from_amplitudes(vec![c(0.6, 0.0), c(0.0, 0.8)]);
         assert_eq!(s.n_qubits(), 1);
         assert!((s.probabilities()[1] - 0.64).abs() < 1e-12);
     }

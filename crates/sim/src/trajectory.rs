@@ -28,19 +28,14 @@ fn pauli_matrix(which: usize) -> CMat {
 
 /// Runs one stochastic trajectory of the circuit under its per-gate
 /// depolarizing annotations, returning the final pure state.
-pub fn run_trajectory(
-    circuit: &Circuit,
-    noise: &NoiseModel,
-    rng: &mut impl Rng,
-) -> StateVector {
-    let mut s = StateVector::zero(circuit.n_qubits());
+pub fn run_trajectory(circuit: &Circuit, noise: &NoiseModel, rng: &mut impl Rng) -> StateVector {
+    // Carry the circuit's global phase, matching `Simulate::run_pure`.
+    let mut amps = vec![Complex::ZERO; 1 << circuit.n_qubits()];
+    amps[0] = circuit.phase;
+    let mut s = StateVector::from_amplitudes_unchecked(amps);
     for g in circuit.gates() {
         s.apply(&g.qubits, &g.matrix);
-        let p = g.error_rate.unwrap_or(match g.qubits.len() {
-            1 => noise.one_qubit,
-            2 => noise.two_qubit,
-            _ => 0.0,
-        });
+        let p = noise.rate_for(g);
         if p > 0.0 && rng.gen::<f64>() < p {
             // Uniformly random Pauli on each touched qubit (4^k options,
             // identity included — this is the exact unravelling of D_p).
@@ -79,7 +74,7 @@ pub fn trajectory_probabilities(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::circuit::Gate;
+    use crate::circuit::{Instruction, Simulate};
     use ashn_math::randmat::haar_unitary;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -90,7 +85,7 @@ mod tests {
             for q in 0..n - 1 {
                 if (q + layer) % 2 == 0 {
                     c.push(
-                        Gate::new(vec![q, q + 1], haar_unitary(4, rng), "U")
+                        Instruction::new(vec![q, q + 1], haar_unitary(4, rng), "U")
                             .with_error_rate(p2),
                     );
                 }
@@ -129,7 +124,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(83);
         let mut circuit = Circuit::new(2);
         circuit.push(
-            Gate::new(vec![0, 1], haar_unitary(4, &mut rng), "U").with_error_rate(1.0),
+            Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "U").with_error_rate(1.0),
         );
         let est = trajectory_probabilities(&circuit, &NoiseModel::NOISELESS, 8000, &mut rng);
         for p in est {

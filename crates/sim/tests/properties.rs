@@ -1,7 +1,7 @@
 //! Property-based tests for the simulators.
 
 use ashn_math::randmat::{haar_su, haar_unitary};
-use ashn_sim::{Circuit, DensityMatrix, Gate, NoiseModel, StateVector};
+use ashn_sim::{Circuit, DensityMatrix, Instruction, NoiseModel, Simulate, StateVector};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,10 +15,10 @@ fn random_circuit(n: usize, gates: usize, rng: &mut StdRng) -> Circuit {
             while b == a {
                 b = rng.gen_range(0..n);
             }
-            c.push(Gate::new(vec![a, b], haar_unitary(4, rng), "2q"));
+            c.push(Instruction::new(vec![a, b], haar_unitary(4, rng), "2q"));
         } else {
             let q = rng.gen_range(0..n);
-            c.push(Gate::new(vec![q], haar_su(2, rng), "1q"));
+            c.push(Instruction::new(vec![q], haar_su(2, rng), "1q"));
         }
     }
     c

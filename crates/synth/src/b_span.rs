@@ -51,10 +51,7 @@ pub fn two_b_core(target: WeylPoint) -> Result<TwoQubitCircuit, BSpanError> {
     let mut best = f64::INFINITY;
     for &a in &vals {
         for &c in &vals {
-            let seeds = [
-                [a, c, 0.3, -c, a, -0.6],
-                [c, -a, 1.1, a, 0.4, c],
-            ];
+            let seeds = [[a, c, 0.3, -c, a, -0.6], [c, -a, 1.1, a, 0.4, c]];
             for seed in seeds {
                 let res = nelder_mead(
                     objective,
@@ -177,6 +174,9 @@ mod tests {
             );
             best = best.min(res.f);
         }
-        assert!(best > 1e-3, "two CNOTs should NOT reach [SWAP]; best {best}");
+        assert!(
+            best > 1e-3,
+            "two CNOTs should NOT reach [SWAP]; best {best}"
+        );
     }
 }

@@ -3,6 +3,7 @@
 //! "exactly equal up to computed locals".
 
 use ashn_gates::kak::kak;
+use ashn_ir::{Circuit, Instruction, IrError};
 use ashn_math::{CMat, Complex};
 
 /// One element of a two-qubit circuit.
@@ -81,6 +82,85 @@ impl TwoQubitCircuit {
     }
 }
 
+/// Lossless conversion into the canonical IR: `L0`/`L1` become single-qubit
+/// instructions on qubits 0/1, entanglers become two-qubit instructions
+/// with their duration, the global phase is preserved.
+impl From<TwoQubitCircuit> for Circuit {
+    fn from(c: TwoQubitCircuit) -> Self {
+        let mut out = Circuit::new(2);
+        out.phase = c.phase;
+        for op in c.ops {
+            let instruction = match op {
+                Op2::L0(g) => Instruction::new(vec![0], g, "1q"),
+                Op2::L1(g) => Instruction::new(vec![1], g, "1q"),
+                Op2::Entangler {
+                    label,
+                    matrix,
+                    duration,
+                } => Instruction::new(vec![0, 1], matrix, label).with_duration(duration),
+            };
+            out.instructions.push(instruction);
+        }
+        out
+    }
+}
+
+/// Conversion back from a two-qubit IR circuit: single-qubit instructions
+/// become `L0`/`L1`, two-qubit instructions become entanglers. The unitary
+/// (phase included) and entangler durations round-trip exactly; `Op2` has
+/// no fields for single-qubit duration/error-rate annotations, so those
+/// are dropped (synthesis output never carries them).
+impl TryFrom<Circuit> for TwoQubitCircuit {
+    type Error = IrError;
+
+    fn try_from(c: Circuit) -> Result<Self, IrError> {
+        if c.n != 2 {
+            return Err(IrError::RegisterMismatch {
+                expected: 2,
+                got: c.n,
+            });
+        }
+        let mut phase = c.phase;
+        let mut ops = Vec::with_capacity(c.instructions.len());
+        for g in c.instructions {
+            ops.push(match g.qubits.as_slice() {
+                [0] => Op2::L0(g.matrix),
+                [1] => Op2::L1(g.matrix),
+                [0, 1] => Op2::Entangler {
+                    label: g.label,
+                    matrix: g.matrix,
+                    duration: g.duration,
+                },
+                [1, 0] => {
+                    // Reorder onto (0, 1) by conjugating with SWAP.
+                    let swap = CMat::from_rows_f64(&[
+                        &[1.0, 0.0, 0.0, 0.0],
+                        &[0.0, 0.0, 1.0, 0.0],
+                        &[0.0, 1.0, 0.0, 0.0],
+                        &[0.0, 0.0, 0.0, 1.0],
+                    ]);
+                    Op2::Entangler {
+                        label: g.label,
+                        matrix: swap.matmul(&g.matrix).matmul(&swap),
+                        duration: g.duration,
+                    }
+                }
+                qs => {
+                    // Zero-qubit instructions are 1x1 scalars: fold into the
+                    // global phase so the unitary still round-trips.
+                    if qs.is_empty() {
+                        phase *= g.matrix[(0, 0)];
+                        continue;
+                    }
+                    let bad = qs.iter().copied().find(|&q| q >= 2).unwrap_or(qs[0]);
+                    return Err(IrError::QubitOutOfRange { qubit: bad, n: 2 });
+                }
+            });
+        }
+        Ok(TwoQubitCircuit { phase, ops })
+    }
+}
+
 /// Dresses `base` (whose Weyl class must equal `target`'s) with single-qubit
 /// gates so the result equals `target` exactly (up to numerics).
 ///
@@ -151,10 +231,7 @@ mod tests {
             ],
         };
         let id2 = CMat::identity(2);
-        let expect = id2
-            .kron(&b)
-            .matmul(&cnot())
-            .matmul(&a.kron(&id2));
+        let expect = id2.kron(&b).matmul(&cnot()).matmul(&a.kron(&id2));
         assert!(c.unitary().dist(&expect) < 1e-12);
         assert_eq!(c.entangler_count(), 1);
         assert!((c.entangler_duration() - 1.0).abs() < 1e-12);

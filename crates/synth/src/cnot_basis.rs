@@ -96,10 +96,7 @@ pub fn decompose_cnot(u: &CMat) -> TwoQubitCircuit {
             // u = g (A₁B₁ ⊗ A₂B₂).
             TwoQubitCircuit {
                 phase: k.phase,
-                ops: vec![
-                    Op2::L0(k.a1.matmul(&k.b1)),
-                    Op2::L1(k.a2.matmul(&k.b2)),
-                ],
+                ops: vec![Op2::L0(k.a1.matmul(&k.b1)), Op2::L1(k.a2.matmul(&k.b2))],
             }
         }
         1 => align_to_target(
@@ -112,7 +109,11 @@ pub fn decompose_cnot(u: &CMat) -> TwoQubitCircuit {
         2 => align_to_target(u, two_cnot_core(p.x, p.y)),
         _ => align_to_target(
             u,
-            three_cnot_core(FRAC_PI_2 + 2.0 * p.z, FRAC_PI_2 - 2.0 * p.x, FRAC_PI_2 - 2.0 * p.y),
+            three_cnot_core(
+                FRAC_PI_2 + 2.0 * p.z,
+                FRAC_PI_2 - 2.0 * p.x,
+                FRAC_PI_2 - 2.0 * p.y,
+            ),
         ),
     }
 }
@@ -123,7 +124,11 @@ pub fn to_cz_basis(c: TwoQubitCircuit) -> TwoQubitCircuit {
     let mut ops = Vec::with_capacity(c.ops.len() * 2);
     for op in c.ops {
         match op {
-            Op2::Entangler { label, matrix, duration } => {
+            Op2::Entangler {
+                label,
+                matrix,
+                duration,
+            } => {
                 if matrix.dist(&cnot()) < 1e-12 {
                     ops.push(Op2::L1(h()));
                     ops.push(entangler("CZ", ashn_gates::two::cz(), duration));
@@ -133,13 +138,20 @@ pub fn to_cz_basis(c: TwoQubitCircuit) -> TwoQubitCircuit {
                     ops.push(entangler("CZ", ashn_gates::two::cz(), duration));
                     ops.push(Op2::L0(h()));
                 } else {
-                    ops.push(Op2::Entangler { label, matrix, duration });
+                    ops.push(Op2::Entangler {
+                        label,
+                        matrix,
+                        duration,
+                    });
                 }
             }
             other => ops.push(other),
         }
     }
-    TwoQubitCircuit { phase: c.phase, ops }
+    TwoQubitCircuit {
+        phase: c.phase,
+        ops,
+    }
 }
 
 #[cfg(test)]

@@ -58,7 +58,10 @@ impl Csd {
 /// fails numerically (`> 1e-7`), which would indicate a degenerate-cluster
 /// bug rather than a user error.
 pub fn csd(u: &CMat) -> Csd {
-    assert!(u.is_square() && u.rows() % 2 == 0, "even dimension required");
+    assert!(
+        u.is_square() && u.rows().is_multiple_of(2),
+        "even dimension required"
+    );
     assert!(u.is_unitary(1e-8), "csd requires a unitary input");
     let p = u.rows() / 2;
     let u11 = u.block(0, 0, p, p);
@@ -76,13 +79,13 @@ pub fn csd(u: &CMat) -> Csd {
     let w = u21.matmul(&r0);
     let mut l1 = CMat::zeros(p, p);
     let mut filled = vec![false; p];
-    for i in 0..p {
+    for (i, f) in filled.iter_mut().enumerate() {
         let col = w.col(i);
         let norm = col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
         if norm > 1e-8 {
             let c: Vec<Complex> = col.iter().map(|z| *z / norm).collect();
             l1.set_col(i, &c);
-            filled[i] = true;
+            *f = true;
         }
     }
     // Complete unfilled columns via Gram–Schmidt against every filled one.
@@ -96,13 +99,12 @@ pub fn csd(u: &CMat) -> Csd {
             let mut v = vec![Complex::ZERO; p];
             v[cand % p] = Complex::ONE;
             cand += 1;
-            for j in 0..p {
-                if !filled[j] {
+            for (j, &fj) in filled.iter().enumerate() {
+                if !fj {
                     continue;
                 }
                 let col = l1.col(j);
-                let inner: Complex =
-                    col.iter().zip(v.iter()).map(|(a, b)| a.conj() * *b).sum();
+                let inner: Complex = col.iter().zip(v.iter()).map(|(a, b)| a.conj() * *b).sum();
                 for (vi, ci) in v.iter_mut().zip(col.iter()) {
                     *vi -= inner * *ci;
                 }
@@ -132,8 +134,7 @@ pub fn csd(u: &CMat) -> Csd {
             .map(|&t| ashn_math::c(t.sin(), 0.0))
             .collect::<Vec<_>>(),
     );
-    let r1_dag = cmat.matmul(&l1.adjoint()).matmul(&u22)
-        - smat.matmul(&l0.adjoint()).matmul(&u12);
+    let r1_dag = cmat.matmul(&l1.adjoint()).matmul(&u22) - smat.matmul(&l0.adjoint()).matmul(&u12);
     // Guard against round-off in near-degenerate clusters.
     let r1 = closest_unitary(&r1_dag).adjoint();
 

@@ -279,19 +279,16 @@ pub fn instantiate(
         } else {
             (0..nblocks).rev().collect()
         };
-        let refresh = |ansatz: &Ansatz,
-                       i: usize,
-                       pre: &mut Vec<CMat>,
-                       suf: &mut Vec<CMat>,
-                       forward: bool| {
-            let b = &ansatz.blocks[i];
-            let e = embed(n, &b.qubits(), b.matrix());
-            if forward {
-                pre[i + 1] = e.matmul(&pre[i]);
-            } else {
-                suf[i] = suf[i + 1].matmul(&e);
-            }
-        };
+        let refresh =
+            |ansatz: &Ansatz, i: usize, pre: &mut Vec<CMat>, suf: &mut Vec<CMat>, forward: bool| {
+                let b = &ansatz.blocks[i];
+                let e = embed(n, &b.qubits(), b.matrix());
+                if forward {
+                    pre[i + 1] = e.matmul(&pre[i]);
+                } else {
+                    suf[i] = suf[i + 1].matmul(&e);
+                }
+            };
         let mut skip_next: Option<usize> = None;
         for &i in &order {
             if skip_next == Some(i) {

@@ -28,6 +28,8 @@
 //! ```
 
 pub mod ashn_basis;
+pub mod b_span;
+pub mod basis;
 pub mod circuit2;
 pub mod cnot_basis;
 pub mod counts;
@@ -38,4 +40,5 @@ pub mod ncircuit;
 pub mod qsd;
 pub mod sqisw_basis;
 pub mod three_qubit;
-pub mod b_span;
+
+pub use basis::{AshnBasis, CnotBasis, CzBasis, SqiswBasis};

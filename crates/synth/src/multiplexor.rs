@@ -2,9 +2,9 @@
 //! multiplexed rotations (Möttönen et al. [42]), and demultiplexing of
 //! select-qubit block-diagonal unitaries.
 
-use crate::ncircuit::NGate;
 use ashn_gates::single::{ry, rz};
 use ashn_gates::two::cnot;
+use ashn_ir::Instruction;
 use ashn_math::eig::eig_unitary;
 use ashn_math::{CMat, Complex};
 
@@ -63,7 +63,10 @@ pub fn is_mux(u: &CMat, n: usize, q: usize, tol: f64) -> bool {
 /// [`is_mux`]): returns `(U0, U1)` acting on the remaining qubits in
 /// ascending order.
 pub fn mux_blocks(u: &CMat, n: usize, q: usize) -> (CMat, CMat) {
-    assert!(is_mux(u, n, q, 1e-8), "input is not a qubit-{q} multiplexor");
+    assert!(
+        is_mux(u, n, q, 1e-8),
+        "input is not a qubit-{q} multiplexor"
+    );
     let dim = 1usize << n;
     let p = n - 1 - q;
     let half = dim / 2;
@@ -102,15 +105,11 @@ pub fn mux_rotation_ladder(
     target: usize,
     selects: &[usize],
     angles: &[f64],
-) -> Vec<NGate> {
+) -> Vec<Instruction> {
     let m = selects.len();
     assert_eq!(angles.len(), 1 << m, "need 2^m angles");
     if m == 0 {
-        return vec![NGate::new(
-            vec![target],
-            rot(axis, angles[0]),
-            "R",
-        )];
+        return vec![Instruction::new(vec![target], rot(axis, angles[0]), "R")];
     }
     let size = 1usize << m;
     // φ_j = 2^{−m} Σ_l (−1)^{⟨gray(j), l⟩} θ_l.
@@ -118,7 +117,7 @@ pub fn mux_rotation_ladder(
     for (j, p) in phi.iter_mut().enumerate() {
         let gj = gray(j);
         for (l, &theta) in angles.iter().enumerate() {
-            let sign = if (gj & l).count_ones() % 2 == 0 {
+            let sign = if (gj & l).count_ones().is_multiple_of(2) {
                 1.0
             } else {
                 -1.0
@@ -129,13 +128,14 @@ pub fn mux_rotation_ladder(
     }
     let mut gates = Vec::with_capacity(2 * size);
     for (j, &p) in phi.iter().enumerate() {
-        gates.push(NGate::new(vec![target], rot(axis, p), "R"));
+        gates.push(Instruction::new(vec![target], rot(axis, p), "R"));
         // Control = select whose bit flips between gray(j) and gray(j+1).
-        let flip = (gray(j) ^ gray((j + 1) % size)) | if j + 1 == size { gray(size - 1) } else { 0 };
+        let flip =
+            (gray(j) ^ gray((j + 1) % size)) | if j + 1 == size { gray(size - 1) } else { 0 };
         let bit = flip.trailing_zeros() as usize;
         // Bit b of l corresponds to selects[m−1−b].
         let control = selects[m - 1 - bit];
-        gates.push(NGate::new(vec![control, target], cnot(), "CNOT"));
+        gates.push(Instruction::new(vec![control, target], cnot(), "CNOT"));
     }
     gates
 }
@@ -164,14 +164,14 @@ pub fn demultiplex(u0: &CMat, u1: &CMat) -> (CMat, Vec<f64>, CMat) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ncircuit::{embed, NCircuit};
+    use ashn_ir::{embed, Circuit};
     use ashn_math::randmat::haar_unitary;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
     fn ladder_unitary(axis: Axis, n: usize, angles: &[f64]) -> CMat {
         let selects: Vec<usize> = (1..n).collect();
-        let mut c = NCircuit::new(n);
+        let mut c = Circuit::new(n);
         for g in mux_rotation_ladder(axis, 0, &selects, angles) {
             c.push(g);
         }
@@ -219,10 +219,7 @@ mod tests {
             mux.set_block(0, 0, &u0);
             mux.set_block(dim, dim, &u1);
             let rebuilt = embed(n, &(1..n).collect::<Vec<_>>(), &v)
-                .matmul(&mux_rotation(
-                    Axis::Z,
-                    &angles,
-                ))
+                .matmul(&mux_rotation(Axis::Z, &angles))
                 .matmul(&embed(n, &(1..n).collect::<Vec<_>>(), &w));
             assert!(
                 rebuilt.dist(&mux) < 1e-7,

@@ -1,134 +1,26 @@
-//! n-qubit circuit representation for the synthesis routines.
+//! Deprecated aliases for the n-qubit synthesis IR.
+//!
+//! The canonical circuit representation now lives in `ashn-ir`; `NGate` and
+//! `NCircuit` are thin aliases kept for one release. `ashn_ir::Instruction`
+//! and `ashn_ir::Circuit` are drop-in replacements (`Instruction` carries
+//! `duration`/`error_rate` fields the synthesis paths simply leave at their
+//! defaults, and the former `gates` field is named `instructions`).
 
-use ashn_math::{CMat, Complex};
+pub use ashn_ir::embed;
 
-/// One gate on an `n`-qubit register.
-#[derive(Clone, Debug)]
-pub struct NGate {
-    /// Qubits acted on (big-endian order w.r.t. `matrix`).
-    pub qubits: Vec<usize>,
-    /// The `2^k × 2^k` unitary.
-    pub matrix: CMat,
-    /// Display label.
-    pub label: String,
-}
+/// Deprecated name of [`ashn_ir::Instruction`], kept for one release.
+#[deprecated(since = "0.2.0", note = "use `ashn_ir::Instruction`")]
+pub type NGate = ashn_ir::Instruction;
 
-impl NGate {
-    /// Creates a gate, checking the dimension.
-    ///
-    /// # Panics
-    ///
-    /// Panics on dimension mismatch or repeated qubits.
-    pub fn new(qubits: Vec<usize>, matrix: CMat, label: impl Into<String>) -> Self {
-        assert_eq!(matrix.rows(), 1 << qubits.len(), "gate dimension mismatch");
-        for (i, q) in qubits.iter().enumerate() {
-            assert!(!qubits[i + 1..].contains(q), "repeated qubit {q}");
-        }
-        Self {
-            qubits,
-            matrix,
-            label: label.into(),
-        }
-    }
-
-    /// `true` when the gate matrix is diagonal (within `tol`).
-    pub fn is_diagonal(&self, tol: f64) -> bool {
-        let m = &self.matrix;
-        let mut off = 0.0;
-        for r in 0..m.rows() {
-            for c in 0..m.cols() {
-                if r != c {
-                    off += m[(r, c)].norm_sqr();
-                }
-            }
-        }
-        off.sqrt() < tol
-    }
-}
-
-/// Embeds a `k`-qubit gate into the full `2^n` space.
-pub fn embed(n: usize, qubits: &[usize], m: &CMat) -> CMat {
-    let k = qubits.len();
-    assert_eq!(m.rows(), 1 << k);
-    let dim = 1usize << n;
-    let pos: Vec<usize> = qubits.iter().map(|q| n - 1 - q).collect();
-    let mask: usize = pos.iter().map(|p| 1usize << p).sum();
-    let mut out = CMat::zeros(dim, dim);
-    let sub = 1usize << k;
-    let expand = |base: usize, idx: usize| -> usize {
-        let mut v = base;
-        for (j, p) in pos.iter().enumerate() {
-            if idx >> (k - 1 - j) & 1 == 1 {
-                v |= 1 << p;
-            }
-        }
-        v
-    };
-    for base in 0..dim {
-        if base & mask != 0 {
-            continue;
-        }
-        for r in 0..sub {
-            for c in 0..sub {
-                out[(expand(base, r), expand(base, c))] = m[(r, c)];
-            }
-        }
-    }
-    out
-}
-
-/// A circuit on `n` qubits with a global phase; gates apply first-in-order.
-#[derive(Clone, Debug)]
-pub struct NCircuit {
-    /// Register size.
-    pub n: usize,
-    /// Global phase.
-    pub phase: Complex,
-    /// Gates in application order.
-    pub gates: Vec<NGate>,
-}
-
-impl NCircuit {
-    /// Empty circuit.
-    pub fn new(n: usize) -> Self {
-        Self {
-            n,
-            phase: Complex::ONE,
-            gates: Vec::new(),
-        }
-    }
-
-    /// Appends a gate.
-    pub fn push(&mut self, g: NGate) {
-        assert!(g.qubits.iter().all(|q| *q < self.n));
-        self.gates.push(g);
-    }
-
-    /// Dense unitary of the circuit (intended for `n ≤ 6`).
-    pub fn unitary(&self) -> CMat {
-        let dim = 1usize << self.n;
-        let mut u = CMat::identity(dim);
-        for g in &self.gates {
-            u = embed(self.n, &g.qubits, &g.matrix).matmul(&u);
-        }
-        u.scale(self.phase)
-    }
-
-    /// Number of gates acting on ≥ 2 qubits.
-    pub fn two_qubit_count(&self) -> usize {
-        self.gates.iter().filter(|g| g.qubits.len() >= 2).count()
-    }
-
-    /// Frobenius distance to a target unitary.
-    pub fn error(&self, target: &CMat) -> f64 {
-        self.unitary().dist(target)
-    }
-}
+/// Deprecated name of [`ashn_ir::Circuit`], kept for one release.
+#[deprecated(since = "0.2.0", note = "use `ashn_ir::Circuit`")]
+pub type NCircuit = ashn_ir::Circuit;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use ashn_ir::{embed, Circuit, Instruction};
     use ashn_math::randmat::haar_unitary;
+    use ashn_math::{CMat, Complex};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -169,9 +61,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(62);
         let g1 = haar_unitary(4, &mut rng);
         let g2 = haar_unitary(4, &mut rng);
-        let mut c = NCircuit::new(3);
-        c.push(NGate::new(vec![0, 1], g1.clone(), "a"));
-        c.push(NGate::new(vec![1, 2], g2.clone(), "b"));
+        let mut c = Circuit::new(3);
+        c.push(Instruction::new(vec![0, 1], g1.clone(), "a"));
+        c.push(Instruction::new(vec![1, 2], g2.clone(), "b"));
         let expect = embed(3, &[1, 2], &g2).matmul(&embed(3, &[0, 1], &g1));
         assert!(c.unitary().dist(&expect) < 1e-12);
         assert_eq!(c.two_qubit_count(), 2);
@@ -185,8 +77,8 @@ mod tests {
             Complex::cis(-0.4),
             Complex::ONE,
         ]);
-        assert!(NGate::new(vec![0, 1], d, "d").is_diagonal(1e-12));
+        assert!(Instruction::new(vec![0, 1], d, "d").is_diagonal(1e-12));
         let mut rng = StdRng::seed_from_u64(63);
-        assert!(!NGate::new(vec![0, 1], haar_unitary(4, &mut rng), "u").is_diagonal(1e-6));
+        assert!(!Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "u").is_diagonal(1e-6));
     }
 }

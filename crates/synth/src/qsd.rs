@@ -14,9 +14,9 @@ use crate::circuit2::Op2;
 use crate::cnot_basis::decompose_cnot;
 use crate::csd::csd;
 use crate::multiplexor::{demultiplex, mux_rotation_ladder, Axis};
-use crate::ncircuit::{NCircuit, NGate};
 use crate::three_qubit::decompose_three_qubit;
 use ashn_gates::two::cnot;
+use ashn_ir::{Circuit, Instruction};
 use ashn_math::CMat;
 
 /// Which native two-qubit resource the synthesis targets.
@@ -33,13 +33,13 @@ pub enum SynthBasis {
 /// # Panics
 ///
 /// Panics when `u` is not a `2^n × 2^n` unitary with `1 ≤ n ≤ 6`.
-pub fn qsd(u: &CMat, basis: SynthBasis) -> NCircuit {
+pub fn qsd(u: &CMat, basis: SynthBasis) -> Circuit {
     let dim = u.rows();
     assert!(u.is_square() && dim.is_power_of_two() && dim >= 2);
     let n = dim.trailing_zeros() as usize;
     assert!(n <= 6, "qsd supports up to 6 qubits");
     assert!(u.is_unitary(1e-8), "qsd requires a unitary input");
-    let mut out = NCircuit::new(n);
+    let mut out = Circuit::new(n);
     let qubits: Vec<usize> = (0..n).collect();
     qsd_rec(u, &qubits, basis, &mut out);
     out
@@ -53,7 +53,7 @@ fn emit_mux_rotation(
     selects: &[usize],
     angles: &[f64],
     basis: SynthBasis,
-    out: &mut NCircuit,
+    out: &mut Circuit,
 ) {
     let gates = mux_rotation_ladder(axis, target, selects, angles);
     match basis {
@@ -68,15 +68,13 @@ fn emit_mux_rotation(
             let mut iter = gates.into_iter().peekable();
             while let Some(g) = iter.next() {
                 if g.qubits.len() == 1 {
-                    if let Some(next) = iter.peek() {
-                        if next.qubits.len() == 2 && next.qubits[1] == g.qubits[0] {
-                            let nxt = iter.next().unwrap();
-                            // Combined = CNOT · (I⊗R) on (control, target).
-                            let combined =
-                                cnot().matmul(&CMat::identity(2).kron(&g.matrix));
-                            out.push(NGate::new(nxt.qubits, combined, "SU4[muxR]"));
-                            continue;
-                        }
+                    if let Some(nxt) =
+                        iter.next_if(|next| next.qubits.len() == 2 && next.qubits[1] == g.qubits[0])
+                    {
+                        // Combined = CNOT · (I⊗R) on (control, target).
+                        let combined = cnot().matmul(&CMat::identity(2).kron(&g.matrix));
+                        out.push(Instruction::new(nxt.qubits, combined, "SU4[muxR]"));
+                        continue;
                     }
                     out.push(g);
                 } else {
@@ -87,34 +85,38 @@ fn emit_mux_rotation(
     }
 }
 
-fn qsd_rec(u: &CMat, qubits: &[usize], basis: SynthBasis, out: &mut NCircuit) {
+fn qsd_rec(u: &CMat, qubits: &[usize], basis: SynthBasis, out: &mut Circuit) {
     let n = qubits.len();
     match n {
-        1 => out.push(NGate::new(vec![qubits[0]], u.clone(), "1q")),
+        1 => out.push(Instruction::new(vec![qubits[0]], u.clone(), "1q")),
         2 => match basis {
             SynthBasis::Cnot => {
                 let c = decompose_cnot(u);
                 out.phase *= c.phase;
                 for op in c.ops {
                     match op {
-                        Op2::L0(g) => out.push(NGate::new(vec![qubits[0]], g, "1q")),
-                        Op2::L1(g) => out.push(NGate::new(vec![qubits[1]], g, "1q")),
+                        Op2::L0(g) => out.push(Instruction::new(vec![qubits[0]], g, "1q")),
+                        Op2::L1(g) => out.push(Instruction::new(vec![qubits[1]], g, "1q")),
                         Op2::Entangler { label, matrix, .. } => {
-                            out.push(NGate::new(vec![qubits[0], qubits[1]], matrix, label))
+                            out.push(Instruction::new(vec![qubits[0], qubits[1]], matrix, label))
                         }
                     }
                 }
             }
             SynthBasis::Generic => {
-                out.push(NGate::new(vec![qubits[0], qubits[1]], u.clone(), "SU4"));
+                out.push(Instruction::new(
+                    vec![qubits[0], qubits[1]],
+                    u.clone(),
+                    "SU4",
+                ));
             }
         },
         3 if basis == SynthBasis::Generic => {
             let c = decompose_three_qubit(u);
             out.phase *= c.phase;
-            for g in c.gates {
+            for g in c.instructions {
                 let mapped: Vec<usize> = g.qubits.iter().map(|&q| qubits[q]).collect();
-                out.push(NGate::new(mapped, g.matrix, g.label));
+                out.push(Instruction::new(mapped, g.matrix, g.label));
             }
         }
         _ => {
@@ -200,7 +202,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(94);
         let u = haar_unitary(8, &mut rng);
         let c = qsd(&u, SynthBasis::Cnot);
-        for g in &c.gates {
+        for g in &c.instructions {
             if g.qubits.len() == 2 {
                 assert!(
                     g.matrix.dist(&cnot()) < 1e-10

@@ -206,11 +206,7 @@ pub fn decompose_sqisw(u: &CMat) -> Result<TwoQubitCircuit, SqiswError> {
             let core = two_application_core(vp)?;
             let v_circ = align_to_target(&v, core);
             // u = v · SQiSW · (w₀⊗w₁)†.
-            let mut ops = vec![
-                Op2::L0(w0.adjoint()),
-                Op2::L1(w1.adjoint()),
-                entangler(),
-            ];
+            let mut ops = vec![Op2::L0(w0.adjoint()), Op2::L1(w1.adjoint()), entangler()];
             ops.extend(v_circ.ops);
             Ok(TwoQubitCircuit {
                 phase: v_circ.phase,

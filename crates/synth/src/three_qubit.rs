@@ -18,8 +18,8 @@
 
 use crate::csd::csd;
 use crate::multiplexor::{mux_rotation, Axis};
-use crate::ncircuit::{NCircuit, NGate};
 use ashn_gates::two::cz;
+use ashn_ir::{Circuit, Instruction};
 use ashn_math::eig::eig_unitary;
 use ashn_math::{CMat, Complex};
 
@@ -61,7 +61,7 @@ pub fn lemma14(
     a: usize,
     b: usize,
     mirrored: bool,
-) -> Vec<NGate> {
+) -> Vec<Instruction> {
     assert_eq!(u0.rows(), 4);
     assert_eq!(u1.rows(), 4);
     if mirrored {
@@ -71,7 +71,7 @@ pub fn lemma14(
         return gates
             .into_iter()
             .rev()
-            .map(|g| NGate::new(g.qubits, g.matrix.transpose(), g.label))
+            .map(|g| Instruction::new(g.qubits, g.matrix.transpose(), g.label))
             .collect();
     }
 
@@ -118,7 +118,10 @@ pub fn lemma14(
         .filter(|(k, _)| *k != bi && *k != bj)
         .map(|(_, v)| v)
         .collect();
-    debug_assert!(wrap(rest[0].0 + rest[1].0).abs() < 1e-6, "bad phase pairing");
+    debug_assert!(
+        wrap(rest[0].0 + rest[1].0).abs() < 1e-6,
+        "bad phase pairing"
+    );
     // Order each pair as (−φ, +φ) with φ ≥ 0. Using (|p₋|+|p₊|)/2 rather
     // than (p₊−p₋)/2 keeps the degenerate (π, π) pair (eigenvalue −1 twice,
     // as in Toffoli-like gates) at φ = π instead of collapsing to 0.
@@ -167,11 +170,11 @@ pub fn lemma14(
     let d3 = dgate(theta3, Complex::ONE, Complex::ONE);
 
     vec![
-        NGate::new(vec![a, b], v2, "V2"),
-        NGate::new(vec![s, b], d3, "D3"),
-        NGate::new(vec![s, a], d2, "D2"),
-        NGate::new(vec![a, b], v1, "V1"),
-        NGate::new(vec![s, a], d1, "D1"),
+        Instruction::new(vec![a, b], v2, "V2"),
+        Instruction::new(vec![s, b], d3, "D3"),
+        Instruction::new(vec![s, a], d2, "D2"),
+        Instruction::new(vec![a, b], v1, "V1"),
+        Instruction::new(vec![s, a], d1, "D1"),
     ]
 }
 
@@ -181,7 +184,7 @@ pub fn lemma14(
 /// # Panics
 ///
 /// Panics when `u` is not an 8×8 unitary or verification fails.
-pub fn decompose_three_qubit(u: &CMat) -> NCircuit {
+pub fn decompose_three_qubit(u: &CMat) -> Circuit {
     assert_eq!(u.rows(), 8, "three-qubit unitary required");
     assert!(u.is_unitary(1e-8));
     let d = csd(u);
@@ -189,14 +192,8 @@ pub fn decompose_three_qubit(u: &CMat) -> NCircuit {
     // Middle muxRy angles 2θ_{l}, l = (q1 q2) big-endian; split over q2:
     // G4 carries the q2-average, G3 the q2-difference.
     let t = &d.theta;
-    let g4 = mux_rotation(
-        Axis::Y,
-        &[t[0] + t[1], t[2] + t[3]],
-    );
-    let g3 = mux_rotation(
-        Axis::Y,
-        &[t[0] - t[1], t[2] - t[3]],
-    );
+    let g4 = mux_rotation(Axis::Y, &[t[0] + t[1], t[2] + t[3]]);
+    let g3 = mux_rotation(Axis::Y, &[t[0] - t[1], t[2] - t[3]]);
 
     // P = CZ(q0,q2) · Rmux, still a q0-multiplexor: block0 = R0†,
     // block1 = (I⊗Z)·R1†.
@@ -213,7 +210,7 @@ pub fn decompose_three_qubit(u: &CMat) -> NCircuit {
     let right = lemma14(&p0, &p1, 0, 1, 2, false);
     let left = lemma14(&d.l0, &d.l1, 0, 1, 2, true);
 
-    let mut out = NCircuit::new(3);
+    let mut out = Circuit::new(3);
     // Right side: V2, D3, D2, V1, then D1 merged with G3 (both on (0,1)).
     let mut right_iter = right.into_iter();
     for _ in 0..4 {
@@ -221,16 +218,24 @@ pub fn decompose_three_qubit(u: &CMat) -> NCircuit {
     }
     let d1 = right_iter.next().expect("five gates");
     debug_assert_eq!(d1.qubits, vec![0, 1]);
-    out.push(NGate::new(vec![0, 1], g3.matmul(&d1.matrix), "V[G3·D1]"));
+    out.push(Instruction::new(
+        vec![0, 1],
+        g3.matmul(&d1.matrix),
+        "V[G3·D1]",
+    ));
 
     // CZ(q0, q2).
-    out.push(NGate::new(vec![0, 2], cz(), "CZ"));
+    out.push(Instruction::new(vec![0, 2], cz(), "CZ"));
 
     // Left side: D1m merged with G4 (both on (0,1)), then the remainder.
     let mut left_iter = left.into_iter();
     let d1m = left_iter.next().expect("five gates");
     debug_assert_eq!(d1m.qubits, vec![0, 1]);
-    out.push(NGate::new(vec![0, 1], d1m.matrix.matmul(&g4), "V[D1m·G4]"));
+    out.push(Instruction::new(
+        vec![0, 1],
+        d1m.matrix.matmul(&g4),
+        "V[D1m·G4]",
+    ));
     for g in left_iter {
         out.push(g);
     }
@@ -248,13 +253,13 @@ pub fn decompose_three_qubit(u: &CMat) -> NCircuit {
 mod tests {
     use super::*;
     use crate::multiplexor::{is_mux, mux_blocks};
-    use crate::ncircuit::embed;
+    use ashn_ir::embed;
     use ashn_math::randmat::haar_unitary;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn assemble(gates: &[NGate]) -> CMat {
-        let mut c = NCircuit::new(3);
+    fn assemble(gates: &[Instruction]) -> CMat {
+        let mut c = Circuit::new(3);
         for g in gates {
             c.push(g.clone());
         }
@@ -337,7 +342,7 @@ mod tests {
             assert_eq!(c.two_qubit_count(), 11);
             assert!(c.error(&u) < 5e-6, "error {}", c.error(&u));
             // No gate acts on more than 2 qubits.
-            assert!(c.gates.iter().all(|g| g.qubits.len() <= 2));
+            assert!(c.instructions.iter().all(|g| g.qubits.len() <= 2));
         }
     }
 

@@ -4,13 +4,13 @@
 use ashn_gates::kak::weyl_coordinates;
 use ashn_gates::two::canonical;
 use ashn_math::randmat::haar_unitary;
+use ashn_math::CMat;
 use ashn_synth::cnot_basis::{cnot_count_for, decompose_cnot};
 use ashn_synth::csd::csd;
 use ashn_synth::multiplexor::{demultiplex, mux_rotation, Axis};
 use ashn_synth::ncircuit::embed;
 use ashn_synth::sqisw_basis::{in_w0, sqisw_count_for};
 use ashn_synth::three_qubit::lemma14;
-use ashn_math::CMat;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,7 +90,7 @@ proptest! {
         let diag = gates.iter().filter(|g| g.is_diagonal(1e-8)).count();
         prop_assert_eq!(diag, 3);
         // Reconstruction.
-        let mut c = ashn_synth::ncircuit::NCircuit::new(3);
+        let mut c = ashn_ir::Circuit::new(3);
         for g in gates {
             c.push(g);
         }

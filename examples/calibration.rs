@@ -5,8 +5,8 @@
 //! cargo run --release --example calibration
 //! ```
 
-use ashn::cal::model::{calibrate, execute_pulse, ControlModel, Hardware};
 use ashn::cal::cartan::estimate_coords;
+use ashn::cal::model::{calibrate, execute_pulse, ControlModel, Hardware};
 use ashn::core::scheme::AshnScheme;
 use ashn::core::verify::entanglement_fidelity;
 use ashn::gates::kak::weyl_coordinates;
@@ -40,13 +40,18 @@ fn main() {
     );
 
     // Step 2: fit the 3-parameter control model from four probe pulses.
-    let probes: Vec<_> = [WeylPoint::CNOT, WeylPoint::SWAP, WeylPoint::B, WeylPoint::SQISW]
-        .iter()
-        .map(|&p| {
-            let pl = scheme.compile(p).unwrap();
-            (pl.drive, pl.tau)
-        })
-        .collect();
+    let probes: Vec<_> = [
+        WeylPoint::CNOT,
+        WeylPoint::SWAP,
+        WeylPoint::B,
+        WeylPoint::SQISW,
+    ]
+    .iter()
+    .map(|&p| {
+        let pl = scheme.compile(p).unwrap();
+        (pl.drive, pl.tau)
+    })
+    .collect();
     let fitted = calibrate(&hw, &probes, 5000, &mut rng);
     println!(
         "fitted model: scale {:.4} (true {:.4}), offset {:.4} (true {:.4}), detuning {:.4} (true {:.4})\n",

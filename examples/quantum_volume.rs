@@ -1,24 +1,25 @@
 //! A miniature quantum-volume comparison (paper §6.3): same random
-//! circuits, three instruction sets, exact heavy-output probabilities.
+//! circuits, three instruction sets, exact heavy-output probabilities —
+//! driven end-to-end by the `ashn::Compiler` pipeline.
 //!
 //! ```bash
 //! cargo run --release --example quantum_volume
 //! ```
 
-use ashn::qv::{compile_model, sample_model_circuit, score_compiled, GateSet, QvNoise};
+use ashn::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), AshnError> {
     let mut rng = StdRng::seed_from_u64(42);
     let d = 4;
     let circuits = 8;
     let noise = QvNoise::with_e_cz(0.012);
-    let gate_sets = [
-        GateSet::Cz,
-        GateSet::Sqisw,
-        GateSet::Ashn { cutoff: 1.1 },
-    ];
+    let gate_sets = [GateSet::Cz, GateSet::Sqisw, GateSet::Ashn { cutoff: 1.1 }];
+    let compilers: Vec<Compiler> = gate_sets
+        .iter()
+        .map(|gs| Compiler::new().gate_set(*gs).noise(noise))
+        .collect();
 
     println!(
         "Quantum volume at d = {d}: {circuits} random square circuits on a 2-D\n\
@@ -27,9 +28,8 @@ fn main() {
     let mut totals = vec![(0.0f64, 0usize, 0.0f64); gate_sets.len()];
     for _ in 0..circuits {
         let model = sample_model_circuit(d, &mut rng);
-        for (k, gs) in gate_sets.iter().enumerate() {
-            let compiled = compile_model(&model, *gs);
-            let score = score_compiled(&compiled, &noise);
+        for (k, compiler) in compilers.iter().enumerate() {
+            let score = compiler.compile(&model)?.score();
             totals[k].0 += score.hop;
             totals[k].1 += score.two_qubit_gates;
             totals[k].2 += score.interaction_time;
@@ -55,4 +55,5 @@ fn main() {
          single 3π/4 pulse, so it accumulates the least depolarizing exposure —\n\
          the mechanism behind the paper's Fig. 7 ordering."
     );
+    Ok(())
 }

@@ -32,7 +32,7 @@ fn main() {
     );
     let scheme = AshnScheme::new(0.0);
     let mut total_time = 0.0;
-    for (i, g) in generic.gates.iter().enumerate() {
+    for (i, g) in generic.instructions.iter().enumerate() {
         let coords = weyl_coordinates(&g.matrix);
         let pulse = scheme.compile(coords).expect("every SU(4) compiles");
         total_time += pulse.tau;
@@ -50,8 +50,7 @@ fn main() {
     println!("  total two-qubit interaction time: {total_time:.3}/g");
 
     let cnot = qsd(&u, SynthBasis::Cnot);
-    let cz_time = cnot.two_qubit_count() as f64 * std::f64::consts::PI
-        / std::f64::consts::SQRT_2;
+    let cz_time = cnot.two_qubit_count() as f64 * std::f64::consts::PI / std::f64::consts::SQRT_2;
     println!(
         "\nPlain Shannon decomposition: {} CNOTs (error {:.1e}); on flux-tuned\n\
          CZ hardware that is {:.2}/g of interaction time — {:.1}x more than AshN.",

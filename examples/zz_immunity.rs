@@ -13,7 +13,12 @@ fn main() {
         "Compiling with knowledge of h̃ (aware) vs assuming h̃ = 0 (naive),\n\
          then executing on hardware with the true ZZ coupling:\n"
     );
-    for target in [WeylPoint::CNOT, WeylPoint::ISWAP, WeylPoint::SWAP, WeylPoint::B] {
+    for target in [
+        WeylPoint::CNOT,
+        WeylPoint::ISWAP,
+        WeylPoint::SWAP,
+        WeylPoint::B,
+    ] {
         println!("target {target}:");
         println!(
             "  {:>6} {:>14} {:>14} {:>14} {:>14}",

@@ -1,0 +1,177 @@
+//! The builder-style compilation pipeline: synthesize → route → schedule →
+//! simulate, over any [`Basis`].
+//!
+//! This replaces the former free-function flow
+//! (`qv::compile_model` + `qv::score_compiled`) as the facade entry point:
+//!
+//! ```
+//! use ashn::{Compiler, GateSet, QvNoise};
+//! use ashn::qv::sample_model_circuit;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let model = sample_model_circuit(3, &mut rng);
+//! let compiled = Compiler::new()
+//!     .gate_set(GateSet::Ashn { cutoff: 1.1 })
+//!     .noise(QvNoise::with_e_cz(0.01))
+//!     .compile(&model)?;
+//! let score = compiled.score();
+//! assert!(score.hop > 0.5 && score.two_qubit_gates > 0);
+//! # Ok::<(), ashn::AshnError>(())
+//! ```
+
+use crate::error::AshnError;
+use ashn_ir::{Basis, Circuit};
+use ashn_qv::experiment::{
+    compile_model_on, score_compiled, stamp_noise, CircuitScore, CompiledModel, ModelCircuit,
+};
+use ashn_qv::{GateSet, QvNoise};
+use ashn_route::Grid;
+use ashn_sim::{DensityMatrix, NoiseModel, Simulate, StateVector};
+use ashn_synth::basis::AshnBasis;
+
+/// Builder for the end-to-end compilation pipeline.
+///
+/// Defaults: the AshN basis with the paper's cutoff `r = 1.1`, the paper's
+/// noise anchored at `e_cz = 0.7%`, and a grid sized to the model.
+pub struct Compiler {
+    basis: Box<dyn Basis>,
+    noise: QvNoise,
+    grid: Option<Grid>,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compiler {
+    /// A compiler with the default AshN configuration.
+    pub fn new() -> Self {
+        Self {
+            basis: Box::new(AshnBasis::with_cutoff(0.0, 1.1)),
+            noise: QvNoise::with_e_cz(0.007),
+            grid: None,
+        }
+    }
+
+    /// Sets the native basis (any [`Basis`] implementation — the built-in
+    /// CNOT/CZ/SQiSW/AshN sets from `ashn-synth`, or a user-defined one).
+    #[must_use]
+    pub fn basis(mut self, basis: impl Basis + 'static) -> Self {
+        self.basis = Box::new(basis);
+        self
+    }
+
+    /// Sets the basis from the paper's [`GateSet`] enum (convenience
+    /// wrapper over [`Compiler::basis`]).
+    #[must_use]
+    pub fn gate_set(self, gate_set: GateSet) -> Self {
+        self.basis(gate_set.basis())
+    }
+
+    /// Sets the noise model used for scheduling error rates and scoring.
+    #[must_use]
+    pub fn noise(mut self, noise: QvNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets an explicit routing grid (default: the smallest near-square
+    /// grid holding the model's qubits).
+    #[must_use]
+    pub fn grid(mut self, grid: Grid) -> Self {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Compiles a model circuit: per-layer gates are synthesized over the
+    /// basis, routed with SWAPs on the grid, and assembled into one
+    /// physical-site [`Circuit`] carrying durations.
+    ///
+    /// # Errors
+    ///
+    /// [`AshnError::Config`] when the grid cannot hold the model;
+    /// [`AshnError::Synth`]/[`AshnError::Ir`] from synthesis and assembly.
+    pub fn compile(&self, model: &ModelCircuit) -> Result<Compiled, AshnError> {
+        let grid = self.grid.unwrap_or_else(|| Grid::for_qubits(model.d));
+        if grid.len() < model.d {
+            return Err(AshnError::Config {
+                detail: format!(
+                    "grid has {} sites but the model needs {}",
+                    grid.len(),
+                    model.d
+                ),
+            });
+        }
+        let compiled =
+            compile_model_on(model, self.basis.as_ref(), Some(grid)).map_err(|e| match e {
+                ashn_ir::SynthError::Ir(ir) => AshnError::Ir(ir),
+                other => AshnError::Synth(other),
+            })?;
+        Ok(Compiled {
+            model: compiled,
+            noise: self.noise,
+            basis_name: self.basis.name(),
+        })
+    }
+}
+
+/// A compiled model circuit, ready to schedule and simulate.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    model: CompiledModel,
+    noise: QvNoise,
+    basis_name: String,
+}
+
+impl Compiled {
+    /// The physical-site circuit (durations attached, error rates not yet
+    /// stamped — see [`Compiled::scheduled`]).
+    pub fn circuit(&self) -> &Circuit {
+        &self.model.circuit
+    }
+
+    /// `positions[l]` = physical site holding logical qubit `l` at the end.
+    pub fn positions(&self) -> &[usize] {
+        &self.model.positions
+    }
+
+    /// Name of the basis this was compiled for.
+    pub fn basis_name(&self) -> &str {
+        &self.basis_name
+    }
+
+    /// The underlying `ashn-qv` compiled model.
+    pub fn as_model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// The circuit with per-gate depolarizing rates scheduled from the
+    /// noise model (single-qubit fixed, two-qubit ∝ duration).
+    pub fn scheduled(&self) -> Circuit {
+        stamp_noise(&self.model.circuit, &self.noise)
+    }
+
+    /// Noiseless statevector simulation of the compiled circuit.
+    pub fn simulate_pure(&self) -> StateVector {
+        self.model.circuit.run_pure()
+    }
+
+    /// Exact density-matrix simulation under the scheduled noise.
+    pub fn simulate_noisy(&self) -> DensityMatrix {
+        self.scheduled().run_noisy(&NoiseModel::NOISELESS)
+    }
+
+    /// Heavy-output score of the compiled circuit under the configured
+    /// noise (the full schedule → simulate → marginalize chain).
+    pub fn score(&self) -> CircuitScore {
+        score_compiled(&self.model, &self.noise)
+    }
+
+    /// Marginalizes a physical-site distribution onto the logical register.
+    pub fn logical_probs(&self, physical: &[f64]) -> Vec<f64> {
+        self.model.logical_probs(physical)
+    }
+}

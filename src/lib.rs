@@ -11,13 +11,19 @@
 //! * [`math`] — self-contained complex linear algebra and numerics;
 //! * [`gates`] — gate library, Weyl chamber, KAK decomposition;
 //! * [`core`] — the AshN scheme (pulse compilation, Algorithm 1);
+//! * [`ir`] — **the** circuit IR ([`ir::Instruction`]/[`ir::Circuit`]) and
+//!   the [`ir::Basis`] gate-set abstraction shared by every crate below;
 //! * [`sim`] — statevector/density-matrix simulators with noise;
 //! * [`synth`] — circuit synthesis (CNOT/SQiSW/AshN bases, QSD, Theorem 12);
-//! * [`route`] — 2-D grid qubit routing;
+//! * [`route`] — 2-D grid qubit routing and IR assembly;
 //! * [`qv`] — quantum-volume experiments (paper Fig. 7);
-//! * [`cal`] — calibration (Cartan doubles, QPE, FRB, control models).
+//! * [`cal`] — calibration (Cartan doubles, QPE, FRB, control models);
 //!
-//! ## Quickstart
+//! and provides the end-to-end entry points: the builder-style
+//! [`Compiler`] (synthesize → route → schedule → simulate over any
+//! [`ir::Basis`]) and the unified [`AshnError`].
+//!
+//! ## Quickstart: compile one gate to one pulse
 //!
 //! ```
 //! use ashn::core::scheme::AshnScheme;
@@ -30,12 +36,37 @@
 //! assert!(pulse.coordinate_error() < 1e-7);
 //! # Ok::<(), ashn::core::scheme::CompileError>(())
 //! ```
+//!
+//! ## Quickstart: the whole pipeline
+//!
+//! ```
+//! use ashn::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let model = ashn::qv::sample_model_circuit(3, &mut rng);
+//! let compiled = Compiler::new()
+//!     .gate_set(GateSet::Ashn { cutoff: 1.1 })
+//!     .noise(QvNoise::with_e_cz(0.007))
+//!     .compile(&model)?;
+//! assert!(compiled.score().hop > 0.5);
+//! # Ok::<(), AshnError>(())
+//! ```
+
+pub mod compiler;
+pub mod error;
+pub mod prelude;
 
 pub use ashn_cal as cal;
 pub use ashn_core as core;
 pub use ashn_gates as gates;
+pub use ashn_ir as ir;
 pub use ashn_math as math;
 pub use ashn_qv as qv;
 pub use ashn_route as route;
 pub use ashn_sim as sim;
 pub use ashn_synth as synth;
+
+pub use compiler::{Compiled, Compiler};
+pub use error::AshnError;
+pub use qv::{GateSet, QvNoise};

@@ -1,5 +1,7 @@
 //! Cross-crate integration tests: full pipelines from pulse compilation
-//! through simulation, synthesis, routing, and calibration.
+//! through synthesis, routing, scheduling, and simulation — all over the
+//! canonical `ashn_ir::Circuit` IR and the `ashn::Compiler` entry point
+//! (no per-crate IR copying anywhere).
 
 use ashn::cal::cartan::estimate_coords;
 use ashn::core::scheme::{AshnScheme, SubScheme};
@@ -7,12 +9,14 @@ use ashn::core::verify::{average_gate_fidelity, entanglement_fidelity};
 use ashn::gates::cost::optimal_time;
 use ashn::gates::kak::weyl_coordinates;
 use ashn::gates::weyl::WeylPoint;
+use ashn::ir::{Basis, Circuit, Instruction};
 use ashn::math::randmat::haar_unitary;
 use ashn::math::CMat;
-use ashn::qv::{compile_model, sample_model_circuit, score_compiled, GateSet, QvNoise};
-use ashn::sim::{Circuit, Gate, NoiseModel};
-use ashn::synth::ashn_basis::decompose_ashn;
+use ashn::prelude::{AshnBasis, CnotBasis};
+use ashn::qv::sample_model_circuit;
+use ashn::sim::{NoiseModel, Simulate};
 use ashn::synth::qsd::{qsd, SynthBasis};
+use ashn::{AshnError, Compiler, GateSet, QvNoise};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,12 +26,16 @@ use rand::SeedableRng;
 #[test]
 fn pulse_to_simulator_to_estimation_round_trip() {
     let scheme = AshnScheme::new(0.15);
-    for target in [WeylPoint::CNOT, WeylPoint::B, WeylPoint::new(0.5, 0.3, -0.2)] {
+    for target in [
+        WeylPoint::CNOT,
+        WeylPoint::B,
+        WeylPoint::new(0.5, 0.3, -0.2),
+    ] {
         let pulse = scheme.compile(target).expect("compiles");
         let u = pulse.unitary();
         // Run through the circuit IR.
         let mut c = Circuit::new(2);
-        c.push(Gate::new(vec![0, 1], u.clone(), "AshN").with_duration(pulse.tau));
+        c.push(Instruction::new(vec![0, 1], u.clone(), "AshN").with_duration(pulse.tau));
         let from_sim = c.unitary();
         assert!(from_sim.dist(&u) < 1e-12);
         // Estimate coordinates the calibration way.
@@ -40,58 +48,69 @@ fn pulse_to_simulator_to_estimation_round_trip() {
 }
 
 /// Synthesis → AshN pulses: a three-qubit unitary decomposed by Theorem 12,
-/// with every generic gate re-expressed as one verified AshN pulse, must
-/// still reconstruct the original up to per-gate local corrections.
+/// with every generic gate re-expressed through the `Basis` abstraction as
+/// one verified AshN pulse.
 #[test]
 fn theorem12_gates_all_compile_to_single_pulses() {
     let mut rng = StdRng::seed_from_u64(101);
     let u = haar_unitary(8, &mut rng);
     let circuit = ashn::synth::three_qubit::decompose_three_qubit(&u);
-    let scheme = AshnScheme::new(0.0);
+    let ashn_basis = AshnBasis::ideal();
     assert_eq!(circuit.two_qubit_count(), 11);
     let mut total_time = 0.0;
-    for g in &circuit.gates {
-        let s = decompose_ashn(&g.matrix, &scheme).expect("compiles");
-        assert_eq!(s.circuit.entangler_count() <= 1, true);
-        assert!(s.circuit.error(&g.matrix) < 1e-6);
-        total_time += s.pulse.tau;
+    for g in &circuit.instructions {
+        let compiled = ashn_basis.synthesize(&g.matrix).expect("compiles");
+        assert!(compiled.entangler_count() <= 1);
+        assert!(compiled.error(&g.matrix) < 1e-6);
+        total_time += compiled.entangler_duration();
     }
     // Eleven pulses, each at most π: comfortably bounded.
     assert!(total_time < 11.0 * std::f64::consts::PI);
 }
 
-/// End-to-end QV smoke test with all gate sets on the same circuit,
-/// checking the paper's ordering and that compilation is exact.
+/// End-to-end QV smoke test with all gate sets on the same circuits through
+/// the `Compiler` pipeline, checking the paper's ordering.
 #[test]
-fn qv_pipeline_orders_gate_sets() {
+fn qv_pipeline_orders_gate_sets() -> Result<(), AshnError> {
     let mut rng = StdRng::seed_from_u64(7);
     let noise = QvNoise::with_e_cz(0.017);
     let mut hops = [0.0f64; 3];
-    let sets = [GateSet::Cz, GateSet::Sqisw, GateSet::Ashn { cutoff: 1.1 }];
+    let compilers = [
+        Compiler::new().gate_set(GateSet::Cz).noise(noise),
+        Compiler::new().gate_set(GateSet::Sqisw).noise(noise),
+        Compiler::new()
+            .gate_set(GateSet::Ashn { cutoff: 1.1 })
+            .noise(noise),
+    ];
     for _ in 0..4 {
         let model = sample_model_circuit(4, &mut rng);
-        for (k, gs) in sets.iter().enumerate() {
-            hops[k] += score_compiled(&compile_model(&model, *gs), &noise).hop;
+        for (k, compiler) in compilers.iter().enumerate() {
+            hops[k] += compiler.compile(&model)?.score().hop;
         }
     }
     assert!(
         hops[2] > hops[1] && hops[1] > hops[0],
         "expected AshN > SQiSW > CZ, got {hops:?}"
     );
+    Ok(())
 }
 
-/// QSD output simulated gate-by-gate equals the dense unitary.
+/// QSD output is *directly* a simulator circuit now (one IR): its dense
+/// unitary — phase included — matches the synthesized target, and the
+/// statevector run agrees with the density-matrix run.
 #[test]
 fn qsd_circuit_runs_identically_in_simulator() {
     let mut rng = StdRng::seed_from_u64(31);
     let u = haar_unitary(8, &mut rng);
     let circ = qsd(&u, SynthBasis::Cnot);
-    let mut sim_circuit = Circuit::new(3);
-    for g in &circ.gates {
-        sim_circuit.push(Gate::new(g.qubits.clone(), g.matrix.clone(), g.label.clone()));
-    }
-    let out = sim_circuit.unitary().scale(circ.phase);
+    // No gate-by-gate copying: the QSD output is the simulator's circuit.
+    let out = circ.unitary();
     assert!(out.dist(&u) < 1e-6, "error {}", out.dist(&u));
+    let pure = circ.run_pure().probabilities();
+    let rho = circ.run_noisy(&NoiseModel::NOISELESS).probabilities();
+    for (a, b) in pure.iter().zip(rho.iter()) {
+        assert!((a - b).abs() < 1e-9);
+    }
 }
 
 /// Depolarizing noise degrades average fidelity of a compiled pulse run, in
@@ -104,7 +123,7 @@ fn noise_model_scales_with_rate() {
     let purity_at = |p: f64| {
         let mut c = Circuit::new(2);
         c.push(
-            Gate::new(vec![0, 1], u.clone(), "AshN")
+            Instruction::new(vec![0, 1], u.clone(), "AshN")
                 .with_duration(pulse.tau)
                 .with_error_rate(p),
         );
@@ -117,23 +136,27 @@ fn noise_model_scales_with_rate() {
     assert!(light > heavy);
 }
 
-/// The headline claim, end to end: for Haar-random targets, AshN needs one
-/// pulse at the optimal time and reconstructs the target exactly; a CNOT box
-/// needs three entanglers and strictly more interaction time.
+/// The headline claim, end to end through the `Basis` trait: for
+/// Haar-random targets, AshN needs one pulse at the optimal time and
+/// reconstructs the target exactly; a CNOT box needs three entanglers and
+/// strictly more interaction time.
 #[test]
 fn one_gate_scheme_vs_cnot_boxes() {
     let mut rng = StdRng::seed_from_u64(77);
-    let scheme = AshnScheme::new(0.0);
+    let ashn_basis = AshnBasis::ideal();
+    let cnot_basis = CnotBasis;
     for _ in 0..5 {
         let u = haar_unitary(4, &mut rng);
         let coords = weyl_coordinates(&u);
-        let ashn = decompose_ashn(&u, &scheme).unwrap();
-        let cnot = ashn::synth::cnot_basis::decompose_cnot(&u);
-        assert_eq!(ashn.circuit.entangler_count(), 1);
+        let ashn = ashn_basis.synthesize(&u).unwrap();
+        let cnot = cnot_basis.synthesize(&u).unwrap();
+        assert_eq!(ashn.entangler_count(), ashn_basis.expected_entanglers(&u));
+        assert_eq!(ashn.entangler_count(), 1);
+        assert_eq!(cnot.entangler_count(), cnot_basis.expected_entanglers(&u));
         assert_eq!(cnot.entangler_count(), 3);
-        assert!(ashn.circuit.entangler_duration() <= optimal_time(0.0, coords) + 1e-9);
-        assert!(cnot.entangler_duration() > ashn.circuit.entangler_duration());
-        assert!(average_gate_fidelity(&ashn.circuit.unitary(), &u) > 1.0 - 1e-8);
+        assert!(ashn.entangler_duration() <= optimal_time(0.0, coords) + 1e-9);
+        assert!(cnot.entangler_duration() > ashn.entangler_duration());
+        assert!(average_gate_fidelity(&ashn.unitary(), &u) > 1.0 - 1e-8);
         assert!(average_gate_fidelity(&cnot.unitary(), &u) > 1.0 - 1e-8);
     }
 }
@@ -146,4 +169,15 @@ fn identity_pulse_is_trivial_everywhere() {
         assert_eq!(pulse.scheme, SubScheme::Identity);
         assert!(entanglement_fidelity(&pulse.unitary(), &CMat::identity(4)) > 1.0 - 1e-12);
     }
+}
+
+/// Compiler misconfiguration surfaces as a typed error, not a panic.
+#[test]
+fn compiler_rejects_undersized_grid() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = sample_model_circuit(6, &mut rng);
+    let result = Compiler::new()
+        .grid(ashn::route::Grid::new(1, 2))
+        .compile(&model);
+    assert!(matches!(result, Err(AshnError::Config { .. })));
 }
