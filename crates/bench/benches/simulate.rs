@@ -1,9 +1,14 @@
 //! Criterion benchmarks: simulator throughput (statevector vs exact density
-//! matrix with depolarizing noise) and one quantum-volume circuit score.
+//! matrix with depolarizing noise), the specialized 1q/2q kernels against
+//! the generic gather/scatter path, and one quantum-volume circuit score.
 
+use ashn_ir::circuit::apply_gate;
+use ashn_ir::kernels::apply_gate_generic;
+use ashn_ir::{Circuit, Instruction};
 use ashn_math::randmat::haar_unitary;
+use ashn_math::{CMat, Complex};
 use ashn_qv::{compile_model, sample_model_circuit, score_compiled, GateSet, QvNoise};
-use ashn_sim::{DensityMatrix, StateVector};
+use ashn_sim::{DensityMatrix, SimEngine, StateVector};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,6 +43,80 @@ fn bench_density(c: &mut Criterion) {
     }
 }
 
+/// Fast-path dispatch vs the generic gather/scatter kernel, per gate shape.
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let u1 = haar_unitary(2, &mut rng);
+    let u2 = haar_unitary(4, &mut rng);
+    let cz = CMat::diag(&[Complex::ONE, Complex::ONE, Complex::ONE, -Complex::ONE]);
+    let n = 10usize;
+    let mut amps = vec![Complex::ZERO; 1 << n];
+    amps[0] = Complex::ONE;
+    let mut group = c.benchmark_group("kernels");
+    let cases: [(&str, Vec<usize>, &CMat); 3] = [
+        ("1q_n10", vec![4], &u1),
+        ("2q_n10", vec![2, 7], &u2),
+        ("cz_n10", vec![2, 7], &cz),
+    ];
+    for (name, qubits, m) in cases {
+        group.bench_function(&format!("{name}_fast"), |b| {
+            b.iter(|| {
+                apply_gate(&mut amps, n, &qubits, m);
+                black_box(&amps);
+            })
+        });
+        group.bench_function(&format!("{name}_generic"), |b| {
+            b.iter(|| {
+                apply_gate_generic(&mut amps, n, &qubits, m);
+                black_box(&amps);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A 1q/2q-dominated circuit (the QV workload shape) through the reusable
+/// `SimEngine` fast path vs gate-by-gate generic application — the ≥2x
+/// acceptance check of the fast-path engine.
+fn bench_circuit_fast_vs_generic(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let n = 8usize;
+    let mut circuit = Circuit::new(n);
+    for layer in 0..6 {
+        for q in 0..n {
+            circuit.push(Instruction::new(vec![q], haar_unitary(2, &mut rng), "1q"));
+        }
+        for q in 0..n - 1 {
+            if (q + layer) % 2 == 0 {
+                circuit.push(Instruction::new(
+                    vec![q, q + 1],
+                    haar_unitary(4, &mut rng),
+                    "U",
+                ));
+            }
+        }
+    }
+    let mut group = c.benchmark_group("simulate");
+    let mut engine = SimEngine::new(n);
+    group.bench_function("circuit_1q2q_n8_fast_engine", |b| {
+        b.iter(|| {
+            engine.run_pure(&circuit);
+            black_box(engine.amplitudes());
+        })
+    });
+    group.bench_function("circuit_1q2q_n8_generic", |b| {
+        b.iter(|| {
+            let mut amps = vec![Complex::ZERO; 1 << n];
+            amps[0] = circuit.phase;
+            for g in circuit.gates() {
+                apply_gate_generic(&mut amps, n, &g.qubits, &g.matrix);
+            }
+            black_box(&amps);
+        })
+    });
+    group.finish();
+}
+
 fn bench_qv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let model = sample_model_circuit(4, &mut rng);
@@ -54,5 +133,12 @@ fn bench_qv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_statevector, bench_density, bench_qv);
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_kernels,
+    bench_circuit_fast_vs_generic,
+    bench_density,
+    bench_qv
+);
 criterion_main!(benches);

@@ -4,21 +4,23 @@
 //!
 //! Includes the SQiSW baseline (≈1.736/g) and the optimal-time floor
 //! (≈1.341/g). Each row also reports the measured maximum strength over
-//! compiled pulses, verifying the Eq. 4.4 bound `π/r + 1/2`.
+//! compiled pulses, verifying the Eq. 4.4 bound `π/r + 1/2`. The per-`r`
+//! Monte-Carlo averages and pulse checks fan across `BatchRunner` workers
+//! with per-row RNG streams, so the table is deterministic for any
+//! `--workers` value.
 
 use ashn_bench::{f4, row, Args};
 use ashn_core::avg_time::{tavg_closed_form, tavg_monte_carlo, MEAN_OPTIMAL_TIME, SQISW_MEAN_TIME};
 use ashn_core::scheme::AshnScheme;
 use ashn_gates::haar::sample_weyl_density;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ashn_sim::BatchRunner;
 
 fn main() {
     let args = Args::parse();
     let seed: u64 = args.get("seed", 7);
     let samples: usize = args.get("samples", 30_000);
     let pulse_checks: usize = args.get("pulses", 40);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let workers: usize = args.get("workers", 0);
 
     println!("Figure 5: average gate time vs drive-strength bound (h̃ = 0)");
     println!(
@@ -35,17 +37,20 @@ fn main() {
         "max strength".into(),
         "vs optimal".into(),
     ]);
-    for r in [
+    let r_values = [
         1.55, 1.4, 1.3, 1.2, 1.1, 1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.35,
-    ] {
+    ];
+    let runner = BatchRunner::new(seed).with_workers(workers);
+    let rows = runner.run(r_values.len(), |index, rng| {
+        let r = r_values[index];
         let bound = std::f64::consts::PI / r + 0.5;
         let closed = tavg_closed_form(r);
-        let mc = tavg_monte_carlo(r, samples, &mut rng);
+        let mc = tavg_monte_carlo(r, samples, rng);
         // Measured strength over random compiled pulses.
         let scheme = AshnScheme::with_cutoff(0.0, r);
         let mut max_strength: f64 = 0.0;
         for _ in 0..pulse_checks {
-            let p = sample_weyl_density(&mut rng);
+            let p = sample_weyl_density(rng);
             let pulse = scheme.compile(p).expect("chamber coverage");
             max_strength = max_strength.max(pulse.max_strength());
         }
@@ -53,6 +58,9 @@ fn main() {
             max_strength <= bound + 1e-6,
             "Eq. 4.4 bound violated: {max_strength} > {bound}"
         );
+        (r, bound, closed, mc, max_strength)
+    });
+    for (r, bound, closed, mc, max_strength) in rows {
         row(&[
             f4(r),
             f4(bound),

@@ -1,6 +1,8 @@
 //! Regenerates paper Figure 6(a)/(b): decomposition error versus two-qubit
 //! gate count, for the CNOT ansatz and the generic-SU(4) ansatz, using the
-//! numerical instantiation optimizer.
+//! numerical instantiation optimizer. The per-gate-count sweeps (each a set
+//! of instantiation searches over the same Haar targets) fan across
+//! `BatchRunner` workers.
 //!
 //! The paper uses 1000 Haar targets and a 1e-10 threshold with QFactor; we
 //! default to fewer targets and a bounded sweep budget (configurable). The
@@ -9,6 +11,7 @@
 
 use ashn_bench::{row, sci, Args};
 use ashn_math::randmat::haar_su;
+use ashn_sim::BatchRunner;
 use ashn_synth::counts::{cnot_lower_bound, generic_lower_bound};
 use ashn_synth::instantiate::{instantiate_best, Ansatz, InstantiateOptions};
 use rand::rngs::StdRng;
@@ -21,6 +24,7 @@ fn main() {
     let restarts: usize = args.get("restarts", 3);
     let sweeps: usize = args.get("sweeps", if n == 3 { 600 } else { 250 });
     let seed: u64 = args.get("seed", 11);
+    let workers: usize = args.get("workers", 0);
     assert!(n == 3 || n == 4, "--n must be 3 or 4");
 
     let lb_gen = generic_lower_bound(n as u32) as usize;
@@ -59,7 +63,12 @@ fn main() {
     for (label, counts, make) in families {
         println!("\n-- {label} ansatz --");
         row(&["N gates".into(), "mean error".into(), "note".into()]);
-        for &count in counts {
+        let runner = BatchRunner::new(seed).with_workers(workers);
+        // Every gate count optimizes the *same* targets (fresh per-count
+        // RNG from the shared seed), matching the paper's ceteris-paribus
+        // sweep — the batch stream is unused.
+        let means = runner.run(counts.len(), |index, _| {
+            let count = counts[index];
             let mut rng = StdRng::seed_from_u64(seed);
             let mut total = 0.0;
             for _ in 0..targets {
@@ -67,7 +76,9 @@ fn main() {
                 let e = instantiate_best(&target, |r| make(n, count, r), restarts, &opts, &mut rng);
                 total += e;
             }
-            let mean = total / targets as f64;
+            total / targets as f64
+        });
+        for (&count, mean) in counts.iter().zip(means) {
             let lb = if label == "CNOT" { lb_cnot } else { lb_gen };
             let note = if count < lb {
                 "below lower bound"

@@ -1,9 +1,10 @@
 //! Regenerates paper Table 1: AshN pulse parameters for the special gate
 //! classes `[CNOT]`, `[SWAP]`, `[B]` at `h̃ = 0`, plus the §6.4 extensions:
 //! the exact produced gates, the closed-form `[CNOT]` pulse under `ZZ`
-//! coupling, and the SWAP speed-up from `ZZ`.
+//! coupling, and the SWAP speed-up from `ZZ`. The per-`h̃` pulse
+//! compilations of the ZZ sweeps fan across `BatchRunner` workers.
 
-use ashn_bench::{f4, row};
+use ashn_bench::{f4, row, Args};
 use ashn_core::classes::{
     b_pulse, cnot_pulse, cnot_pulse_exact_gate, swap_pulse, swap_pulse_exact_gate,
 };
@@ -11,9 +12,13 @@ use ashn_core::scheme::AshnScheme;
 use ashn_core::verify::entanglement_fidelity;
 use ashn_gates::cost::optimal_time;
 use ashn_gates::weyl::WeylPoint;
+use ashn_sim::BatchRunner;
 use std::f64::consts::PI;
 
 fn main() {
+    let args = Args::parse();
+    let workers: usize = args.get("workers", 0);
+    let runner = BatchRunner::new(1).with_workers(workers);
     println!("Table 1: gate parameters for special gate classes (h̃ = 0, units of g)\n");
     row(&[
         "class".into(),
@@ -57,15 +62,15 @@ fn main() {
 
     println!("\n[CNOT] closed form under ZZ coupling (τ = π/2 always):");
     row(&["h̃".into(), "A1".into(), "A2".into(), "coord err".into()]);
-    for h in [0.0, 0.2, 0.5, 0.8, 1.0] {
+    let h_cnot = [0.0, 0.2, 0.5, 0.8, 1.0];
+    let cnot_rows = runner.run(h_cnot.len(), |index, _| {
+        let h = h_cnot[index];
         let p = cnot_pulse(h);
         let (a1, a2, _) = p.physical_amplitudes(1.0);
-        row(&[
-            f4(h),
-            f4(a1),
-            f4(a2),
-            format!("{:.1e}", p.coordinate_error()),
-        ]);
+        (h, a1, a2, p.coordinate_error())
+    });
+    for (h, a1, a2, err) in cnot_rows {
+        row(&[f4(h), f4(a1), f4(a2), format!("{err:.1e}")]);
     }
 
     println!("\n[SWAP] optimal time under ZZ: τ_opt = 3π/(4(1+|h̃|/2)) — ZZ helps:");
@@ -75,14 +80,19 @@ fn main() {
         "3π/(4(1+|h̃|/2))".into(),
         "compiled".into(),
     ]);
-    for h in [0.0, 0.2, 0.5, 0.8] {
+    let h_swap = [0.0, 0.2, 0.5, 0.8];
+    let swap_rows = runner.run(h_swap.len(), |index, _| {
+        let h = h_swap[index];
         let t = optimal_time(h, WeylPoint::SWAP);
         let formula = 3.0 * PI / (4.0 * (1.0 + h / 2.0));
         let pulse = AshnScheme::new(h)
             .compile(WeylPoint::SWAP)
             .expect("compiles");
-        row(&[f4(h), f4(t), f4(formula), f4(pulse.tau)]);
         assert!((t - formula).abs() < 1e-9);
         assert!((pulse.tau - t).abs() < 1e-9);
+        (h, t, formula, pulse.tau)
+    });
+    for (h, t, formula, tau) in swap_rows {
+        row(&[f4(h), f4(t), f4(formula), f4(tau)]);
     }
 }

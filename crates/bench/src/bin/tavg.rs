@@ -1,21 +1,22 @@
 //! Regenerates the §A.7.1 average-gate-time analysis: the closed-form
 //! `T_avg(r)` against Monte-Carlo Haar averages, the small-`r` series, and
-//! the §6.1 baseline ratios.
+//! the §6.1 baseline ratios. The per-`r` Monte-Carlo estimates fan across
+//! `BatchRunner` workers with per-row RNG streams (deterministic for any
+//! `--workers` value).
 
 use ashn_bench::{f4, row, Args};
 use ashn_core::avg_time::{
     tavg_closed_form, tavg_monte_carlo, CZ_MEAN_TIME, ISWAP_MEAN_TIME, MEAN_OPTIMAL_TIME,
     SQISW_MEAN_TIME,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ashn_sim::BatchRunner;
 use std::f64::consts::PI;
 
 fn main() {
     let args = Args::parse();
     let samples: usize = args.get("samples", 60_000);
     let seed: u64 = args.get("seed", 5);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let workers: usize = args.get("workers", 0);
 
     println!("§A.7.1 / §6.1: Haar-average two-qubit gate time (h̃ = 0, units 1/g)\n");
     println!(
@@ -28,9 +29,19 @@ fn main() {
         "Monte Carlo".into(),
         "series O(r^11)".into(),
     ]);
-    for r in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.4, PI / 2.0] {
+    let r_values = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.4, PI / 2.0];
+    let runner = BatchRunner::new(seed).with_workers(workers);
+    let rows = runner.run(r_values.len(), |index, rng| {
+        let r = r_values[index];
         let cf = tavg_closed_form(r);
-        let mc = tavg_monte_carlo(r, samples, &mut rng);
+        let mc = tavg_monte_carlo(r, samples, rng);
+        assert!(
+            (cf - mc).abs() < 0.01,
+            "closed form vs MC mismatch at r={r}"
+        );
+        (r, cf, mc)
+    });
+    for (r, cf, mc) in rows {
         let series = MEAN_OPTIMAL_TIME + 2213.0 / 5040.0 * r.powi(9)
             - 160303.0 / (204120.0 * PI) * r.powi(10);
         row(&[
@@ -39,10 +50,6 @@ fn main() {
             format!("{mc:.6}"),
             format!("{series:.6}"),
         ]);
-        assert!(
-            (cf - mc).abs() < 0.01,
-            "closed form vs MC mismatch at r={r}"
-        );
     }
 
     println!("\n§6.1 baselines (average two-qubit interaction time for Haar gates):");

@@ -3,8 +3,21 @@
 //! `criterion_group!`/`criterion_main!` macros. Timing is a straightforward
 //! warmup + timed-batch mean (no statistics, plots, or baselines); good
 //! enough for relative comparisons in an offline environment.
+//!
+//! Passing `--test` to a bench binary (`cargo bench --bench pipeline --
+//! --test`, mirroring real criterion) runs every benchmark body exactly
+//! once without timing — the smoke mode CI uses to keep bench code from
+//! rotting.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// `true` when the binary was invoked with `--test` (single-iteration
+/// smoke mode, as in upstream criterion).
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -22,6 +35,13 @@ pub struct Bencher {
 impl Bencher {
     /// Times repeated calls of `f`, accumulating into the bencher.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if test_mode() {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.total = start.elapsed();
+            self.iters = 1;
+            return;
+        }
         // Warmup: let caches/branch predictors settle and estimate cost.
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;

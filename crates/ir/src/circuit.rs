@@ -252,38 +252,17 @@ impl Circuit {
 
 /// Applies a `k`-qubit unitary to raw amplitudes of an `n`-qubit register
 /// (qubit 0 = most significant bit, matching `ashn-sim`).
+///
+/// Dispatches to the specialized in-place kernels in [`crate::kernels`] for
+/// `k = 1` and `k = 2` (including diagonal/controlled-phase fast paths);
+/// higher arities fall back to [`crate::kernels::apply_gate_generic`].
 pub fn apply_gate(amps: &mut [Complex], n: usize, qubits: &[usize], m: &CMat) {
-    let k = qubits.len();
     debug_assert_eq!(amps.len(), 1 << n);
-    debug_assert_eq!(m.rows(), 1 << k);
-    let pos: Vec<usize> = qubits.iter().map(|q| n - 1 - q).collect();
-    let targets_mask: usize = pos.iter().map(|p| 1usize << p).sum();
-    let dim = 1usize << n;
-    let sub = 1usize << k;
-    let mut gathered = vec![Complex::ZERO; sub];
-    let index_of = |base: usize, s: usize| -> usize {
-        let mut idx = base;
-        for (j, p) in pos.iter().enumerate() {
-            if s >> (k - 1 - j) & 1 == 1 {
-                idx |= 1 << p;
-            }
-        }
-        idx
-    };
-    for base in 0..dim {
-        if base & targets_mask != 0 {
-            continue;
-        }
-        for (s, g) in gathered.iter_mut().enumerate() {
-            *g = amps[index_of(base, s)];
-        }
-        for row in 0..sub {
-            let mut acc = Complex::ZERO;
-            for (col, g) in gathered.iter().enumerate() {
-                acc += m[(row, col)] * *g;
-            }
-            amps[index_of(base, row)] = acc;
-        }
+    debug_assert_eq!(m.rows(), 1 << qubits.len());
+    match *qubits {
+        [q] => crate::kernels::apply_1q(amps, n, q, m),
+        [q0, q1] => crate::kernels::apply_2q(amps, n, q0, q1, m),
+        _ => crate::kernels::apply_gate_generic(amps, n, qubits, m),
     }
 }
 

@@ -1,0 +1,245 @@
+//! Specialized in-place statevector kernels for the hot gate arities.
+//!
+//! [`crate::circuit::apply_gate`] dispatches here: dedicated bit-twiddling
+//! kernels for `k = 1` and `k = 2` gates (plus recognized diagonal and
+//! controlled-phase special cases such as Rz, CZ, and ZZ), with the generic
+//! gather/scatter path kept only as the `k ≥ 3` fallback. All kernels act on
+//! raw amplitudes with qubit 0 as the most significant bit of the basis
+//! index, matching `ashn-sim`.
+//!
+//! Every fast path is *lossless*: special cases trigger only on exact
+//! structural zeros, and the differential suite in
+//! `crates/sim/tests/kernels.rs` pins each kernel to the generic path at
+//! `1e-12` on random unitaries and placements.
+
+use ashn_math::{CMat, Complex};
+
+/// Inserts a zero bit at position `p`, shifting the higher bits up.
+#[inline(always)]
+fn insert_zero(x: usize, p: usize) -> usize {
+    let low = (1usize << p) - 1;
+    ((x & !low) << 1) | (x & low)
+}
+
+/// Applies a single-qubit unitary to `qubit` of an `n`-qubit register.
+pub fn apply_1q(amps: &mut [Complex], n: usize, qubit: usize, m: &CMat) {
+    debug_assert_eq!(amps.len(), 1 << n);
+    debug_assert_eq!(m.rows(), 2);
+    let p = n - 1 - qubit;
+    let bit = 1usize << p;
+    let md = m.as_slice();
+    let (m00, m01, m10, m11) = (md[0], md[1], md[2], md[3]);
+    if m01 == Complex::ZERO && m10 == Complex::ZERO {
+        return apply_diag_1q(amps, p, m00, m11);
+    }
+    let half = amps.len() >> 1;
+    for i in 0..half {
+        let i0 = insert_zero(i, p);
+        let i1 = i0 | bit;
+        let a = amps[i0];
+        let b = amps[i1];
+        amps[i0] = m00 * a + m01 * b;
+        amps[i1] = m10 * a + m11 * b;
+    }
+}
+
+/// Diagonal single-qubit gate (Rz-like): pure per-amplitude phases. When the
+/// `|0⟩` entry is exactly 1 (a phase gate), only the set-bit half is touched.
+fn apply_diag_1q(amps: &mut [Complex], p: usize, d0: Complex, d1: Complex) {
+    let bit = 1usize << p;
+    if d0 == Complex::ONE {
+        let half = amps.len() >> 1;
+        for i in 0..half {
+            let idx = insert_zero(i, p) | bit;
+            amps[idx] *= d1;
+        }
+    } else {
+        for (i, a) in amps.iter_mut().enumerate() {
+            *a *= if i & bit == 0 { d0 } else { d1 };
+        }
+    }
+}
+
+/// Applies a two-qubit unitary to `(q0, q1)` of an `n`-qubit register
+/// (`q0` is the most significant bit of the 4×4 matrix index).
+pub fn apply_2q(amps: &mut [Complex], n: usize, q0: usize, q1: usize, m: &CMat) {
+    debug_assert_eq!(amps.len(), 1 << n);
+    debug_assert_eq!(m.rows(), 4);
+    debug_assert_ne!(q0, q1);
+    let p0 = n - 1 - q0;
+    let p1 = n - 1 - q1;
+    let (b0, b1) = (1usize << p0, 1usize << p1);
+    let md = m.as_slice();
+    if is_diag_4(md) {
+        return apply_diag_2q(amps, p0, p1, [md[0], md[5], md[10], md[15]]);
+    }
+    let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
+    let quarter = amps.len() >> 2;
+    for i in 0..quarter {
+        let base = insert_zero(insert_zero(i, pl), ph);
+        let (i1, i2, i3) = (base | b1, base | b0, base | b0 | b1);
+        let a0 = amps[base];
+        let a1 = amps[i1];
+        let a2 = amps[i2];
+        let a3 = amps[i3];
+        amps[base] = md[0] * a0 + md[1] * a1 + md[2] * a2 + md[3] * a3;
+        amps[i1] = md[4] * a0 + md[5] * a1 + md[6] * a2 + md[7] * a3;
+        amps[i2] = md[8] * a0 + md[9] * a1 + md[10] * a2 + md[11] * a3;
+        amps[i3] = md[12] * a0 + md[13] * a1 + md[14] * a2 + md[15] * a3;
+    }
+}
+
+/// `true` when a row-major 4×4 matrix has exact zeros off the diagonal.
+#[inline]
+fn is_diag_4(md: &[Complex]) -> bool {
+    for (i, v) in md.iter().enumerate() {
+        if i % 5 != 0 && *v != Complex::ZERO {
+            return false;
+        }
+    }
+    true
+}
+
+/// Diagonal two-qubit gate (CZ / ZZ / controlled-phase): per-amplitude
+/// phases. Controlled-phase gates (first three diagonal entries exactly 1,
+/// e.g. CZ) touch only the quarter of the state with both bits set.
+fn apply_diag_2q(amps: &mut [Complex], p0: usize, p1: usize, d: [Complex; 4]) {
+    let (b0, b1) = (1usize << p0, 1usize << p1);
+    if d[0] == Complex::ONE && d[1] == Complex::ONE && d[2] == Complex::ONE {
+        let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
+        let quarter = amps.len() >> 2;
+        for i in 0..quarter {
+            let idx = insert_zero(insert_zero(i, pl), ph) | b0 | b1;
+            amps[idx] *= d[3];
+        }
+    } else {
+        for (i, a) in amps.iter_mut().enumerate() {
+            let s = (((i >> p0) & 1) << 1) | ((i >> p1) & 1);
+            *a *= d[s];
+        }
+    }
+}
+
+/// The generic `k`-qubit gather/scatter kernel: correct for any arity, used
+/// as the dispatch fallback for `k ≥ 3` and as the reference implementation
+/// the fast kernels are differentially tested against.
+pub fn apply_gate_generic(amps: &mut [Complex], n: usize, qubits: &[usize], m: &CMat) {
+    let k = qubits.len();
+    debug_assert_eq!(amps.len(), 1 << n);
+    debug_assert_eq!(m.rows(), 1 << k);
+    let pos: Vec<usize> = qubits.iter().map(|q| n - 1 - q).collect();
+    let targets_mask: usize = pos.iter().map(|p| 1usize << p).sum();
+    let dim = 1usize << n;
+    let sub = 1usize << k;
+    let mut gathered = vec![Complex::ZERO; sub];
+    let index_of = |base: usize, s: usize| -> usize {
+        let mut idx = base;
+        for (j, p) in pos.iter().enumerate() {
+            if s >> (k - 1 - j) & 1 == 1 {
+                idx |= 1 << p;
+            }
+        }
+        idx
+    };
+    for base in 0..dim {
+        if base & targets_mask != 0 {
+            continue;
+        }
+        for (s, g) in gathered.iter_mut().enumerate() {
+            *g = amps[index_of(base, s)];
+        }
+        for row in 0..sub {
+            let mut acc = Complex::ZERO;
+            for (col, g) in gathered.iter().enumerate() {
+                acc += m[(row, col)] * *g;
+            }
+            amps[index_of(base, row)] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_math::c;
+
+    fn random_amps(n: usize, seed: u64) -> Vec<Complex> {
+        // Deterministic pseudo-random amplitudes without a dev-dependency.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..1 << n).map(|_| c(next(), next())).collect()
+    }
+
+    fn assert_matches_generic(n: usize, qubits: &[usize], m: &CMat, seed: u64) {
+        let mut fast = random_amps(n, seed);
+        let mut slow = fast.clone();
+        match *qubits {
+            [q] => apply_1q(&mut fast, n, q, m),
+            [q0, q1] => apply_2q(&mut fast, n, q0, q1, m),
+            _ => unreachable!(),
+        }
+        apply_gate_generic(&mut slow, n, qubits, m);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert!((*a - *b).abs() < 1e-13, "n={n} qubits={qubits:?}");
+        }
+    }
+
+    #[test]
+    fn one_qubit_kernel_matches_generic() {
+        let h = {
+            let s = std::f64::consts::FRAC_1_SQRT_2;
+            CMat::from_rows_f64(&[&[s, s], &[s, -s]])
+        };
+        for n in 1..=5 {
+            for q in 0..n {
+                assert_matches_generic(n, &[q], &h, 7 + q as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn one_qubit_diagonal_kernels_match_generic() {
+        let rz = CMat::diag(&[Complex::cis(-0.4), Complex::cis(0.4)]);
+        let phase = CMat::diag(&[Complex::ONE, Complex::cis(1.1)]);
+        for m in [rz, phase] {
+            for q in 0..4 {
+                assert_matches_generic(4, &[q], &m, 11 + q as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_kernel_matches_generic_all_placements() {
+        let m = CMat::from_fn(4, 4, |r, cc| c(0.13 * (r * 4 + cc) as f64, 0.07 * r as f64));
+        for n in 2..=5 {
+            for q0 in 0..n {
+                for q1 in 0..n {
+                    if q0 != q1 {
+                        assert_matches_generic(n, &[q0, q1], &m, 17 + (q0 * 8 + q1) as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cz_and_zz_diagonals_match_generic() {
+        let cz = CMat::diag(&[Complex::ONE, Complex::ONE, Complex::ONE, c(-1.0, 0.0)]);
+        let zz = CMat::diag(&[
+            Complex::cis(0.3),
+            Complex::cis(-0.3),
+            Complex::cis(-0.3),
+            Complex::cis(0.3),
+        ]);
+        for m in [cz, zz] {
+            for (q0, q1) in [(0, 1), (1, 0), (0, 3), (3, 1)] {
+                assert_matches_generic(4, &[q0, q1], &m, 29 + (q0 * 8 + q1) as u64);
+            }
+        }
+    }
+}

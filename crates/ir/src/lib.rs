@@ -39,6 +39,7 @@ pub mod basis;
 pub mod circuit;
 pub mod error;
 pub mod instruction;
+pub mod kernels;
 
 pub use basis::Basis;
 pub use circuit::{embed, Circuit};

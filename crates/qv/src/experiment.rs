@@ -8,9 +8,10 @@ use ashn_ir::{Basis, Circuit, SynthError};
 use ashn_math::randmat::haar_su;
 use ashn_math::CMat;
 use ashn_route::{expand_route_ops, random_pairing, Grid, Router};
-use ashn_sim::{NoiseModel, Simulate};
+use ashn_sim::{BatchRunner, NoiseModel, Simulate};
 use ashn_synth::cnot_basis::CZ_DURATION;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Noise parameters of the paper's model: single-qubit gates have a fixed
 /// error rate; two-qubit gates scale with their duration relative to CZ,
@@ -210,8 +211,40 @@ pub fn score_circuit(
     Ok(score_compiled(&compile_model(model, gate_set)?, noise))
 }
 
+/// Samples one model circuit from a dedicated seed and scores it — the unit
+/// of work the batched experiment runners fan out.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from compilation.
+pub fn score_sampled(
+    d: usize,
+    gate_set: GateSet,
+    noise: &QvNoise,
+    circuit_seed: u64,
+) -> Result<CircuitScore, SynthError> {
+    let mut rng = StdRng::seed_from_u64(circuit_seed);
+    let model = sample_model_circuit(d, &mut rng);
+    score_circuit(&model, gate_set, noise)
+}
+
+/// Folds per-circuit heavy-output scores into the mean, propagating the
+/// first error.
+fn fold_mean_hop(scores: Vec<Result<CircuitScore, SynthError>>) -> Result<f64, SynthError> {
+    let n = scores.len();
+    let mut total = 0.0;
+    for s in scores {
+        total += s?.hop;
+    }
+    Ok(total / n as f64)
+}
+
 /// Mean heavy-output probability over `n_circuits` random model circuits of
 /// size `d` — one point of paper Fig. 7.
+///
+/// Per-circuit seeds are drawn serially from `rng`, then each circuit is
+/// sampled, compiled, and scored on a [`BatchRunner`] worker: the result
+/// depends only on `rng`'s state, never on the machine's parallelism.
 ///
 /// # Errors
 ///
@@ -223,12 +256,36 @@ pub fn mean_hop(
     n_circuits: usize,
     rng: &mut impl Rng,
 ) -> Result<f64, SynthError> {
-    let mut total = 0.0;
-    for _ in 0..n_circuits {
+    let seeds: Vec<u64> = (0..n_circuits).map(|_| rng.gen::<u64>()).collect();
+    let scores = BatchRunner::new(0).run(n_circuits, |i, _| {
+        score_sampled(d, gate_set, noise, seeds[i])
+    });
+    fold_mean_hop(scores)
+}
+
+/// [`mean_hop`] with an explicit master seed and worker count
+/// (`workers == 0` uses the machine default): circuit `i` is sampled from
+/// the [`BatchRunner`] stream for job `i`, so the estimate is bit-identical
+/// for any worker count — the reproducibility contract of the batched
+/// experiment runner.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from compilation.
+pub fn mean_hop_batched(
+    d: usize,
+    gate_set: GateSet,
+    noise: &QvNoise,
+    n_circuits: usize,
+    master_seed: u64,
+    workers: usize,
+) -> Result<f64, SynthError> {
+    let runner = BatchRunner::new(master_seed).with_workers(workers);
+    let scores = runner.run(n_circuits, |_, rng| {
         let model = sample_model_circuit(d, rng);
-        total += score_circuit(&model, gate_set, noise)?.hop;
-    }
-    Ok(total / n_circuits as f64)
+        score_circuit(&model, gate_set, noise)
+    });
+    fold_mean_hop(scores)
 }
 
 #[cfg(test)]
@@ -303,6 +360,31 @@ mod tests {
             hops[1],
             hops[0]
         );
+    }
+
+    #[test]
+    fn batched_hop_is_worker_count_invariant() {
+        // The same master seed must yield bit-identical heavy-output
+        // statistics whether the batch runs on 1, 2, or 8 workers.
+        let noise = QvNoise::with_e_cz(0.012);
+        let reference = mean_hop_batched(3, GateSet::Cz, &noise, 4, 77, 1).unwrap();
+        for workers in [2, 8] {
+            let got = mean_hop_batched(3, GateSet::Cz, &noise, 4, 77, workers).unwrap();
+            assert_eq!(got.to_bits(), reference.to_bits(), "workers = {workers}");
+        }
+        assert!((0.0..=1.0).contains(&reference));
+    }
+
+    #[test]
+    fn mean_hop_depends_only_on_the_caller_rng() {
+        // Two calls from identically seeded RNGs agree exactly, whatever
+        // the default worker count happens to be on this machine.
+        let noise = QvNoise::with_e_cz(0.012);
+        let mut rng_a = StdRng::seed_from_u64(55);
+        let mut rng_b = StdRng::seed_from_u64(55);
+        let a = mean_hop(3, GateSet::Cz, &noise, 3, &mut rng_a).unwrap();
+        let b = mean_hop(3, GateSet::Cz, &noise, 3, &mut rng_b).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

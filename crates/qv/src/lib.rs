@@ -21,7 +21,8 @@ pub mod gateset;
 pub mod protocol;
 
 pub use experiment::{
-    compile_model, compile_model_on, heavy_set, mean_hop, sample_model_circuit, score_circuit,
-    score_compiled, stamp_noise, CircuitScore, CompiledModel, ModelCircuit, QvNoise,
+    compile_model, compile_model_on, heavy_set, mean_hop, mean_hop_batched, sample_model_circuit,
+    score_circuit, score_compiled, score_sampled, stamp_noise, CircuitScore, CompiledModel,
+    ModelCircuit, QvNoise,
 };
 pub use gateset::GateSet;

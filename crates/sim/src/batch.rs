@@ -1,0 +1,182 @@
+//! Deterministic parallel batch execution for trajectory/circuit ensembles.
+//!
+//! [`BatchRunner`] fans indexed jobs across `std::thread::scope` workers.
+//! Each job gets its own RNG stream derived from the master seed and the
+//! job index alone, so results are bit-identical for any worker count —
+//! the property the determinism suite in `crates/sim/tests/determinism.rs`
+//! and the quantum-volume tests pin down.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The default worker count: one per available hardware thread.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Fans indexed jobs across scoped worker threads with per-job
+/// deterministic RNG streams.
+///
+/// # Examples
+///
+/// ```
+/// use ashn_sim::BatchRunner;
+/// use rand::Rng;
+///
+/// let sums: Vec<f64> = BatchRunner::new(7)
+///     .with_workers(4)
+///     .run(8, |_, rng| (0..100).map(|_| rng.gen::<f64>()).sum());
+/// // Identical regardless of worker count:
+/// let serial: Vec<f64> = BatchRunner::new(7)
+///     .with_workers(1)
+///     .run(8, |_, rng| (0..100).map(|_| rng.gen::<f64>()).sum());
+/// assert_eq!(sums, serial);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRunner {
+    master_seed: u64,
+    workers: usize,
+}
+
+impl BatchRunner {
+    /// A runner over the default worker count.
+    pub fn new(master_seed: u64) -> Self {
+        Self {
+            master_seed,
+            workers: default_workers(),
+        }
+    }
+
+    /// Overrides the worker count (results do not depend on it). Zero
+    /// means "use the default" — the convention the bench binaries'
+    /// `--workers 0` flag and the batched experiment APIs share.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = if workers == 0 {
+            default_workers()
+        } else {
+            workers
+        };
+        self
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The seed of job `index`'s RNG stream (a pure function of the master
+    /// seed and the index — never of scheduling).
+    pub fn job_seed(&self, index: usize) -> u64 {
+        mix64(self.master_seed ^ mix64(index as u64))
+    }
+
+    /// Runs `n_jobs` jobs, each with its own seeded [`StdRng`], returning
+    /// results in job order. Work is pulled from a shared counter, so
+    /// stragglers do not serialize the batch.
+    pub fn run<T, F>(&self, n_jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut StdRng) -> T + Sync,
+    {
+        let workers = self.workers.min(n_jobs.max(1));
+        if workers <= 1 || n_jobs <= 1 {
+            return (0..n_jobs)
+                .map(|i| job(i, &mut StdRng::seed_from_u64(self.job_seed(i))))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n_jobs));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_jobs {
+                            break;
+                        }
+                        let mut rng = StdRng::seed_from_u64(self.job_seed(i));
+                        local.push((i, job(i, &mut rng)));
+                    }
+                    collected
+                        .lock()
+                        .expect("batch result mutex poisoned")
+                        .extend(local);
+                });
+            }
+        });
+        let mut results = collected.into_inner().expect("batch result mutex poisoned");
+        results.sort_by_key(|(i, _)| *i);
+        debug_assert_eq!(results.len(), n_jobs);
+        results.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn results_are_in_job_order() {
+        let out = BatchRunner::new(1).with_workers(4).run(32, |i, _| i * 3);
+        assert_eq!(out, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let reference = BatchRunner::new(99)
+            .with_workers(1)
+            .run(16, |i, rng| (i, rng.gen::<u64>(), rng.gen::<f64>()));
+        for workers in [2, 3, 8] {
+            let got = BatchRunner::new(99)
+                .with_workers(workers)
+                .run(16, |i, rng| (i, rng.gen::<u64>(), rng.gen::<f64>()));
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn different_jobs_get_different_streams() {
+        let runner = BatchRunner::new(5);
+        let draws = runner.with_workers(2).run(8, |_, rng| rng.gen::<u64>());
+        for i in 0..draws.len() {
+            for j in i + 1..draws.len() {
+                assert_ne!(draws[i], draws[j], "jobs {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let a = BatchRunner::new(1).run(4, |_, rng| rng.gen::<u64>());
+        let b = BatchRunner::new(2).run(4, |_, rng| rng.gen::<u64>());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u64> = BatchRunner::new(3).run(0, |_, rng| rng.gen());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_means_default() {
+        let runner = BatchRunner::new(0).with_workers(0);
+        assert_eq!(runner.workers(), default_workers());
+    }
+}

@@ -1,0 +1,230 @@
+//! The fast-path simulation engine: a statevector workspace with
+//! preallocated scratch buffers, reused across circuit runs.
+//!
+//! [`crate::circuit::Simulate::run_pure`] and one-shot trajectory calls
+//! allocate a fresh amplitude vector per run; for batched workloads
+//! (quantum-volume sweeps, trajectory ensembles, benches) that allocation
+//! and its cache-cold first touch dominate. [`SimEngine`] keeps one
+//! amplitude buffer (and the Pauli matrices the trajectory unravelling
+//! draws from) alive across runs, so a batch of circuits on the same
+//! register costs zero allocations after the first.
+
+use crate::circuit::{Circuit, NoiseModel};
+use crate::state::StateVector;
+use ashn_math::{c, CMat, Complex};
+use rand::Rng;
+
+/// Builds the non-identity Pauli matrices `[X, Y, Z]`.
+fn pauli_matrices() -> [CMat; 3] {
+    [
+        CMat::from_rows(&[
+            &[Complex::ZERO, Complex::ONE],
+            &[Complex::ONE, Complex::ZERO],
+        ]),
+        CMat::from_rows(&[
+            &[Complex::ZERO, c(0.0, -1.0)],
+            &[c(0.0, 1.0), Complex::ZERO],
+        ]),
+        CMat::diag(&[Complex::ONE, c(-1.0, 0.0)]),
+    ]
+}
+
+/// A reusable statevector simulation workspace.
+///
+/// # Examples
+///
+/// ```
+/// use ashn_ir::{Circuit, Instruction};
+/// use ashn_math::CMat;
+/// use ashn_sim::SimEngine;
+///
+/// let h = CMat::from_rows_f64(&[
+///     &[std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2],
+///     &[std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2],
+/// ]);
+/// let mut circuit = Circuit::new(1);
+/// circuit.push(Instruction::new(vec![0], h, "H"));
+/// let mut engine = SimEngine::new(1);
+/// let p = engine.run_pure(&circuit).probabilities();
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimEngine {
+    n: usize,
+    amps: Vec<Complex>,
+    paulis: [CMat; 3],
+}
+
+impl SimEngine {
+    /// An engine sized for `n`-qubit circuits (the buffer grows on demand if
+    /// a larger circuit is run).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside the `1..=24`-qubit range — the same register cap as
+    /// [`StateVector::zero`] and the rest of this crate.
+    pub fn new(n: usize) -> Self {
+        assert!((1..=24).contains(&n), "qubit count out of supported range");
+        Self {
+            n,
+            amps: vec![Complex::ZERO; 1 << n],
+            paulis: pauli_matrices(),
+        }
+    }
+
+    /// Current register size.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Raw amplitudes of the last run, in computational-basis order.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Resets the workspace to `phase·|0…0⟩` on an `n`-qubit register,
+    /// resizing the buffer only when the register size changes.
+    pub fn load_zero(&mut self, n: usize, phase: Complex) {
+        assert!((1..=24).contains(&n), "qubit count out of supported range");
+        if n != self.n {
+            self.n = n;
+            self.amps.resize(1 << n, Complex::ZERO);
+        }
+        self.amps.fill(Complex::ZERO);
+        self.amps[0] = phase;
+    }
+
+    /// Applies one gate in place (dispatching to the fast kernels).
+    pub fn apply(&mut self, qubits: &[usize], m: &CMat) {
+        ashn_ir::circuit::apply_gate(&mut self.amps, self.n, qubits, m);
+    }
+
+    /// Runs the circuit on `|0…0⟩` without noise, leaving the final
+    /// amplitudes in the workspace.
+    pub fn run_pure(&mut self, circuit: &Circuit) -> &Self {
+        self.load_zero(circuit.n_qubits(), circuit.phase);
+        for g in circuit.gates() {
+            self.apply(&g.qubits, &g.matrix);
+        }
+        self
+    }
+
+    /// Runs one stochastic trajectory of the circuit under its per-gate
+    /// depolarizing annotations (a `k`-qubit depolarizing channel of
+    /// probability `p` is realized exactly in distribution by applying,
+    /// with probability `p`, a uniformly random Pauli on each touched
+    /// qubit, identity included).
+    pub fn run_trajectory(
+        &mut self,
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        rng: &mut impl Rng,
+    ) -> &Self {
+        self.load_zero(circuit.n_qubits(), circuit.phase);
+        for g in circuit.gates() {
+            self.apply(&g.qubits, &g.matrix);
+            let p = noise.rate_for(g);
+            if p > 0.0 && rng.gen::<f64>() < p {
+                for &q in &g.qubits {
+                    let which = rng.gen_range(0..4usize);
+                    if which != 0 {
+                        ashn_ir::circuit::apply_gate(
+                            &mut self.amps,
+                            self.n,
+                            &[q],
+                            &self.paulis[which - 1],
+                        );
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Measurement probabilities of the current amplitudes.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Adds the current measurement probabilities into `out` (for averaging
+    /// trajectory ensembles without per-run allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` does not match the register dimension.
+    pub fn accumulate_probabilities(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.amps.len(), "dimension mismatch");
+        for (o, a) in out.iter_mut().zip(self.amps.iter()) {
+            *o += a.norm_sqr();
+        }
+    }
+
+    /// Snapshot of the current amplitudes as a [`StateVector`].
+    pub fn state(&self) -> StateVector {
+        StateVector::from_amplitudes_unchecked(self.amps.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Instruction, Simulate};
+    use ashn_math::randmat::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_circuit(n: usize, rng: &mut StdRng) -> Circuit {
+        let mut circuit = Circuit::new(n);
+        circuit.phase = Complex::cis(0.3);
+        for layer in 0..3 {
+            for q in 0..n {
+                circuit.push(Instruction::new(vec![q], haar_unitary(2, rng), "1q"));
+            }
+            for q in 0..n - 1 {
+                if (q + layer) % 2 == 0 {
+                    circuit.push(Instruction::new(vec![q, q + 1], haar_unitary(4, rng), "U"));
+                }
+            }
+        }
+        circuit
+    }
+
+    #[test]
+    fn engine_matches_run_pure() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let circuit = random_circuit(4, &mut rng);
+        let mut engine = SimEngine::new(4);
+        engine.run_pure(&circuit);
+        let reference = circuit.run_pure();
+        for (a, b) in engine.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn engine_is_reusable_across_register_sizes() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let mut engine = SimEngine::new(2);
+        for n in [3, 2, 4] {
+            let circuit = random_circuit(n, &mut rng);
+            engine.run_pure(&circuit);
+            assert_eq!(engine.amplitudes().len(), 1 << n);
+            let norm: f64 = engine.probabilities().iter().sum();
+            assert!((norm - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn accumulate_probabilities_sums() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let circuit = random_circuit(3, &mut rng);
+        let mut engine = SimEngine::new(3);
+        let mut acc = vec![0.0; 8];
+        engine.run_pure(&circuit).accumulate_probabilities(&mut acc);
+        engine.run_pure(&circuit).accumulate_probabilities(&mut acc);
+        let direct = engine.probabilities();
+        for (a, d) in acc.iter().zip(direct.iter()) {
+            assert!((a - 2.0 * d).abs() < 1e-12);
+        }
+    }
+}

@@ -30,14 +30,18 @@
 //! assert!((p[0] + p[3]) > 0.98); // mostly correlated outcomes
 //! ```
 
+pub mod batch;
 pub mod circuit;
 pub mod density;
+pub mod engine;
 pub mod measure;
 pub mod state;
 pub mod trajectory;
 
+pub use batch::BatchRunner;
 #[allow(deprecated)]
 pub use circuit::Gate;
 pub use circuit::{Circuit, Instruction, NoiseModel, Simulate};
 pub use density::DensityMatrix;
+pub use engine::SimEngine;
 pub use state::StateVector;

@@ -109,8 +109,13 @@ impl StateVector {
     }
 
     /// Samples a basis state index from the measurement distribution.
+    ///
+    /// The uniform draw is rescaled by the state's squared norm, so a
+    /// slightly sub-unit-norm state (numerical drift under long circuits)
+    /// does not bias the last basis state: each outcome is sampled with
+    /// probability exactly `|a_i|² / ‖ψ‖²`.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let mut u: f64 = rng.gen();
+        let mut u: f64 = rng.gen::<f64>() * self.norm_sqr();
         for (i, a) in self.amps.iter().enumerate() {
             u -= a.norm_sqr();
             if u <= 0.0 {
@@ -253,6 +258,27 @@ mod tests {
         let mut s = StateVector::zero(1);
         s.apply(&[0], &h_gate());
         let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| s.sample(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn sampling_renormalizes_sub_unit_norm_states() {
+        // Regression: the pre-fix linear scan compared an unscaled uniform
+        // draw against the raw |a_i|² mass, so any norm deficit fell through
+        // to the *last* basis state. A state with most mass missing makes
+        // the bias unmistakable: |ψ⟩ = 0.7|0⟩ has norm² = 0.49, and the old
+        // code returned index 1 (amplitude zero!) for every u > 0.49.
+        let s = StateVector::from_amplitudes_unchecked(vec![c(0.7, 0.0), Complex::ZERO]);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            assert_eq!(s.sample(&mut rng), 0, "zero-amplitude outcome sampled");
+        }
+        // And a mildly drifted near-unit state keeps the right proportions.
+        let drift = (0.5f64 * (1.0 - 1e-4)).sqrt();
+        let s = StateVector::from_amplitudes_unchecked(vec![c(drift, 0.0), c(0.0, drift)]);
         let n = 20_000;
         let ones = (0..n).filter(|_| s.sample(&mut rng) == 1).count();
         let frac = ones as f64 / n as f64;

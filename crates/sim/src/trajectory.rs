@@ -6,48 +6,21 @@
 //! in distribution by applying, with probability `p`, a uniformly random
 //! `k`-qubit Pauli (identity included).
 
+use crate::batch::BatchRunner;
 use crate::circuit::{Circuit, NoiseModel};
+use crate::engine::SimEngine;
 use crate::state::StateVector;
-use ashn_math::{c, CMat, Complex};
 use rand::Rng;
-
-fn pauli_matrix(which: usize) -> CMat {
-    match which {
-        0 => CMat::identity(2),
-        1 => CMat::from_rows(&[
-            &[Complex::ZERO, Complex::ONE],
-            &[Complex::ONE, Complex::ZERO],
-        ]),
-        2 => CMat::from_rows(&[
-            &[Complex::ZERO, c(0.0, -1.0)],
-            &[c(0.0, 1.0), Complex::ZERO],
-        ]),
-        _ => CMat::diag(&[Complex::ONE, c(-1.0, 0.0)]),
-    }
-}
 
 /// Runs one stochastic trajectory of the circuit under its per-gate
 /// depolarizing annotations, returning the final pure state.
+///
+/// One-shot convenience over [`SimEngine::run_trajectory`]; batched callers
+/// keep one engine alive (or use [`trajectory_probabilities_batched`]) to
+/// amortize the amplitude-buffer allocation.
 pub fn run_trajectory(circuit: &Circuit, noise: &NoiseModel, rng: &mut impl Rng) -> StateVector {
-    // Carry the circuit's global phase, matching `Simulate::run_pure`.
-    let mut amps = vec![Complex::ZERO; 1 << circuit.n_qubits()];
-    amps[0] = circuit.phase;
-    let mut s = StateVector::from_amplitudes_unchecked(amps);
-    for g in circuit.gates() {
-        s.apply(&g.qubits, &g.matrix);
-        let p = noise.rate_for(g);
-        if p > 0.0 && rng.gen::<f64>() < p {
-            // Uniformly random Pauli on each touched qubit (4^k options,
-            // identity included — this is the exact unravelling of D_p).
-            for &q in &g.qubits {
-                let which = rng.gen_range(0..4usize);
-                if which != 0 {
-                    s.apply(&[q], &pauli_matrix(which));
-                }
-            }
-        }
-    }
-    s
+    let mut engine = SimEngine::new(circuit.n_qubits());
+    engine.run_trajectory(circuit, noise, rng).state()
 }
 
 /// Estimates outcome probabilities by averaging `n_traj` trajectories.
@@ -59,16 +32,66 @@ pub fn trajectory_probabilities(
 ) -> Vec<f64> {
     let dim = 1usize << circuit.n_qubits();
     let mut acc = vec![0.0; dim];
+    let mut engine = SimEngine::new(circuit.n_qubits());
     for _ in 0..n_traj {
-        let s = run_trajectory(circuit, noise, rng);
-        for (a, p) in acc.iter_mut().zip(s.probabilities()) {
-            *a += p;
-        }
+        engine
+            .run_trajectory(circuit, noise, rng)
+            .accumulate_probabilities(&mut acc);
     }
     for a in acc.iter_mut() {
         *a /= n_traj as f64;
     }
     acc
+}
+
+/// Number of fixed-size chunks a trajectory ensemble is split into. A pure
+/// function of the ensemble size — never of the worker count — so batched
+/// estimates are deterministic for a given master seed.
+fn trajectory_chunks(n_traj: usize) -> usize {
+    n_traj.clamp(1, 64)
+}
+
+/// Estimates outcome probabilities by averaging `n_traj` trajectories,
+/// fanned across [`BatchRunner`] workers (`workers == 0` uses the machine
+/// default). The ensemble is split into fixed-size chunks with per-chunk
+/// RNG streams derived from `master_seed`, so the estimate is bit-identical
+/// for any worker count.
+pub fn trajectory_probabilities_batched(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    n_traj: usize,
+    master_seed: u64,
+    workers: usize,
+) -> Vec<f64> {
+    let dim = 1usize << circuit.n_qubits();
+    if n_traj == 0 {
+        return vec![0.0; dim];
+    }
+    let chunks = trajectory_chunks(n_traj);
+    let runner = BatchRunner::new(master_seed).with_workers(workers);
+    let partials = runner.run(chunks, |index, rng| {
+        // Chunk `index` owns trajectories [lo, hi) of the ensemble.
+        let lo = index * n_traj / chunks;
+        let hi = (index + 1) * n_traj / chunks;
+        let mut engine = SimEngine::new(circuit.n_qubits());
+        let mut acc = vec![0.0; dim];
+        for _ in lo..hi {
+            engine
+                .run_trajectory(circuit, noise, rng)
+                .accumulate_probabilities(&mut acc);
+        }
+        acc
+    });
+    let mut out = vec![0.0; dim];
+    for partial in partials {
+        for (o, p) in out.iter_mut().zip(partial) {
+            *o += p;
+        }
+    }
+    for o in out.iter_mut() {
+        *o /= n_traj as f64;
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,84 @@
+//! Determinism contract of the parallel batch runner: for a fixed master
+//! seed, every statistic must be bit-identical regardless of how many
+//! workers the batch is fanned across (1, 2, 8).
+
+use ashn_math::randmat::haar_unitary;
+use ashn_sim::trajectory::trajectory_probabilities_batched;
+use ashn_sim::{BatchRunner, Circuit, Instruction, NoiseModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn noisy_circuit(n: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circuit = Circuit::new(n);
+    for layer in 0..4 {
+        for q in 0..n - 1 {
+            if (q + layer) % 2 == 0 {
+                circuit.push(
+                    Instruction::new(vec![q, q + 1], haar_unitary(4, &mut rng), "U")
+                        .with_error_rate(0.05),
+                );
+            }
+        }
+    }
+    circuit
+}
+
+#[test]
+fn batch_runner_statistics_are_worker_count_invariant() {
+    // A Monte-Carlo style reduction over per-job RNG streams.
+    let estimate = |workers: usize| -> Vec<f64> {
+        BatchRunner::new(424242)
+            .with_workers(workers)
+            .run(24, |i, rng| {
+                (0..50 + i).map(|_| rng.gen::<f64>()).sum::<f64>()
+            })
+    };
+    let reference = estimate(1);
+    for workers in [2, 8] {
+        assert_eq!(estimate(workers), reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn batched_trajectory_probabilities_are_worker_count_invariant() {
+    let circuit = noisy_circuit(4, 7);
+    let reference = trajectory_probabilities_batched(&circuit, &NoiseModel::NOISELESS, 200, 99, 1);
+    for workers in [2, 8] {
+        let got =
+            trajectory_probabilities_batched(&circuit, &NoiseModel::NOISELESS, 200, 99, workers);
+        assert_eq!(got, reference, "workers = {workers}");
+    }
+    // Sanity: the estimate is a probability distribution.
+    let total: f64 = reference.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn batched_trajectories_converge_like_the_serial_estimator() {
+    // Same ensemble size, different RNG plumbing — both must approximate
+    // the same distribution.
+    let circuit = noisy_circuit(3, 8);
+    let mut rng = StdRng::seed_from_u64(10);
+    let serial = ashn_sim::trajectory::trajectory_probabilities(
+        &circuit,
+        &NoiseModel::NOISELESS,
+        4000,
+        &mut rng,
+    );
+    let batched = trajectory_probabilities_batched(&circuit, &NoiseModel::NOISELESS, 4000, 11, 4);
+    let linf = serial
+        .iter()
+        .zip(batched.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(linf < 0.03, "serial vs batched deviation {linf}");
+}
+
+#[test]
+fn master_seed_changes_the_ensemble() {
+    let circuit = noisy_circuit(3, 9);
+    let a = trajectory_probabilities_batched(&circuit, &NoiseModel::NOISELESS, 50, 1, 4);
+    let b = trajectory_probabilities_batched(&circuit, &NoiseModel::NOISELESS, 50, 2, 4);
+    assert_ne!(a, b);
+}

@@ -1,0 +1,423 @@
+//! A bounded synthesis memo-cache keyed by quantized Weyl coordinates.
+//!
+//! Two-qubit synthesis cost is dominated by per-*class* work — the AshN
+//! pulse compilation and the SQiSW interleaver search are numerical
+//! searches over the local-equivalence class of the target, not the target
+//! itself. [`CachedBasis`] exploits that: the first synthesis of a class
+//! stores the resulting circuit, and later targets of the same class are
+//! served by re-dressing the stored circuit with KAK-computed single-qubit
+//! corrections ([`align_to_target`]) instead of re-running the search.
+//!
+//! Repeated *targets* (the dominant pattern in batched experiment sweeps:
+//! routed SWAPs, repeated bench models, scoring one compilation at many
+//! noise levels) are re-dressed by exactly-identity corrections, which are
+//! trimmed away — a hit returns an instruction list identical to the cold
+//! synthesis. The cache is bounded (FIFO eviction) and internally locked,
+//! so one instance can serve every worker of a batch run.
+
+use crate::circuit2::{align_to_target, TwoQubitCircuit};
+use ashn_gates::kak::weyl_coordinates;
+use ashn_ir::{Basis, Circuit, SynthError};
+use ashn_math::CMat;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Quantization step for the Weyl-coordinate key. Coarse enough that the
+/// numerical noise of `weyl_coordinates` (≲1e-9) rarely splits a class
+/// across cells, fine enough that any same-cell pair is far inside the
+/// `1e-6` class-match tolerance of [`align_to_target`].
+const QUANT: f64 = 1e-7;
+
+/// Targets closer than this (Frobenius) to a stored entry's target are
+/// treated as exact repeats and served the stored circuit verbatim.
+const REPEAT_TOL: f64 = 1e-12;
+
+/// Basis name, quantized coordinates, and a flag separating
+/// [`Basis::native_swap`] entries from plain synthesis. The basis name is
+/// part of the key because one [`SynthCache`] may be shared across wrappers
+/// of *different* bases (`with_cache`) — a CZ-basis circuit must never
+/// serve an SQiSW-basis hit. The swap flag exists because a basis may
+/// override `native_swap` with a decomposition its `synthesize` would not
+/// produce.
+type Key = (String, i64, i64, i64, bool);
+
+fn quantize(x: f64) -> i64 {
+    (x / QUANT).round() as i64
+}
+
+/// One memoized class: the circuit the cold synthesis produced and the
+/// target it was synthesized for.
+#[derive(Clone, Debug)]
+struct Entry {
+    target: CMat,
+    circuit: TwoQubitCircuit,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<Key, Entry>,
+    order: VecDeque<Key>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Shared, bounded class→circuit store.
+#[derive(Clone, Debug)]
+pub struct SynthCache {
+    inner: Arc<Mutex<CacheInner>>,
+    capacity: usize,
+}
+
+/// Hit/miss/occupancy snapshot of a [`SynthCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to cold synthesis.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub len: usize,
+    /// Maximum entries retained.
+    pub capacity: usize,
+}
+
+impl SynthCache {
+    /// A cache retaining at most `capacity` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            inner: Arc::new(Mutex::new(CacheInner::default())),
+            capacity,
+        }
+    }
+
+    fn key_for(basis: &str, point: ashn_gates::weyl::WeylPoint, native_swap: bool) -> Key {
+        (
+            basis.to_string(),
+            quantize(point.x),
+            quantize(point.y),
+            quantize(point.z),
+            native_swap,
+        )
+    }
+
+    fn get(&self, key: Key) -> Option<Entry> {
+        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        let found = inner.map.get(&key).cloned();
+        match found {
+            Some(e) => {
+                inner.hits += 1;
+                Some(e)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: Key, entry: Entry) {
+        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        if inner.map.insert(key.clone(), entry).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Current hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("synth cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+impl Default for SynthCache {
+    fn default() -> Self {
+        Self::with_capacity(256)
+    }
+}
+
+/// A [`Basis`] decorator adding the class-keyed memo-cache to any native
+/// gate set.
+#[derive(Clone, Debug)]
+pub struct CachedBasis<B> {
+    inner: B,
+    cache: SynthCache,
+}
+
+impl<B: Basis> CachedBasis<B> {
+    /// Wraps `inner` with a default-capacity cache.
+    pub fn new(inner: B) -> Self {
+        Self {
+            inner,
+            cache: SynthCache::default(),
+        }
+    }
+
+    /// Wraps `inner` with an explicit cache (sharable across wrappers).
+    pub fn with_cache(inner: B, cache: SynthCache) -> Self {
+        Self { inner, cache }
+    }
+
+    /// The underlying cache (for stats and sharing).
+    pub fn cache(&self) -> &SynthCache {
+        &self.cache
+    }
+
+    /// The wrapped basis.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: Basis> Basis for CachedBasis<B> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
+        // Only well-formed two-qubit unitaries are keyable; anything else
+        // goes straight to the inner basis (which reports the right error).
+        if u.rows() != 4 || !u.is_square() || !u.is_unitary(1e-6) {
+            return self.inner.synthesize(u);
+        }
+        let coords = weyl_coordinates(u).canonicalize();
+        let key = SynthCache::key_for(&self.inner.name(), coords, false);
+        if let Some(entry) = self.cache.get(key.clone()) {
+            // Exact repeat: the stored circuit IS the cold synthesis.
+            if u.dist(&entry.target) < REPEAT_TOL {
+                return Ok(entry.circuit.into());
+            }
+            // Same class, new target: re-dress the stored circuit with
+            // KAK-computed outer locals instead of re-running the search —
+            // but only when the stored circuit *realizes* the class tightly
+            // enough for `align_to_target` (which asserts at 1e-6). An
+            // approximate inner basis whose realization drifts falls
+            // through to cold synthesis instead of panicking.
+            let realized = weyl_coordinates(&entry.circuit.unitary()).canonicalize();
+            if realized.gate_dist(coords) < 5e-7 {
+                // Fuse the correction locals into the stored circuit's
+                // boundary locals so the hit carries the same single-qubit
+                // gate count (and thus the same per-gate noise charge) as a
+                // cold synthesis of this target.
+                let dressed: Circuit = align_to_target(u, entry.circuit).into();
+                return Ok(dressed.fuse_single_qubit_runs());
+            }
+        }
+        let circuit = self.inner.synthesize(u)?;
+        if let Ok(core) = TwoQubitCircuit::try_from(circuit.clone()) {
+            self.cache.insert(
+                key,
+                Entry {
+                    target: u.clone(),
+                    circuit: core,
+                },
+            );
+        }
+        Ok(circuit)
+    }
+
+    fn native_swap(&self) -> Result<Circuit, SynthError> {
+        // Memoized under a dedicated key, and cold-served by the *inner*
+        // `native_swap` so a basis's bespoke SWAP override is respected.
+        let swap = ashn_gates::two::swap();
+        let key = SynthCache::key_for(
+            &self.inner.name(),
+            weyl_coordinates(&swap).canonicalize(),
+            true,
+        );
+        if let Some(entry) = self.cache.get(key.clone()) {
+            return Ok(entry.circuit.into());
+        }
+        let circuit = self.inner.native_swap()?;
+        if let Ok(core) = TwoQubitCircuit::try_from(circuit.clone()) {
+            self.cache.insert(
+                key,
+                Entry {
+                    target: swap,
+                    circuit: core,
+                },
+            );
+        }
+        Ok(circuit)
+    }
+
+    fn expected_entanglers(&self, u: &CMat) -> usize {
+        self.inner.expected_entanglers(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{AshnBasis, CzBasis, SqiswBasis};
+    use ashn_math::randmat::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Frobenius distance after optimally aligning the global phases.
+    fn phase_invariant_distance(a: &CMat, b: &CMat) -> f64 {
+        let tr = a.adjoint().matmul(b).trace();
+        let phase = if tr.abs() > 1e-15 {
+            tr / tr.abs()
+        } else {
+            ashn_math::Complex::ONE
+        };
+        a.scale(phase).dist(b)
+    }
+
+    #[test]
+    fn hit_matches_cold_synthesis_exactly() {
+        // Same target twice: the second call is a hit and must return a
+        // circuit with identical gate counts and the same unitary (up to
+        // global phase) as the cold synthesis.
+        let mut rng = StdRng::seed_from_u64(601);
+        for _ in 0..3 {
+            let u = haar_unitary(4, &mut rng);
+            let cached = CachedBasis::new(AshnBasis::ideal());
+            let cold = cached.synthesize(&u).unwrap();
+            assert_eq!(cached.cache().stats().misses, 1);
+            let hit = cached.synthesize(&u).unwrap();
+            assert_eq!(cached.cache().stats().hits, 1);
+            assert_eq!(hit.instructions.len(), cold.instructions.len());
+            assert_eq!(hit.entangler_count(), cold.entangler_count());
+            let d = phase_invariant_distance(&hit.unitary(), &cold.unitary());
+            assert!(d < 1e-9, "hit differs from cold by {d}");
+            assert!(hit.error(&u) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn same_class_different_target_skips_reinstantiation() {
+        // Dress one Haar target's class with fresh locals: the second
+        // synthesis is served from the cache (one miss total) and still
+        // reconstructs its own target with the same entangler count.
+        let mut rng = StdRng::seed_from_u64(602);
+        let u1 = haar_unitary(4, &mut rng);
+        let l = haar_unitary(2, &mut rng).kron(&haar_unitary(2, &mut rng));
+        let r = haar_unitary(2, &mut rng).kron(&haar_unitary(2, &mut rng));
+        let u2 = l.matmul(&u1).matmul(&r);
+        let cached = CachedBasis::new(SqiswBasis);
+        let c1 = cached.synthesize(&u1).unwrap();
+        let c2 = cached.synthesize(&u2).unwrap();
+        let stats = cached.cache().stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert_eq!(c2.entangler_count(), c1.entangler_count());
+        assert!(c2.error(&u2) < 1e-5, "redressed error {}", c2.error(&u2));
+    }
+
+    #[test]
+    fn cache_is_bounded_with_fifo_eviction() {
+        let mut rng = StdRng::seed_from_u64(603);
+        let cached = CachedBasis::with_cache(CzBasis, SynthCache::with_capacity(3));
+        for _ in 0..8 {
+            let u = haar_unitary(4, &mut rng);
+            cached.synthesize(&u).unwrap();
+        }
+        let stats = cached.cache().stats();
+        assert!(stats.len <= 3, "cache grew to {}", stats.len);
+        assert_eq!(stats.misses, 8);
+    }
+
+    #[test]
+    fn native_swap_is_cached() {
+        let cached = CachedBasis::new(AshnBasis::ideal());
+        let a = cached.native_swap().unwrap();
+        let b = cached.native_swap().unwrap();
+        assert_eq!(cached.cache().stats().hits, 1);
+        assert_eq!(a.instructions.len(), b.instructions.len());
+        assert_eq!(b.entangler_count(), 1);
+    }
+
+    #[test]
+    fn native_swap_respects_inner_overrides() {
+        // A basis whose `native_swap` is NOT what `synthesize(SWAP)` would
+        // produce: the cache must serve the override, and a prior cached
+        // synthesis of the SWAP class must not shadow it.
+        #[derive(Clone, Copy, Debug)]
+        struct BespokeSwap;
+        impl Basis for BespokeSwap {
+            fn name(&self) -> String {
+                "bespoke".into()
+            }
+            fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
+                SqiswBasis.synthesize(u)
+            }
+            fn native_swap(&self) -> Result<Circuit, SynthError> {
+                let mut c = Circuit::new(2);
+                c.instructions.push(ashn_ir::Instruction::new(
+                    vec![0, 1],
+                    ashn_gates::two::swap(),
+                    "SWAP[bespoke]",
+                ));
+                Ok(c)
+            }
+            fn expected_entanglers(&self, _: &CMat) -> usize {
+                1
+            }
+        }
+        let cached = CachedBasis::new(BespokeSwap);
+        // Populate the synthesis-path cache slot for the SWAP class first.
+        let via_synth = cached.synthesize(&ashn_gates::two::swap()).unwrap();
+        assert_eq!(via_synth.entangler_count(), 3, "SQiSW SWAP uses 3");
+        for _ in 0..2 {
+            let swap = cached.native_swap().unwrap();
+            assert_eq!(swap.entangler_count(), 1);
+            assert_eq!(swap.instructions[0].label, "SWAP[bespoke]");
+        }
+    }
+
+    #[test]
+    fn shared_cache_never_crosses_bases() {
+        // One cache shared by two wrappers of *different* bases: the key
+        // includes the basis name, so a CZ-class entry from the CZ basis
+        // must not serve the SQiSW wrapper (whose circuits use different
+        // entanglers).
+        let mut rng = StdRng::seed_from_u64(604);
+        let u = haar_unitary(4, &mut rng);
+        let cache = SynthCache::default();
+        let cz = CachedBasis::with_cache(CzBasis, cache.clone());
+        let sq = CachedBasis::with_cache(SqiswBasis, cache.clone());
+        let c_cz = cz.synthesize(&u).unwrap();
+        let c_sq = sq.synthesize(&u).unwrap();
+        assert_eq!(cache.stats().hits, 0, "cross-basis hit served");
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(c_cz.entangler_count(), 3);
+        assert!(c_sq.entangler_count() <= 3);
+        for g in &c_sq.instructions {
+            assert_ne!(g.label, "CZ", "SQiSW circuit contains a CZ entangler");
+        }
+        // And each wrapper still hits its own entry.
+        let _ = cz.synthesize(&u).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn malformed_targets_bypass_the_cache() {
+        let cached = CachedBasis::new(CzBasis);
+        assert!(cached.synthesize(&CMat::zeros(4, 4)).is_err());
+        assert!(cached.synthesize(&CMat::identity(8)).is_err());
+        let stats = cached.cache().stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
+    }
+}

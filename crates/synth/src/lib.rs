@@ -30,6 +30,7 @@
 pub mod ashn_basis;
 pub mod b_span;
 pub mod basis;
+pub mod cache;
 pub mod circuit2;
 pub mod cnot_basis;
 pub mod counts;
@@ -42,3 +43,4 @@ pub mod sqisw_basis;
 pub mod three_qubit;
 
 pub use basis::{AshnBasis, CnotBasis, CzBasis, SqiswBasis};
+pub use cache::{CacheStats, CachedBasis, SynthCache};

@@ -29,6 +29,7 @@ use ashn_qv::{GateSet, QvNoise};
 use ashn_route::Grid;
 use ashn_sim::{DensityMatrix, NoiseModel, Simulate, StateVector};
 use ashn_synth::basis::AshnBasis;
+use ashn_synth::cache::CachedBasis;
 
 /// Builder for the end-to-end compilation pipeline.
 ///
@@ -50,7 +51,7 @@ impl Compiler {
     /// A compiler with the default AshN configuration.
     pub fn new() -> Self {
         Self {
-            basis: Box::new(AshnBasis::with_cutoff(0.0, 1.1)),
+            basis: Box::new(CachedBasis::new(AshnBasis::with_cutoff(0.0, 1.1))),
             noise: QvNoise::with_e_cz(0.007),
             grid: None,
         }
@@ -58,8 +59,24 @@ impl Compiler {
 
     /// Sets the native basis (any [`Basis`] implementation — the built-in
     /// CNOT/CZ/SQiSW/AshN sets from `ashn-synth`, or a user-defined one).
+    ///
+    /// The basis is wrapped in the bounded synthesis memo-cache
+    /// ([`ashn_synth::cache::CachedBasis`]): repeated Weyl classes across
+    /// `compile` calls skip re-instantiation. Pass an already-cached or
+    /// deliberately uncached basis via [`Compiler::basis_uncached`]
+    /// instead — double-wrapping would shadow the caller's cache handle.
     #[must_use]
     pub fn basis(mut self, basis: impl Basis + 'static) -> Self {
+        self.basis = Box::new(CachedBasis::new(basis));
+        self
+    }
+
+    /// Sets the native basis without wrapping it in the synthesis
+    /// memo-cache: for benchmarking cold synthesis, or when the caller
+    /// manages caching themselves (e.g. a shared
+    /// [`ashn_synth::cache::CachedBasis`]).
+    #[must_use]
+    pub fn basis_uncached(mut self, basis: impl Basis + 'static) -> Self {
         self.basis = Box::new(basis);
         self
     }
