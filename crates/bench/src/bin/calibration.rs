@@ -146,7 +146,9 @@ fn main() {
             .adjoint()
             .matmul(&k.b1)
             .kron(&kc.b2.adjoint().matmul(&k.b2));
-        l.matmul(&raw).matmul(&r)
+        ashn_math::CMat::from(l)
+            .matmul(&raw)
+            .matmul(&ashn_math::CMat::from(r))
     };
     let curve = frb_curve(&[1, 2, 4, 8], 6, &mut implement, 0, &mut rng);
     let (_, f, _) = fit_decay(&curve);

@@ -95,6 +95,7 @@ pub fn fit_decay(curve: &[(usize, f64)]) -> (f64, f64, f64) {
                 max_evals: 6000,
                 f_tol: 1e-20,
                 initial_step: 0.02,
+                ..NmOptions::default()
             },
         );
         if res.f < best.0 {

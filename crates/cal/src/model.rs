@@ -163,6 +163,7 @@ pub fn calibrate(
             max_evals: 4000,
             f_tol: 1e-22,
             initial_step: 0.05,
+            ..NmOptions::default()
         },
     );
     ControlModel {

@@ -15,10 +15,21 @@
 //! objective — seeded by the `(α, β) ↦ (Ω, δ)` spectral parameterisation of
 //! §A.4 and refined with Nelder–Mead. Every solution is verified against the
 //! requested Weyl coordinates before being returned.
+//!
+//! Two performance properties of this module matter downstream:
+//!
+//! - the objective runs entirely on stack-allocated [`Mat4`]s
+//!   ([`crate::hamiltonian::evolve4`] + `makhlin4`), so the thousands of
+//!   evaluations per solve never touch the heap;
+//! - the multistart is fanned over scoped worker threads
+//!   ([`ashn_ea_multistart`]) with a stable `(error, seed-index)` winner
+//!   rule, so the result is **bit-identical for any worker count** —
+//!   including the serial `workers = 1` path.
 
-use crate::hamiltonian::{evolve, DriveParams};
-use ashn_gates::invariants::{invariant_distance_sq, makhlin, makhlin_from_coords};
-use ashn_gates::kak::weyl_coordinates;
+use crate::hamiltonian::{evolve4, evolve4_real, DriveParams};
+use crate::par::parallel_map;
+use ashn_gates::invariants::{makhlin4, makhlin_from_coords};
+use ashn_gates::kak::weyl_coordinates4;
 use ashn_gates::weyl::WeylPoint;
 use ashn_math::neldermead::{nelder_mead, NmOptions};
 use std::f64::consts::PI;
@@ -95,8 +106,17 @@ fn seeds(tau: f64) -> Vec<[f64; 2]> {
     out
 }
 
-/// Solves the EA sub-scheme: finds `(τ, Ω, δ)` whose evolution realizes the
-/// class `(x, y, z)` (canonical coordinates) in the face-optimal time.
+/// What one refinement attempt produced.
+enum Attempt {
+    /// A polished drive whose evolution lands on the class within `1e-7`.
+    Converged(DriveParams),
+    /// The closest the attempt got (coordinate distance).
+    Missed(f64),
+}
+
+/// Solves the EA sub-scheme serially: finds `(τ, Ω, δ)` whose evolution
+/// realizes the class `(x, y, z)` (canonical coordinates) in the
+/// face-optimal time. Equivalent to [`ashn_ea_multistart`] with one worker.
 ///
 /// # Errors
 ///
@@ -110,6 +130,28 @@ pub fn ashn_ea(
     y: f64,
     z: f64,
 ) -> Result<(f64, DriveParams), EaError> {
+    ashn_ea_multistart(h_ratio, variant, x, y, z, 1)
+}
+
+/// [`ashn_ea`] with the multistart fanned over `workers` scoped threads
+/// (`0` = one per hardware thread).
+///
+/// The seed grid is ranked in parallel, then refinement attempts run in
+/// waves of `workers`; the winner is the **lowest-indexed** converged
+/// attempt, exactly the one the serial scan would return. Results are
+/// therefore bit-identical for every worker count.
+///
+/// # Errors
+///
+/// Same as [`ashn_ea`].
+pub fn ashn_ea_multistart(
+    h_ratio: f64,
+    variant: EaVariant,
+    x: f64,
+    y: f64,
+    z: f64,
+    workers: usize,
+) -> Result<(f64, DriveParams), EaError> {
     let tau = ea_time(h_ratio, variant, x, y, z);
     if tau <= 1e-12 {
         return Err(EaError::NonPositiveTime);
@@ -117,14 +159,16 @@ pub fn ashn_ea(
     let target = WeylPoint::new(x, y, z).canonicalize();
     let (g1t, g2t) = makhlin_from_coords(target.x, target.y, target.z);
     let objective = |p: &[f64]| {
-        let u = evolve(h_ratio, drive_of(variant, p[0].abs(), p[1]), tau);
-        let (g1, g2) = makhlin(&u);
+        let u = evolve4_real(h_ratio, drive_of(variant, p[0].abs(), p[1]), tau);
+        let (g1, g2) = makhlin4(&u);
         (g1 - g1t).norm_sqr() + (g2 - g2t).powi(2)
     };
 
-    // Rank seeds by objective, refine the best few.
-    let mut ranked: Vec<([f64; 2], f64)> =
-        seeds(tau).into_iter().map(|s| (s, objective(&s))).collect();
+    // Rank seeds by objective (fanned over the workers; the ranking sort is
+    // stable, so ties resolve by seed index regardless of scheduling).
+    let grid = seeds(tau);
+    let scores = parallel_map(workers, grid.len(), |i| objective(&grid[i]));
+    let mut ranked: Vec<([f64; 2], f64)> = grid.into_iter().zip(scores).collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
     // Refine the best-ranked seeds; on a miss, retry with jittered copies
@@ -146,8 +190,8 @@ pub fn ashn_ea(
         .map(|(s, _)| (*s, 0.15))
         .chain(jittered.into_iter().map(|s| (s, 0.45)))
         .collect();
-    let mut best_dist = f64::INFINITY;
-    for (seed, step) in attempts {
+
+    let run_attempt = |&(seed, step): &([f64; 2], f64)| -> Attempt {
         let res = nelder_mead(
             objective,
             &[seed[0], seed[1]],
@@ -155,21 +199,49 @@ pub fn ashn_ea(
                 max_evals: 3000,
                 f_tol: 1e-28,
                 initial_step: step,
+                // The invariant objective is zero at the solution, so a best
+                // value of 1e-22 is already far inside the polish basin —
+                // and attempts stuck at a useless nonzero local minimum
+                // collapse in O(100) evaluations instead of exhausting the
+                // budget against the floating-point noise floor.
+                f_target: 1e-22,
+                f_tol_rel: 1e-9,
             },
         );
         let drive = drive_of(variant, res.x[0].abs(), res.x[1]);
-        let coarse = weyl_coordinates(&evolve(h_ratio, drive, tau)).gate_dist(target);
+        let coarse = weyl_coordinates4(&evolve4(h_ratio, drive, tau)).gate_dist(target);
         if coarse < 1e-4 {
             // Close enough to polish; accept only if the polished pulse
             // really lands on the class.
             let polished = polish(h_ratio, variant, tau, &target, drive);
-            let dist = weyl_coordinates(&evolve(h_ratio, polished, tau)).gate_dist(target);
+            let dist = weyl_coordinates4(&evolve4(h_ratio, polished, tau)).gate_dist(target);
             if dist < 1e-7 {
-                return Ok((tau, polished));
+                Attempt::Converged(polished)
+            } else {
+                Attempt::Missed(dist)
             }
-            best_dist = best_dist.min(dist);
         } else {
-            best_dist = best_dist.min(coarse);
+            Attempt::Missed(coarse)
+        }
+    };
+
+    // Waves of `workers` attempts: within a wave all attempts run
+    // concurrently, and the scan below always returns the lowest-indexed
+    // success — the same winner the serial early-exit loop picks.
+    let wave = if workers == 0 {
+        crate::par::default_workers()
+    } else {
+        workers
+    }
+    .max(1);
+    let mut best_dist = f64::INFINITY;
+    for chunk in attempts.chunks(wave) {
+        let outcomes = parallel_map(wave, chunk.len(), |i| run_attempt(&chunk[i]));
+        for outcome in outcomes {
+            match outcome {
+                Attempt::Converged(drive) => return Ok((tau, drive)),
+                Attempt::Missed(dist) => best_dist = best_dist.min(dist),
+            }
         }
     }
     Err(EaError::NoConvergence { best: best_dist })
@@ -188,9 +260,11 @@ fn polish(
         EaVariant::Plus => (start.omega2, start.delta),
         EaVariant::Minus => (start.omega1, start.delta),
     };
+    let (g1t, g2t) = makhlin_from_coords(target.x, target.y, target.z);
     let objective = |p: &[f64]| {
-        let u = evolve(h_ratio, drive_of(variant, p[0].abs(), p[1]), tau);
-        invariant_distance_sq(&u, target.x, target.y, target.z)
+        let u = evolve4_real(h_ratio, drive_of(variant, p[0].abs(), p[1]), tau);
+        let (g1, g2) = makhlin4(&u);
+        (g1 - g1t).norm_sqr() + (g2 - g2t).powi(2)
     };
     let res = nelder_mead(
         objective,
@@ -199,11 +273,13 @@ fn polish(
             max_evals: 800,
             f_tol: 1e-30,
             initial_step: 1e-4,
+            f_tol_rel: 1e-9,
+            ..NmOptions::default()
         },
     );
     let cand = drive_of(variant, res.x[0].abs(), res.x[1]);
-    let before = weyl_coordinates(&evolve(h_ratio, start, tau)).gate_dist(*target);
-    let after = weyl_coordinates(&evolve(h_ratio, cand, tau)).gate_dist(*target);
+    let before = weyl_coordinates4(&evolve4(h_ratio, start, tau)).gate_dist(*target);
+    let after = weyl_coordinates4(&evolve4(h_ratio, cand, tau)).gate_dist(*target);
     if after < before {
         cand
     } else {
@@ -214,6 +290,8 @@ fn polish(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hamiltonian::evolve;
+    use ashn_gates::kak::weyl_coordinates;
     use std::f64::consts::FRAC_PI_4;
 
     fn check(h: f64, variant: EaVariant, x: f64, y: f64, z: f64) -> (f64, DriveParams) {
@@ -284,5 +362,16 @@ mod tests {
         assert_eq!(d.omega1, 0.0, "EA+ uses only the antisymmetric drive");
         let (_, d) = check(0.0, EaVariant::Minus, 0.5, 0.45, -0.2);
         assert_eq!(d.omega2, 0.0, "EA− uses only the symmetric drive");
+    }
+
+    #[test]
+    fn multistart_workers_do_not_change_the_solution() {
+        let reference = ashn_ea_multistart(0.0, EaVariant::Plus, 0.5, 0.45, 0.2, 1).unwrap();
+        for workers in [2, 4] {
+            let got = ashn_ea_multistart(0.0, EaVariant::Plus, 0.5, 0.45, 0.2, workers).unwrap();
+            assert_eq!(got.0.to_bits(), reference.0.to_bits());
+            assert_eq!(got.1.omega2.to_bits(), reference.1.omega2.to_bits());
+            assert_eq!(got.1.delta.to_bits(), reference.1.delta.to_bits());
+        }
     }
 }

@@ -25,12 +25,13 @@ pub mod classes;
 pub mod ea;
 pub mod hamiltonian;
 pub mod nd;
+pub mod par;
 pub mod regions;
 pub mod scheme;
 pub mod verify;
 pub mod zz;
 
-pub use hamiltonian::{evolve, hamiltonian, DriveParams};
+pub use hamiltonian::{evolve, evolve4, hamiltonian, hamiltonian4, DriveParams};
 pub use scheme::{AshnPulse, AshnScheme, CompileError, SubScheme};
 pub mod families;
 pub mod phase;

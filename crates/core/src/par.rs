@@ -1,0 +1,95 @@
+//! Deterministic scoped-thread parallelism for the numerical searches.
+//!
+//! Same pattern as `ashn_sim::BatchRunner` (scoped workers pulling indexed
+//! jobs from a shared counter, results returned in job order), minus the
+//! per-job RNG streams the pulse searches do not need. Because results come
+//! back in index order and every job is a pure function of its index, the
+//! output is bit-identical for any worker count — the property the EA
+//! multistart determinism suite pins down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: one per available hardware thread.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..n` with up to `workers` scoped threads, returning
+/// results in index order. `workers == 0` means "use the default"; one
+/// worker (or one job) runs inline with no thread spawned.
+pub fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    }
+    .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                collected
+                    .lock()
+                    .expect("parallel_map result mutex poisoned")
+                    .extend(local);
+            });
+        }
+    });
+    let mut results = collected
+        .into_inner()
+        .expect("parallel_map result mutex poisoned");
+    results.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(results.len(), n);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = parallel_map(4, 32, |i| i * 7);
+        assert_eq!(out, (0..32).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let reference = parallel_map(1, 16, |i| (i as f64).sqrt().to_bits());
+        for workers in [2, 3, 8] {
+            let got = parallel_map(workers, 16, |i| (i as f64).sqrt().to_bits());
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<usize> = parallel_map(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_means_default() {
+        let out = parallel_map(0, 8, |i| i + 1);
+        assert_eq!(out.len(), 8);
+    }
+}

@@ -2,7 +2,7 @@
 //! Weyl-chamber class to the ND / EA+ / EA− / ND-EXT sub-scheme that attains
 //! it in optimal time (or in extended time `π − 2x` under the cutoff `r`).
 
-use crate::ea::{ashn_ea, EaVariant};
+use crate::ea::{ashn_ea_multistart, EaVariant};
 use crate::hamiltonian::{evolve, DriveParams};
 use crate::nd::{ashn_nd, ashn_nd_ext};
 use ashn_gates::cost::optimal_time_branches;
@@ -128,6 +128,7 @@ impl std::error::Error for CompileError {}
 pub struct AshnScheme {
     h_ratio: f64,
     cutoff: f64,
+    workers: usize,
 }
 
 impl AshnScheme {
@@ -151,7 +152,21 @@ impl AshnScheme {
             (0.0..=(1.0 - h_ratio.abs()) * FRAC_PI_2 + 1e-12).contains(&cutoff),
             "cutoff r must lie in [0, (1−|h̃|)π/2], got {cutoff}"
         );
-        Self { h_ratio, cutoff }
+        Self {
+            h_ratio,
+            cutoff,
+            workers: 1,
+        }
+    }
+
+    /// Fans the EA multistart over `workers` scoped threads (`0` = one per
+    /// hardware thread; default 1 = serial). The compiled pulse is
+    /// bit-identical for every worker count — the multistart winner is
+    /// selected by stable `(error, seed-index)` order.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
     /// The `ZZ` ratio this scheme compiles for.
@@ -162,6 +177,11 @@ impl AshnScheme {
     /// The cutoff `r`.
     pub fn cutoff(&self) -> f64 {
         self.cutoff
+    }
+
+    /// Worker threads used by the EA multistart (`0` = hardware default).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Gate time (units of `1/g`) that [`AshnScheme::compile`] will use for
@@ -250,12 +270,16 @@ impl AshnScheme {
                 SubScheme::Nd => ashn_nd(self.h_ratio, x, y, z)
                     .map(|(tau, d)| (tau, d, SubScheme::Nd))
                     .map_err(|e| e.to_string()),
-                SubScheme::EaPlus => ashn_ea(self.h_ratio, EaVariant::Plus, x, y, z)
-                    .map(|(tau, d)| (tau, d, SubScheme::EaPlus))
-                    .map_err(|e| e.to_string()),
-                SubScheme::EaMinus => ashn_ea(self.h_ratio, EaVariant::Minus, x, y, z)
-                    .map(|(tau, d)| (tau, d, SubScheme::EaMinus))
-                    .map_err(|e| e.to_string()),
+                SubScheme::EaPlus => {
+                    ashn_ea_multistart(self.h_ratio, EaVariant::Plus, x, y, z, self.workers)
+                        .map(|(tau, d)| (tau, d, SubScheme::EaPlus))
+                        .map_err(|e| e.to_string())
+                }
+                SubScheme::EaMinus => {
+                    ashn_ea_multistart(self.h_ratio, EaVariant::Minus, x, y, z, self.workers)
+                        .map(|(tau, d)| (tau, d, SubScheme::EaMinus))
+                        .map_err(|e| e.to_string())
+                }
                 SubScheme::NdExt => {
                     return self.try_nd_ext(p).map_err(|e| CompileError {
                         target: p,

@@ -1,0 +1,126 @@
+//! Differential suite for the stack-allocated pulse-compilation path:
+//! `hamiltonian4`/`evolve4` against the Pauli-string `CMat` reference at
+//! `1e-12`, plus EA end-to-end equivalence — the solver runs entirely on
+//! `SMat` internally, and its pulses must land on random chamber targets
+//! when verified through the independent dense path.
+
+use ashn_core::hamiltonian::{evolve4, evolve4_real, hamiltonian, hamiltonian4, DriveParams};
+use ashn_core::scheme::AshnScheme;
+use ashn_gates::kak::reference::kak_cmat;
+use ashn_gates::weyl::WeylPoint;
+use ashn_math::expm::expm_minus_i_hermitian;
+use ashn_math::CMat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::FRAC_PI_4;
+
+const TOL: f64 = 1e-12;
+
+fn random_drive(rng: &mut StdRng) -> DriveParams {
+    DriveParams::new(
+        2.0 * rng.gen::<f64>() - 1.0,
+        2.0 * rng.gen::<f64>() - 1.0,
+        2.0 * rng.gen::<f64>() - 1.0,
+    )
+}
+
+#[test]
+fn hamiltonian4_matches_pauli_string_reference() {
+    let mut rng = StdRng::seed_from_u64(8001);
+    for _ in 0..50 {
+        let h = 2.0 * rng.gen::<f64>() - 1.0;
+        let d = random_drive(&mut rng);
+        let dense = hamiltonian(h, d);
+        let stack = hamiltonian4(h, d);
+        assert!(
+            CMat::from(stack).dist(&dense) < TOL,
+            "hamiltonian mismatch at h={h}, drive={d:?}"
+        );
+    }
+}
+
+#[test]
+fn evolve4_matches_dense_expm_reference() {
+    let mut rng = StdRng::seed_from_u64(8002);
+    for _ in 0..50 {
+        let h = 2.0 * rng.gen::<f64>() - 1.0;
+        let d = random_drive(&mut rng);
+        let tau = 0.1 + 2.9 * rng.gen::<f64>();
+        let fast = evolve4(h, d, tau);
+        let reference = expm_minus_i_hermitian(&hamiltonian(h, d), tau);
+        assert!(
+            CMat::from(fast).dist(&reference) < TOL,
+            "evolve mismatch at h={h}, tau={tau}"
+        );
+        assert!(fast.is_unitary(1e-10));
+    }
+}
+
+#[test]
+fn evolve4_real_matches_dense_expm_reference() {
+    // The real-Jacobi objective path must agree with the dense reference to
+    // 1e-12 over random drives (including the driveless and single-drive
+    // shapes the EA variants produce).
+    let mut rng = StdRng::seed_from_u64(8005);
+    for i in 0..60 {
+        let h = 2.0 * rng.gen::<f64>() - 1.0;
+        let d = match i % 4 {
+            0 => random_drive(&mut rng),
+            1 => DriveParams::new(0.0, rng.gen::<f64>(), rng.gen::<f64>()),
+            2 => DriveParams::new(rng.gen::<f64>(), 0.0, rng.gen::<f64>()),
+            _ => DriveParams::FREE,
+        };
+        let tau = 0.1 + 2.9 * rng.gen::<f64>();
+        let fast = evolve4_real(h, d, tau);
+        let reference = expm_minus_i_hermitian(&hamiltonian(h, d), tau);
+        assert!(
+            CMat::from(fast).dist(&reference) < TOL,
+            "evolve4_real mismatch at h={h}, drive={d:?}, tau={tau}"
+        );
+        assert!(fast.is_unitary(1e-10));
+    }
+}
+
+fn random_chamber_point(rng: &mut StdRng) -> WeylPoint {
+    loop {
+        let x = rng.gen::<f64>() * FRAC_PI_4;
+        let y = rng.gen::<f64>() * FRAC_PI_4;
+        let z = (2.0 * rng.gen::<f64>() - 1.0) * FRAC_PI_4;
+        let p = WeylPoint::new(x, y, z);
+        if p.in_chamber(0.0) && p.canonicalize().approx_eq(p, 1e-12) {
+            return p;
+        }
+    }
+}
+
+#[test]
+fn ea_pulses_verify_through_the_dense_reference_path() {
+    // The EA solver (SMat objective, SMat verification) must produce pulses
+    // whose evolution — recomputed densely and decomposed with the CMat
+    // reference KAK — still lands on the target class. This closes the loop
+    // on the whole fast path at once.
+    let mut rng = StdRng::seed_from_u64(8003);
+    let scheme = AshnScheme::new(0.0);
+    for _ in 0..8 {
+        let p = random_chamber_point(&mut rng);
+        let pulse = scheme.compile(p).unwrap_or_else(|e| panic!("{e}"));
+        let u_dense = expm_minus_i_hermitian(&hamiltonian(0.0, pulse.drive), pulse.tau);
+        let got = kak_cmat(&u_dense).coords;
+        assert!(
+            got.gate_dist(p) < 1e-7,
+            "dense re-verification failed: target {p}, got {got}"
+        );
+    }
+}
+
+#[test]
+fn compiled_pulse_unitary_matches_dense_reference() {
+    let mut rng = StdRng::seed_from_u64(8004);
+    let scheme = AshnScheme::with_cutoff(0.2, 0.9);
+    for _ in 0..5 {
+        let p = random_chamber_point(&mut rng);
+        let pulse = scheme.compile(p).unwrap_or_else(|e| panic!("{e}"));
+        let dense = expm_minus_i_hermitian(&hamiltonian(0.2, pulse.drive), pulse.tau);
+        assert!(pulse.unitary().dist(&dense) < TOL);
+    }
+}

@@ -5,8 +5,8 @@
 //! right objective for the numerical pulse solvers (unlike raw Weyl
 //! coordinates, whose canonicalization is discontinuous).
 
-use crate::kak::magic_basis;
-use ashn_math::{CMat, Complex};
+use crate::kak::magic_basis4;
+use ashn_math::{CMat, Complex, Mat4};
 
 /// Makhlin invariants `(G₁, G₂)` computed from a two-qubit unitary.
 ///
@@ -16,9 +16,18 @@ use ashn_math::{CMat, Complex};
 pub fn makhlin(u: &CMat) -> (Complex, f64) {
     assert_eq!((u.rows(), u.cols()), (4, 4));
     assert!(u.is_unitary(1e-7), "makhlin requires a unitary input");
+    makhlin4(&Mat4::try_from(u).expect("4x4 checked above"))
+}
+
+/// Makhlin invariants of a stack-allocated two-qubit unitary — the
+/// allocation-free fast path sitting inside every EA objective evaluation.
+///
+/// The caller must pass a unitary; only a debug assertion checks it here.
+pub fn makhlin4(u: &Mat4) -> (Complex, f64) {
+    debug_assert!(u.is_unitary(1e-7), "makhlin requires a unitary input");
     let det = u.det();
     let usu = u.scale(Complex::cis(-det.arg() / 4.0));
-    let b = magic_basis();
+    let b = magic_basis4();
     let m = b.adjoint().matmul(&usu).matmul(&b);
     let mm = m.transpose().matmul(&m);
     let tr = mm.trace();
@@ -47,6 +56,13 @@ pub fn makhlin_from_coords(x: f64, y: f64, z: f64) -> (Complex, f64) {
 /// class `(x, y, z)` — the objective minimised by the AshN-EA solver.
 pub fn invariant_distance_sq(u: &CMat, x: f64, y: f64, z: f64) -> f64 {
     let (g1u, g2u) = makhlin(u);
+    let (g1t, g2t) = makhlin_from_coords(x, y, z);
+    (g1u - g1t).norm_sqr() + (g2u - g2t).powi(2)
+}
+
+/// Stack-allocated variant of [`invariant_distance_sq`].
+pub fn invariant_distance_sq4(u: &Mat4, x: f64, y: f64, z: f64) -> f64 {
+    let (g1u, g2u) = makhlin4(u);
     let (g1t, g2t) = makhlin_from_coords(x, y, z);
     (g1u - g1t).norm_sqr() + (g2u - g2t).powi(2)
 }

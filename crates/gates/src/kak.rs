@@ -10,39 +10,54 @@
 //! coordinates `(x, y, z)` (paper Theorem 1). This module computes the full
 //! decomposition, including the single-qubit factors, and canonicalizes the
 //! coordinates while tracking the induced local corrections.
+//!
+//! The implementation runs entirely on stack-allocated [`Mat2`]/[`Mat4`]
+//! matrices — `kak` sits inside every synthesis objective evaluation, so the
+//! former per-call heap churn (a dozen `CMat` temporaries per
+//! canonicalization move alone) was a measurable cost. The original
+//! heap-allocated path survives as [`reference::kak_cmat`] and pins the fast
+//! path down in the differential suite (`crates/gates/tests/kak_differential.rs`).
 
-use crate::single::{rx, ry, s};
+use crate::single::{rx2, ry2, s2};
 use crate::two::canonical;
 use crate::weyl::WeylPoint;
-use ashn_math::eig::eigh;
-use ashn_math::{c, CMat, Complex};
+use ashn_math::{c, CMat, Complex, Mat2, Mat4};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
 
 /// The magic (Bell-like) basis matrix `B`; conjugation by `B` maps
 /// `SU(2)⊗SU(2)` onto `SO(4)`.
 pub fn magic_basis() -> CMat {
+    magic_basis4().into()
+}
+
+/// Stack-allocated magic basis matrix (see [`magic_basis`]).
+pub fn magic_basis4() -> Mat4 {
     let s = std::f64::consts::FRAC_1_SQRT_2;
-    CMat::from_rows(&[
-        &[c(s, 0.0), Complex::ZERO, Complex::ZERO, c(0.0, s)],
-        &[Complex::ZERO, c(0.0, s), c(s, 0.0), Complex::ZERO],
-        &[Complex::ZERO, c(0.0, s), c(-s, 0.0), Complex::ZERO],
-        &[c(s, 0.0), Complex::ZERO, Complex::ZERO, c(0.0, -s)],
+    let z = Complex::ZERO;
+    Mat4::from_rows([
+        [c(s, 0.0), z, z, c(0.0, s)],
+        [z, c(0.0, s), c(s, 0.0), z],
+        [z, c(0.0, s), c(-s, 0.0), z],
+        [c(s, 0.0), z, z, c(0.0, -s)],
     ])
 }
 
 /// A full KAK decomposition.
-#[derive(Clone, Debug)]
+///
+/// The local factors are stack-allocated [`Mat2`]s; convert with
+/// `CMat::from(k.a1)` when a dense matrix is needed.
+#[derive(Clone, Copy, Debug)]
 pub struct Kak {
     /// Global phase `g`.
     pub phase: Complex,
     /// Left local factor on qubit 0 (SU(2)).
-    pub a1: CMat,
+    pub a1: Mat2,
     /// Left local factor on qubit 1 (SU(2)).
-    pub a2: CMat,
+    pub a2: Mat2,
     /// Right local factor on qubit 0 (SU(2)).
-    pub b1: CMat,
+    pub b1: Mat2,
     /// Right local factor on qubit 1 (SU(2)).
-    pub b2: CMat,
+    pub b2: Mat2,
     /// Canonical interaction coefficients.
     pub coords: WeylPoint,
 }
@@ -53,14 +68,15 @@ impl Kak {
     ///
     /// Near the `x = π/4` face, two numerically close gates can
     /// canonicalize through different mirror branches; callers aligning two
-    /// decompositions use this to bring them onto the same branch.
+    /// decompositions use this to bring them onto the same branch. The
+    /// transform works in place on stack copies — no allocation.
     pub fn mirrored(&self) -> Kak {
         let mut b = KakBuilder {
             phase: self.phase,
-            a1: self.a1.clone(),
-            a2: self.a2.clone(),
-            b1: self.b1.clone(),
-            b2: self.b2.clone(),
+            a1: self.a1,
+            a2: self.a2,
+            b1: self.b1,
+            b2: self.b2,
             v: [self.coords.x, self.coords.y, self.coords.z],
         };
         b.negate(0, 2);
@@ -78,10 +94,9 @@ impl Kak {
     /// Reassembles `g·(A₁⊗A₂)·CAN(x,y,z)·(B₁⊗B₂)`.
     pub fn reconstruct(&self) -> CMat {
         let mid = canonical(self.coords.x, self.coords.y, self.coords.z);
-        self.a1
-            .kron(&self.a2)
+        CMat::from(self.a1.kron(&self.a2))
             .matmul(&mid)
-            .matmul(&self.b1.kron(&self.b2))
+            .matmul(&CMat::from(self.b1.kron(&self.b2)))
             .scale(self.phase)
     }
 
@@ -100,6 +115,18 @@ impl Kak {
 /// unitaries (residual checked to `1e-6`).
 pub fn factor_kron2(k: &CMat) -> (CMat, CMat, Complex) {
     assert_eq!((k.rows(), k.cols()), (4, 4));
+    let m = Mat4::try_from(k).expect("4x4 checked above");
+    let (a, b, phase) = factor_kron2_s(&m);
+    (a.into(), b.into(), phase)
+}
+
+/// Stack-allocated variant of [`factor_kron2`].
+///
+/// # Panics
+///
+/// Panics when `k` is not close to a Kronecker product of unitaries
+/// (residual checked to `1e-6`).
+pub fn factor_kron2_s(k: &Mat4) -> (Mat2, Mat2, Complex) {
     // k[(2i+p, 2j+q)] = a[i][j]·b[p][q]·phase: find the largest entry to pin
     // a non-degenerate cross-section.
     let (mut best, mut at) = (0.0, (0usize, 0usize));
@@ -115,8 +142,8 @@ pub fn factor_kron2(k: &CMat) -> (CMat, CMat, Complex) {
     let (i0, p0) = (at.0 / 2, at.0 % 2);
     let (j0, q0) = (at.1 / 2, at.1 % 2);
     let lambda = k[(2 * i0 + p0, 2 * j0 + q0)];
-    let mut a = CMat::from_fn(2, 2, |i, j| k[(2 * i + p0, 2 * j + q0)] / lambda);
-    let mut b = CMat::from_fn(2, 2, |p, q| k[(2 * i0 + p, 2 * j0 + q)]);
+    let mut a = Mat2::from_fn(|i, j| k[(2 * i + p0, 2 * j + q0)] / lambda);
+    let mut b = Mat2::from_fn(|p, q| k[(2 * i0 + p, 2 * j0 + q)]);
     // Now a⊗b = k. Normalize determinants to 1, pushing leftovers into phase.
     let mut phase = Complex::ONE;
     let da = a.det();
@@ -137,8 +164,7 @@ pub fn factor_kron2(k: &CMat) -> (CMat, CMat, Complex) {
 
 /// Diagonalises a symmetric unitary `M = O·D·Oᵀ` with `O` real orthogonal,
 /// `det O = 1`. Returns `O`.
-fn diag_symmetric_unitary(m: &CMat) -> CMat {
-    let n = m.rows();
+fn diag_symmetric_unitary(m: &Mat4) -> Mat4 {
     let x = m.map(|z| c(z.re, 0.0));
     let y = m.map(|z| c(z.im, 0.0));
     let mixes = [
@@ -149,24 +175,23 @@ fn diag_symmetric_unitary(m: &CMat) -> CMat {
         0.12087012471,
     ];
     for &t in &mixes {
-        let e = eigh(&(&x + &y.scale(c(t, 0.0))));
+        let (_, vectors) = (x + y.scale(c(t, 0.0))).eigh();
         // The eigenvectors of a real symmetric matrix from our Jacobi sweep
         // are real; verify and extract.
-        let imag_norm: f64 = e
-            .vectors
-            .as_slice()
-            .iter()
-            .map(|z| z.im * z.im)
-            .sum::<f64>()
-            .sqrt();
-        if imag_norm > 1e-9 {
+        let mut imag_sq = 0.0;
+        for r in 0..4 {
+            for cc in 0..4 {
+                imag_sq += vectors[(r, cc)].im * vectors[(r, cc)].im;
+            }
+        }
+        if imag_sq.sqrt() > 1e-9 {
             continue;
         }
-        let mut o = e.vectors.map(|z| c(z.re, 0.0));
+        let mut o = vectors.map(|z| c(z.re, 0.0));
         let d = o.transpose().matmul(m).matmul(&o);
         let mut off = 0.0;
-        for r in 0..n {
-            for cc in 0..n {
+        for r in 0..4 {
+            for cc in 0..4 {
                 if r != cc {
                     off += d[(r, cc)].norm_sqr();
                 }
@@ -174,8 +199,9 @@ fn diag_symmetric_unitary(m: &CMat) -> CMat {
         }
         if off.sqrt() < 1e-8 {
             if o.det().re < 0.0 {
-                let col: Vec<Complex> = o.col(0).iter().map(|z| -*z).collect();
-                o.set_col(0, &col);
+                let col = o.col(0);
+                let neg = [-col[0], -col[1], -col[2], -col[3]];
+                o.set_col(0, &neg);
             }
             return o;
         }
@@ -184,23 +210,27 @@ fn diag_symmetric_unitary(m: &CMat) -> CMat {
 }
 
 /// State for the canonicalization moves, tracking local corrections.
+///
+/// Every move mutates the stack-held locals in place; the former `CMat`
+/// implementation cloned all four 2×2 factors on each `shift`/`negate`/
+/// `swap`.
 struct KakBuilder {
     phase: Complex,
-    a1: CMat,
-    a2: CMat,
-    b1: CMat,
-    b2: CMat,
+    a1: Mat2,
+    a2: Mat2,
+    b1: Mat2,
+    b2: Mat2,
     v: [f64; 3],
 }
 
 impl KakBuilder {
     /// Pauli for coordinate axis `k` (0 → X, 1 → Y, 2 → Z), premultiplied by
     /// `i` to stay in SU(2).
-    fn ipauli(k: usize) -> CMat {
+    fn ipauli(k: usize) -> Mat2 {
         let m = match k {
-            0 => crate::pauli::Pauli::X.matrix(),
-            1 => crate::pauli::Pauli::Y.matrix(),
-            _ => crate::pauli::Pauli::Z.matrix(),
+            0 => crate::pauli::Pauli::X.matrix2(),
+            1 => crate::pauli::Pauli::Y.matrix2(),
+            _ => crate::pauli::Pauli::Z.matrix2(),
         };
         m.scale(Complex::I)
     }
@@ -233,9 +263,9 @@ impl KakBuilder {
         // Conjugating single-qubit Clifford C (in SU(2)) with
         // (C⊗C)·exp(iη·Σ)·(C⊗C)† permuting the two axes.
         let cgate = match third {
-            2 => s().scale(Complex::cis(-FRAC_PI_4)), // swap X↔Y
-            0 => rx(FRAC_PI_2),                       // swap Y↔Z
-            _ => ry(FRAC_PI_2),                       // swap X↔Z
+            2 => s2().scale(Complex::cis(-FRAC_PI_4)), // swap X↔Y
+            0 => rx2(FRAC_PI_2),                       // swap Y↔Z
+            _ => ry2(FRAC_PI_2),                       // swap X↔Z
         };
         let cdag = cgate.adjoint();
         self.a1 = self.a1.matmul(&cdag);
@@ -302,6 +332,17 @@ impl KakBuilder {
 /// ```
 pub fn kak(u: &CMat) -> Kak {
     assert_eq!((u.rows(), u.cols()), (4, 4), "kak needs a two-qubit gate");
+    let m = Mat4::try_from(u).expect("4x4 checked above");
+    kak4(&m)
+}
+
+/// Computes the full KAK decomposition of a stack-allocated 4×4 unitary —
+/// the allocation-free fast path ([`kak`] is a thin wrapper).
+///
+/// # Panics
+///
+/// Panics when `u` is not unitary (tolerance `1e-8`).
+pub fn kak4(u: &Mat4) -> Kak {
     assert!(u.is_unitary(1e-8), "kak requires a unitary input");
 
     // Normalise to SU(4), remembering the stripped phase.
@@ -310,7 +351,7 @@ pub fn kak(u: &CMat) -> Kak {
     let mut phase = Complex::cis(alpha);
     let usu = u.scale(Complex::cis(-alpha));
 
-    let b = magic_basis();
+    let b = magic_basis4();
     let bh = b.adjoint();
     let ub = bh.matmul(&usu).matmul(&b);
     let m = ub.transpose().matmul(&ub);
@@ -319,7 +360,7 @@ pub fn kak(u: &CMat) -> Kak {
     // W = UB·O = L·Δ with L real orthogonal and Δ = diag(e^{iθ}).
     let w = ub.matmul(&o);
     let mut theta = [0.0f64; 4];
-    let mut l = CMat::zeros(4, 4);
+    let mut l = Mat4::zeros();
     for (j, th) in theta.iter_mut().enumerate() {
         let col = w.col(j);
         let (mut bi, mut bv) = (0usize, 0.0);
@@ -331,7 +372,11 @@ pub fn kak(u: &CMat) -> Kak {
         }
         let ph = col[bi].arg();
         *th = ph;
-        let rcol: Vec<Complex> = col.iter().map(|z| *z * Complex::cis(-ph)).collect();
+        let mut rcol = [Complex::ZERO; 4];
+        let rot = Complex::cis(-ph);
+        for (r, z) in rcol.iter_mut().zip(col.iter()) {
+            *r = *z * rot;
+        }
         let imag: f64 = rcol.iter().map(|z| z.im * z.im).sum::<f64>().sqrt();
         assert!(
             imag < 1e-6,
@@ -341,8 +386,9 @@ pub fn kak(u: &CMat) -> Kak {
     }
     // det L must be +1; a flip pairs with a π shift of the matching phase.
     if l.det().re < 0.0 {
-        let col: Vec<Complex> = l.col(0).iter().map(|z| -*z).collect();
-        l.set_col(0, &col);
+        let col = l.col(0);
+        let neg = [-col[0], -col[1], -col[2], -col[3]];
+        l.set_col(0, &neg);
         theta[0] += std::f64::consts::PI;
     }
 
@@ -355,8 +401,8 @@ pub fn kak(u: &CMat) -> Kak {
     // Local factors.
     let left4 = b.matmul(&l).matmul(&bh);
     let right4 = b.matmul(&o.transpose()).matmul(&bh);
-    let (a1, a2, p1) = factor_kron2(&left4);
-    let (b1, b2, p2) = factor_kron2(&right4);
+    let (a1, a2, p1) = factor_kron2_s(&left4);
+    let (b1, b2, p2) = factor_kron2_s(&right4);
     phase = phase * p1 * p2;
 
     let mut builder = KakBuilder {
@@ -378,9 +424,9 @@ pub fn kak(u: &CMat) -> Kak {
         coords: WeylPoint::new(builder.v[0], builder.v[1], builder.v[2]),
     };
     debug_assert!(
-        decomposition.error(u) < 1e-6,
+        decomposition.error(&CMat::from(u)) < 1e-6,
         "kak reconstruction failed: error {:.2e}",
-        decomposition.error(u)
+        decomposition.error(&CMat::from(u))
     );
     decomposition
 }
@@ -394,10 +440,265 @@ pub fn weyl_coordinates(u: &CMat) -> WeylPoint {
     kak(u).coords
 }
 
+/// Canonical Weyl-chamber coordinates of a stack-allocated two-qubit
+/// unitary — the allocation-free fast path.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`kak4`].
+pub fn weyl_coordinates4(u: &Mat4) -> WeylPoint {
+    kak4(u).coords
+}
+
 /// `true` when `u` and `v` are equal up to single-qubit gates and global
 /// phase, i.e. share a Weyl-chamber point (within `tol` in coordinates).
 pub fn locally_equivalent(u: &CMat, v: &CMat, tol: f64) -> bool {
     weyl_coordinates(u).dist(weyl_coordinates(v)) < tol
+}
+
+/// The original heap-allocated (`CMat`) KAK path, kept verbatim as the
+/// reference implementation for the differential test suite — the same role
+/// `apply_gate_generic` plays for the simulator kernels.
+pub mod reference {
+    use super::Kak;
+    use crate::single::{rx, ry, s};
+    use crate::weyl::WeylPoint;
+    use ashn_math::eig::eigh;
+    use ashn_math::{c, CMat, Complex, Mat2};
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    fn factor_kron2_cmat(k: &CMat) -> (CMat, CMat, Complex) {
+        assert_eq!((k.rows(), k.cols()), (4, 4));
+        let (mut best, mut at) = (0.0, (0usize, 0usize));
+        for r in 0..4 {
+            for cc in 0..4 {
+                let v = k[(r, cc)].abs();
+                if v > best {
+                    best = v;
+                    at = (r, cc);
+                }
+            }
+        }
+        let (i0, p0) = (at.0 / 2, at.0 % 2);
+        let (j0, q0) = (at.1 / 2, at.1 % 2);
+        let lambda = k[(2 * i0 + p0, 2 * j0 + q0)];
+        let mut a = CMat::from_fn(2, 2, |i, j| k[(2 * i + p0, 2 * j + q0)] / lambda);
+        let mut b = CMat::from_fn(2, 2, |p, q| k[(2 * i0 + p, 2 * j0 + q)]);
+        let mut phase = Complex::ONE;
+        let da = a.det();
+        let sa = da.sqrt();
+        a = a.scale(sa.inv());
+        b = b.scale(sa);
+        let db = b.det();
+        let sb = Complex::from_polar(1.0, db.arg() / 2.0) * db.abs().sqrt();
+        b = b.scale(sb.inv());
+        phase *= sb;
+        let resid = a.kron(&b).scale(phase).dist(k);
+        assert!(resid < 1e-6, "factor_kron2: residual {resid:.2e}");
+        (a, b, phase)
+    }
+
+    fn diag_symmetric_unitary_cmat(m: &CMat) -> CMat {
+        let n = m.rows();
+        let x = m.map(|z| c(z.re, 0.0));
+        let y = m.map(|z| c(z.im, 0.0));
+        let mixes = [
+            0.83762419517,
+            std::f64::consts::SQRT_2 / 2.0,
+            0.33711731212,
+            1.732_050_807_57 / 2.0,
+            0.12087012471,
+        ];
+        for &t in &mixes {
+            let e = eigh(&(&x + &y.scale(c(t, 0.0))));
+            let imag_norm: f64 = e
+                .vectors
+                .as_slice()
+                .iter()
+                .map(|z| z.im * z.im)
+                .sum::<f64>()
+                .sqrt();
+            if imag_norm > 1e-9 {
+                continue;
+            }
+            let mut o = e.vectors.map(|z| c(z.re, 0.0));
+            let d = o.transpose().matmul(m).matmul(&o);
+            let mut off = 0.0;
+            for r in 0..n {
+                for cc in 0..n {
+                    if r != cc {
+                        off += d[(r, cc)].norm_sqr();
+                    }
+                }
+            }
+            if off.sqrt() < 1e-8 {
+                if o.det().re < 0.0 {
+                    let col: Vec<Complex> = o.col(0).iter().map(|z| -*z).collect();
+                    o.set_col(0, &col);
+                }
+                return o;
+            }
+        }
+        panic!("diag_symmetric_unitary: failed to diagonalise");
+    }
+
+    /// Clone-based canonicalization state over `CMat` locals.
+    struct CmatBuilder {
+        phase: Complex,
+        a1: CMat,
+        a2: CMat,
+        b1: CMat,
+        b2: CMat,
+        v: [f64; 3],
+    }
+
+    impl CmatBuilder {
+        fn ipauli(k: usize) -> CMat {
+            let m = match k {
+                0 => crate::pauli::Pauli::X.matrix(),
+                1 => crate::pauli::Pauli::Y.matrix(),
+                _ => crate::pauli::Pauli::Z.matrix(),
+            };
+            m.scale(Complex::I)
+        }
+
+        fn shift(&mut self, k: usize, sign: f64) {
+            self.v[k] += sign * FRAC_PI_2;
+            let ip = Self::ipauli(k);
+            self.b1 = ip.matmul(&self.b1);
+            self.b2 = ip.matmul(&self.b2);
+            self.phase *= if sign > 0.0 { Complex::I } else { -Complex::I };
+        }
+
+        fn negate(&mut self, j: usize, k: usize) {
+            self.v[j] = -self.v[j];
+            self.v[k] = -self.v[k];
+            let third = 3 - j - k;
+            let iq = Self::ipauli(third);
+            self.a1 = self.a1.matmul(&iq);
+            self.b1 = iq.matmul(&self.b1);
+            self.phase = -self.phase;
+        }
+
+        fn swap(&mut self, j: usize, k: usize) {
+            self.v.swap(j, k);
+            let third = 3 - j - k;
+            let cgate = match third {
+                2 => s().scale(Complex::cis(-FRAC_PI_4)),
+                0 => rx(FRAC_PI_2),
+                _ => ry(FRAC_PI_2),
+            };
+            let cdag = cgate.adjoint();
+            self.a1 = self.a1.matmul(&cdag);
+            self.a2 = self.a2.matmul(&cdag);
+            self.b1 = cgate.matmul(&self.b1);
+            self.b2 = cgate.matmul(&self.b2);
+        }
+
+        fn canonicalize(&mut self) {
+            for k in 0..3 {
+                let n = (self.v[k] / FRAC_PI_2).round();
+                let sign = -n.signum();
+                for _ in 0..(n.abs() as usize) {
+                    self.shift(k, sign);
+                }
+            }
+            for _pass in 0..3 {
+                for j in 0..2 {
+                    if self.v[j].abs() < self.v[j + 1].abs() - 1e-15 {
+                        self.swap(j, j + 1);
+                    }
+                }
+            }
+            let tol = 1e-15;
+            if self.v[0] < -tol && self.v[1] < -tol {
+                self.negate(0, 1);
+            } else if self.v[0] < -tol {
+                self.negate(0, 2);
+            } else if self.v[1] < -tol {
+                self.negate(1, 2);
+            }
+            if self.v[0] >= FRAC_PI_4 - 1e-9 && self.v[2] < 0.0 {
+                self.negate(0, 2);
+                self.shift(0, 1.0);
+            }
+        }
+    }
+
+    /// The original `CMat` KAK decomposition (reference path).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`super::kak`].
+    pub fn kak_cmat(u: &CMat) -> Kak {
+        assert_eq!((u.rows(), u.cols()), (4, 4), "kak needs a two-qubit gate");
+        assert!(u.is_unitary(1e-8), "kak requires a unitary input");
+
+        let det = u.det();
+        let alpha = det.arg() / 4.0;
+        let mut phase = Complex::cis(alpha);
+        let usu = u.scale(Complex::cis(-alpha));
+
+        let b = super::magic_basis();
+        let bh = b.adjoint();
+        let ub = bh.matmul(&usu).matmul(&b);
+        let m = ub.transpose().matmul(&ub);
+        let o = diag_symmetric_unitary_cmat(&m);
+
+        let w = ub.matmul(&o);
+        let mut theta = [0.0f64; 4];
+        let mut l = CMat::zeros(4, 4);
+        for (j, th) in theta.iter_mut().enumerate() {
+            let col = w.col(j);
+            let (mut bi, mut bv) = (0usize, 0.0);
+            for (i, z) in col.iter().enumerate() {
+                if z.abs() > bv {
+                    bv = z.abs();
+                    bi = i;
+                }
+            }
+            let ph = col[bi].arg();
+            *th = ph;
+            let rcol: Vec<Complex> = col.iter().map(|z| *z * Complex::cis(-ph)).collect();
+            let imag: f64 = rcol.iter().map(|z| z.im * z.im).sum::<f64>().sqrt();
+            assert!(imag < 1e-6, "kak: column {j} is not real ({imag:.2e})");
+            l.set_col(j, &rcol);
+        }
+        if l.det().re < 0.0 {
+            let col: Vec<Complex> = l.col(0).iter().map(|z| -*z).collect();
+            l.set_col(0, &col);
+            theta[0] += std::f64::consts::PI;
+        }
+
+        let x = 0.5 * (theta[0] + theta[1]);
+        let y = 0.5 * (theta[1] + theta[3]);
+        let z = 0.5 * (theta[0] + theta[3]);
+
+        let left4 = b.matmul(&l).matmul(&bh);
+        let right4 = b.matmul(&o.transpose()).matmul(&bh);
+        let (a1, a2, p1) = factor_kron2_cmat(&left4);
+        let (b1, b2, p2) = factor_kron2_cmat(&right4);
+        phase = phase * p1 * p2;
+
+        let mut builder = CmatBuilder {
+            phase,
+            a1,
+            a2,
+            b1,
+            b2,
+            v: [x, y, z],
+        };
+        builder.canonicalize();
+
+        Kak {
+            phase: builder.phase,
+            a1: Mat2::try_from(&builder.a1).expect("2x2 local"),
+            a2: Mat2::try_from(&builder.a2).expect("2x2 local"),
+            b1: Mat2::try_from(&builder.b1).expect("2x2 local"),
+            b2: Mat2::try_from(&builder.b2).expect("2x2 local"),
+            coords: WeylPoint::new(builder.v[0], builder.v[1], builder.v[2]),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Pauli matrices and Pauli strings.
 
-use ashn_math::{c, CMat, Complex};
+use ashn_math::{c, CMat, Complex, Mat2};
 
 /// The four single-qubit Pauli operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -32,6 +32,22 @@ impl Pauli {
                 &[Complex::ONE, Complex::ZERO],
                 &[Complex::ZERO, c(-1.0, 0.0)],
             ]),
+        }
+    }
+
+    /// The stack-allocated 2×2 matrix of this Pauli operator.
+    pub fn matrix2(self) -> Mat2 {
+        match self {
+            Pauli::I => Mat2::identity(),
+            Pauli::X => {
+                Mat2::from_rows([[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]])
+            }
+            Pauli::Y => {
+                Mat2::from_rows([[Complex::ZERO, c(0.0, -1.0)], [c(0.0, 1.0), Complex::ZERO]])
+            }
+            Pauli::Z => {
+                Mat2::from_rows([[Complex::ONE, Complex::ZERO], [Complex::ZERO, c(-1.0, 0.0)]])
+            }
         }
     }
 

@@ -1,17 +1,31 @@
 //! Single-qubit gate library.
+//!
+//! Each gate comes in two flavours: the dense [`CMat`] used by the generic
+//! n-qubit embedding code, and a stack-allocated [`Mat2`] twin (suffix `2`)
+//! for the allocation-free KAK/synthesis hot path.
 
-use ashn_math::{c, CMat, Complex};
+use ashn_math::{c, CMat, Complex, Mat2};
 
 /// Rotation about X: `exp(−iθX/2)`.
 pub fn rx(theta: f64) -> CMat {
+    rx2(theta).into()
+}
+
+/// Stack-allocated rotation about X: `exp(−iθX/2)`.
+pub fn rx2(theta: f64) -> Mat2 {
     let (s, co) = (theta / 2.0).sin_cos();
-    CMat::from_rows(&[&[c(co, 0.0), c(0.0, -s)], &[c(0.0, -s), c(co, 0.0)]])
+    Mat2::from_rows([[c(co, 0.0), c(0.0, -s)], [c(0.0, -s), c(co, 0.0)]])
 }
 
 /// Rotation about Y: `exp(−iθY/2)`.
 pub fn ry(theta: f64) -> CMat {
+    ry2(theta).into()
+}
+
+/// Stack-allocated rotation about Y: `exp(−iθY/2)`.
+pub fn ry2(theta: f64) -> Mat2 {
     let (s, co) = (theta / 2.0).sin_cos();
-    CMat::from_rows(&[&[c(co, 0.0), c(-s, 0.0)], &[c(s, 0.0), c(co, 0.0)]])
+    Mat2::from_rows([[c(co, 0.0), c(-s, 0.0)], [c(s, 0.0), c(co, 0.0)]])
 }
 
 /// Rotation about Z: `exp(−iθZ/2)`.
@@ -28,6 +42,11 @@ pub fn h() -> CMat {
 /// Phase gate `S = diag(1, i)`.
 pub fn s() -> CMat {
     CMat::diag(&[Complex::ONE, Complex::I])
+}
+
+/// Stack-allocated phase gate `S = diag(1, i)`.
+pub fn s2() -> Mat2 {
+    Mat2::diag([Complex::ONE, Complex::I])
 }
 
 /// T gate `diag(1, e^{iπ/4})`.

@@ -1,0 +1,113 @@
+//! Differential suite holding the stack-allocated KAK fast path against the
+//! original heap-allocated `CMat` implementation ([`reference::kak_cmat`]):
+//! coordinates, local factors, and phase must agree at `1e-12` over random
+//! SU(4)/U(4) targets, named gates, and mirror branches.
+
+use ashn_gates::invariants::{makhlin, makhlin4};
+use ashn_gates::kak::{kak, reference, weyl_coordinates, weyl_coordinates4};
+use ashn_gates::two::{b_gate, cnot, cz, iswap, sqisw, swap};
+use ashn_math::randmat::{haar_su, haar_unitary};
+use ashn_math::{CMat, Mat4};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f64 = 1e-12;
+
+fn assert_same_decomposition(u: &CMat, label: &str) {
+    let fast = kak(u);
+    let slow = reference::kak_cmat(u);
+    assert!(
+        fast.coords.approx_eq(slow.coords, TOL),
+        "{label}: coords {} vs {}",
+        fast.coords,
+        slow.coords
+    );
+    assert!((fast.phase - slow.phase).abs() < TOL, "{label}: phase");
+    assert!(fast.a1.dist(&slow.a1) < TOL, "{label}: a1");
+    assert!(fast.a2.dist(&slow.a2) < TOL, "{label}: a2");
+    assert!(fast.b1.dist(&slow.b1) < TOL, "{label}: b1");
+    assert!(fast.b2.dist(&slow.b2) < TOL, "{label}: b2");
+    assert!(fast.error(u) < 1e-7, "{label}: reconstruction");
+}
+
+#[test]
+fn haar_random_gates_agree_with_reference() {
+    let mut rng = StdRng::seed_from_u64(9001);
+    for i in 0..40 {
+        let u = haar_unitary(4, &mut rng);
+        assert_same_decomposition(&u, &format!("haar U(4) {i}"));
+    }
+}
+
+#[test]
+fn special_unitaries_agree_with_reference() {
+    let mut rng = StdRng::seed_from_u64(9002);
+    for i in 0..20 {
+        let u = haar_su(4, &mut rng);
+        assert_same_decomposition(&u, &format!("haar SU(4) {i}"));
+    }
+}
+
+#[test]
+fn named_gates_agree_with_reference() {
+    for (g, name) in [
+        (cnot(), "CNOT"),
+        (cz(), "CZ"),
+        (iswap(), "iSWAP"),
+        (swap(), "SWAP"),
+        (sqisw(), "SQiSW"),
+        (b_gate(), "B"),
+        (CMat::identity(4), "I"),
+    ] {
+        assert_same_decomposition(&g, name);
+    }
+}
+
+#[test]
+fn mirror_branches_agree_with_reference() {
+    let mut rng = StdRng::seed_from_u64(9003);
+    for i in 0..15 {
+        let u = haar_unitary(4, &mut rng);
+        let fast = kak(&u).mirrored();
+        let slow = reference::kak_cmat(&u); // mirror computed on the fast type
+        let slow_m = {
+            // The reference path returns the same Kak type; its mirror uses
+            // the (stack) builder, so compare at the coordinate level plus
+            // reconstruction.
+            let m = slow.mirrored();
+            assert!(m.error(&u) < 1e-7, "reference mirror reconstructs");
+            m
+        };
+        assert!(
+            fast.coords.approx_eq(slow_m.coords, TOL),
+            "mirror {i}: coords"
+        );
+        assert!(fast.a1.dist(&slow_m.a1) < TOL, "mirror {i}: a1");
+        assert!(fast.error(&u) < 1e-7, "mirror {i}: reconstruction");
+    }
+}
+
+#[test]
+fn weyl_coordinate_paths_agree() {
+    let mut rng = StdRng::seed_from_u64(9004);
+    for _ in 0..25 {
+        let u = haar_unitary(4, &mut rng);
+        let m = Mat4::try_from(&u).unwrap();
+        let dense = weyl_coordinates(&u);
+        let stack = weyl_coordinates4(&m);
+        assert!(dense.approx_eq(stack, TOL));
+    }
+}
+
+#[test]
+fn makhlin_paths_agree() {
+    let mut rng = StdRng::seed_from_u64(9005);
+    for _ in 0..25 {
+        let u = haar_unitary(4, &mut rng);
+        let m = Mat4::try_from(&u).unwrap();
+        let (g1d, g2d) = makhlin(&u);
+        let (g1s, g2s) = makhlin4(&m);
+        assert!((g1d - g1s).abs() < TOL);
+        assert!((g2d - g2s).abs() < TOL);
+    }
+}

@@ -29,8 +29,10 @@ pub mod mat;
 pub mod neldermead;
 pub mod randmat;
 pub mod roots;
+pub mod smat;
 pub mod special;
 pub mod svd;
 
 pub use complex::{c, Complex};
 pub use mat::CMat;
+pub use smat::{Mat2, Mat4, SMat};

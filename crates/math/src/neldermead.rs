@@ -12,6 +12,16 @@ pub struct NmOptions {
     pub f_tol: f64,
     /// Initial simplex step per coordinate.
     pub initial_step: f64,
+    /// Terminate as soon as the best value reaches this (for objectives
+    /// whose useful minimum is known, e.g. "zero up to round-off"). Default
+    /// `NEG_INFINITY` disables it.
+    pub f_target: f64,
+    /// Additional *relative* spread tolerance: stop when the spread falls
+    /// below `f_tol + f_tol_rel·|f_best|`. Lets runs stuck at a useless
+    /// nonzero local minimum collapse in O(100) evaluations instead of
+    /// exhausting `max_evals` chasing an absolute spread the floating-point
+    /// noise floor can never reach. Default `0.0` disables it.
+    pub f_tol_rel: f64,
 }
 
 impl Default for NmOptions {
@@ -20,6 +30,8 @@ impl Default for NmOptions {
             max_evals: 4000,
             f_tol: 1e-14,
             initial_step: 0.25,
+            f_target: f64::NEG_INFINITY,
+            f_tol_rel: 0.0,
         }
     }
 }
@@ -77,7 +89,10 @@ pub fn nelder_mead(mut f: impl FnMut(&[f64]) -> f64, x0: &[f64], opts: &NmOption
         pts = reordered;
         fv = reordered_f;
 
-        if (fv[n] - fv[0]).abs() < opts.f_tol {
+        if fv[0] <= opts.f_target {
+            break;
+        }
+        if (fv[n] - fv[0]).abs() < opts.f_tol + opts.f_tol_rel * fv[0].abs() {
             break;
         }
 

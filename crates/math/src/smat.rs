@@ -1,0 +1,722 @@
+//! Stack-allocated small complex matrices for the synthesis hot path.
+//!
+//! Every unitary that the two-qubit compilation stack manipulates is 2×2 or
+//! 4×4, yet the original [`CMat`] representation heap-allocates a `Vec` for
+//! each of them — and the KAK / Makhlin / Nelder–Mead inner loops create
+//! thousands per solve. [`SMat<N>`] is a `Copy` const-generic matrix whose
+//! kernels the compiler fully unrolls; no allocation ever happens.
+//!
+//! The numerical kernels ([`SMat::matmul`], [`SMat::eigh`],
+//! [`SMat::expm_minus_i_hermitian`], [`SMat::det`]) deliberately mirror the
+//! accumulation order of their `CMat` counterparts so the two paths agree to
+//! round-off (the differential suite in `crates/math/tests/smat.rs` pins
+//! them together at `1e-12`).
+//!
+//! # Examples
+//!
+//! ```
+//! use ashn_math::{c, CMat, Mat2};
+//!
+//! let x = Mat2::from_rows([[c(0.0, 0.0), c(1.0, 0.0)], [c(1.0, 0.0), c(0.0, 0.0)]]);
+//! assert!((x.matmul(&x) - Mat2::identity()).frobenius_norm() < 1e-15);
+//! let heap: CMat = x.into(); // cheap conversion to the dense type
+//! assert_eq!(heap.rows(), 2);
+//! ```
+
+use crate::complex::{c, Complex};
+use crate::mat::CMat;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense `N×N` complex matrix stored on the stack.
+#[derive(Clone, Copy, PartialEq)]
+pub struct SMat<const N: usize> {
+    d: [[Complex; N]; N],
+}
+
+/// A stack-allocated 2×2 complex matrix (single-qubit operators).
+pub type Mat2 = SMat<2>;
+
+/// A stack-allocated 4×4 complex matrix (two-qubit operators).
+pub type Mat4 = SMat<4>;
+
+/// Error returned when converting a [`CMat`] of the wrong shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Rows of the offending matrix.
+    pub rows: usize,
+    /// Columns of the offending matrix.
+    pub cols: usize,
+    /// The square dimension that was expected.
+    pub expected: usize,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expected a {0}x{0} matrix, got {1}x{2}",
+            self.expected, self.rows, self.cols
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl<const N: usize> SMat<N> {
+    /// The zero matrix.
+    #[inline]
+    pub const fn zeros() -> Self {
+        Self {
+            d: [[Complex::ZERO; N]; N],
+        }
+    }
+
+    /// The identity matrix.
+    #[inline]
+    pub fn identity() -> Self {
+        let mut m = Self::zeros();
+        for i in 0..N {
+            m.d[i][i] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    #[inline]
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> Complex) -> Self {
+        let mut m = Self::zeros();
+        for (r, row) in m.d.iter_mut().enumerate() {
+            for (cc, v) in row.iter_mut().enumerate() {
+                *v = f(r, cc);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from an array of rows.
+    #[inline]
+    pub const fn from_rows(rows: [[Complex; N]; N]) -> Self {
+        Self { d: rows }
+    }
+
+    /// Builds a square diagonal matrix from its diagonal entries.
+    #[inline]
+    pub fn diag(entries: [Complex; N]) -> Self {
+        let mut m = Self::zeros();
+        for (i, &e) in entries.iter().enumerate() {
+            m.d[i][i] = e;
+        }
+        m
+    }
+
+    /// Matrix dimension (rows == cols == `N`).
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        N
+    }
+
+    /// Returns column `j` as an array.
+    #[inline]
+    pub fn col(&self, j: usize) -> [Complex; N] {
+        let mut out = [Complex::ZERO; N];
+        for (o, row) in out.iter_mut().zip(self.d.iter()) {
+            *o = row[j];
+        }
+        out
+    }
+
+    /// Overwrites column `j`.
+    #[inline]
+    pub fn set_col(&mut self, j: usize, v: &[Complex; N]) {
+        for (row, &z) in self.d.iter_mut().zip(v.iter()) {
+            row[j] = z;
+        }
+    }
+
+    /// Applies `f` to every entry.
+    #[inline]
+    pub fn map(&self, f: impl Fn(Complex) -> Complex) -> Self {
+        let mut out = *self;
+        for row in out.d.iter_mut() {
+            for v in row.iter_mut() {
+                *v = f(*v);
+            }
+        }
+        out
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    #[inline]
+    pub fn scale(&self, k: Complex) -> Self {
+        self.map(|z| z * k)
+    }
+
+    /// Transpose (no conjugation).
+    #[inline]
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(|r, cc| self.d[cc][r])
+    }
+
+    /// Entrywise complex conjugate.
+    #[inline]
+    pub fn conj(&self) -> Self {
+        self.map(|z| z.conj())
+    }
+
+    /// Conjugate transpose `A†` (alias: [`SMat::dagger`]).
+    #[inline]
+    pub fn adjoint(&self) -> Self {
+        Self::from_fn(|r, cc| self.d[cc][r].conj())
+    }
+
+    /// Conjugate transpose `A†`.
+    #[inline]
+    pub fn dagger(&self) -> Self {
+        self.adjoint()
+    }
+
+    /// Matrix trace.
+    #[inline]
+    pub fn trace(&self) -> Complex {
+        let mut acc = Complex::ZERO;
+        for i in 0..N {
+            acc += self.d[i][i];
+        }
+        acc
+    }
+
+    /// Frobenius norm `√Σ|a_ij|²`.
+    #[inline]
+    pub fn frobenius_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for row in &self.d {
+            for v in row {
+                s += v.norm_sqr();
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Largest entry modulus.
+    #[inline]
+    pub fn max_abs(&self) -> f64 {
+        let mut best = 0.0f64;
+        for row in &self.d {
+            for v in row {
+                best = best.max(v.abs());
+            }
+        }
+        best
+    }
+
+    /// Distance `‖A − B‖_F`.
+    #[inline]
+    pub fn dist(&self, other: &Self) -> f64 {
+        let mut s = 0.0;
+        for (ra, rb) in self.d.iter().zip(other.d.iter()) {
+            for (a, b) in ra.iter().zip(rb.iter()) {
+                s += (*a - *b).norm_sqr();
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Fully unrolled matrix product (accumulation over `k` in ascending
+    /// order, matching [`CMat::matmul`] to round-off).
+    #[inline]
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        let mut out = Self::zeros();
+        for (orow, arow) in out.d.iter_mut().zip(self.d.iter()) {
+            for (j, o) in orow.iter_mut().enumerate() {
+                let mut acc = Complex::ZERO;
+                for (a, brow) in arow.iter().zip(rhs.d.iter()) {
+                    acc += *a * brow[j];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: &[Complex; N]) -> [Complex; N] {
+        let mut out = [Complex::ZERO; N];
+        for (o, row) in out.iter_mut().zip(self.d.iter()) {
+            let mut acc = Complex::ZERO;
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += *a * *b;
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    /// Determinant by in-place LU factorization with partial pivoting
+    /// (stack copy; same pivoting rule as [`CMat::det`]).
+    pub fn det(&self) -> Complex {
+        let mut a = self.d;
+        let mut det = Complex::ONE;
+        for k in 0..N {
+            let (mut piv, mut best) = (k, a[k][k].abs());
+            for (i, row) in a.iter().enumerate().skip(k + 1) {
+                let v = row[k].abs();
+                if v > best {
+                    piv = i;
+                    best = v;
+                }
+            }
+            if best == 0.0 {
+                return Complex::ZERO;
+            }
+            if piv != k {
+                a.swap(piv, k);
+                det = -det;
+            }
+            det *= a[k][k];
+            let inv = a[k][k].inv();
+            let pivot_row = a[k];
+            for row in a.iter_mut().skip(k + 1) {
+                let f = row[k] * inv;
+                if f == Complex::ZERO {
+                    continue;
+                }
+                for (rj, pj) in row.iter_mut().zip(pivot_row.iter()).skip(k) {
+                    let sub = f * *pj;
+                    *rj -= sub;
+                }
+            }
+        }
+        det
+    }
+
+    /// `true` when `‖A†A − I‖ < tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.adjoint().matmul(self).dist(&Self::identity()) < tol
+    }
+
+    /// `true` when `‖A − A†‖ < tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.dist(&self.adjoint()) < tol
+    }
+
+    /// Hilbert–Schmidt inner product `tr(A† B)`.
+    pub fn hs_inner(&self, other: &Self) -> Complex {
+        let mut acc = Complex::ZERO;
+        for (ra, rb) in self.d.iter().zip(other.d.iter()) {
+            for (a, b) in ra.iter().zip(rb.iter()) {
+                acc += a.conj() * *b;
+            }
+        }
+        acc
+    }
+
+    /// Off-diagonal Frobenius norm (the Jacobi convergence measure).
+    fn off_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for (r, row) in self.d.iter().enumerate() {
+            for (cc, v) in row.iter().enumerate() {
+                if r != cc {
+                    s += v.norm_sqr();
+                }
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Eigendecomposition of a Hermitian matrix by cyclic complex Jacobi,
+    /// entirely on the stack. Eigenvalues ascend; `vectors` columns are the
+    /// matching eigenvectors.
+    ///
+    /// This mirrors [`crate::eig::eigh`] sweep-for-sweep (same symmetrize,
+    /// thresholds, and rotation order), so the two agree to round-off.
+    pub fn eigh(&self) -> ([f64; N], Self) {
+        // Symmetrize to guard against round-off in the input.
+        let mut m = (*self + self.adjoint()).scale(c(0.5, 0.0));
+        let mut v = Self::identity();
+        let scale = m.frobenius_norm().max(1e-300);
+        let tol = 1e-14 * scale;
+
+        for _sweep in 0..100 {
+            if m.off_norm() < tol {
+                break;
+            }
+            for p in 0..N {
+                for q in (p + 1)..N {
+                    let apq = m.d[p][q];
+                    if apq.abs() < tol / (N as f64) {
+                        continue;
+                    }
+                    let app = m.d[p][p].re;
+                    let aqq = m.d[q][q].re;
+                    let phi = apq.arg();
+                    let theta = 0.5 * (2.0 * apq.abs()).atan2(app - aqq);
+                    let (s, co) = theta.sin_cos();
+                    let eip = Complex::cis(phi);
+                    let ein = eip.conj();
+                    // Column update: M <- M U.
+                    for k in 0..N {
+                        let mkp = m.d[k][p];
+                        let mkq = m.d[k][q];
+                        m.d[k][p] = mkp * co + mkq * ein * s;
+                        m.d[k][q] = -mkp * eip * s + mkq * co;
+                    }
+                    // Row update: M <- U† M.
+                    for k in 0..N {
+                        let mpk = m.d[p][k];
+                        let mqk = m.d[q][k];
+                        m.d[p][k] = mpk * co + mqk * eip * s;
+                        m.d[q][k] = -mpk * ein * s + mqk * co;
+                    }
+                    // Accumulate eigenvectors: V <- V U.
+                    for k in 0..N {
+                        let vkp = v.d[k][p];
+                        let vkq = v.d[k][q];
+                        v.d[k][p] = vkp * co + vkq * ein * s;
+                        v.d[k][q] = -vkp * eip * s + vkq * co;
+                    }
+                }
+            }
+        }
+
+        let mut idx = [0usize; N];
+        for (i, x) in idx.iter_mut().enumerate() {
+            *x = i;
+        }
+        let mut vals = [0.0f64; N];
+        for (i, x) in vals.iter_mut().enumerate() {
+            *x = m.d[i][i].re;
+        }
+        idx.sort_by(|&i, &j| vals[i].partial_cmp(&vals[j]).unwrap());
+        let mut values = [0.0f64; N];
+        for (o, &i) in values.iter_mut().zip(idx.iter()) {
+            *o = vals[i];
+        }
+        let vectors = Self::from_fn(|r, cc| v.d[r][idx[cc]]);
+        (values, vectors)
+    }
+
+    /// `exp(−i·t·H)` for Hermitian `H` — Schrödinger evolution on the
+    /// stack, via [`SMat::eigh`] (mirrors
+    /// [`crate::expm::expm_minus_i_hermitian`]).
+    pub fn expm_minus_i_hermitian(&self, t: f64) -> Self {
+        let z = c(0.0, -t);
+        let (values, vectors) = self.eigh();
+        let mut out = Self::zeros();
+        for (j, &l) in values.iter().enumerate() {
+            let p = (z * l).exp();
+            let col = vectors.col(j);
+            for (r, orow) in out.d.iter_mut().enumerate() {
+                let a = col[r] * p;
+                for (o, cv) in orow.iter_mut().zip(col.iter()) {
+                    *o += a * cv.conj();
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Eigendecomposition of a **real symmetric** matrix by cyclic real Jacobi,
+/// entirely on the stack: ascending eigenvalues plus the orthogonal
+/// eigenvector matrix (columns). Roughly 3× cheaper than the complex
+/// [`SMat::eigh`] because every rotation stays in `f64`.
+///
+/// The caller asserts symmetry; only the upper triangle drives the sweep.
+pub fn eigh_real_symmetric<const N: usize>(a: &[[f64; N]; N]) -> ([f64; N], [[f64; N]; N]) {
+    let mut m = *a;
+    let mut v = [[0.0f64; N]; N];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    let norm_sq: f64 = m.iter().flatten().map(|x| x * x).sum();
+    let scale = norm_sq.sqrt().max(1e-300);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..100 {
+        let mut off_sq = 0.0;
+        for (r, row) in m.iter().enumerate() {
+            for (cc, x) in row.iter().enumerate() {
+                if r != cc {
+                    off_sq += x * x;
+                }
+            }
+        }
+        if off_sq.sqrt() < tol {
+            break;
+        }
+        for p in 0..N {
+            for q in (p + 1)..N {
+                let apq = m[p][q];
+                if apq.abs() < tol / (N as f64) {
+                    continue;
+                }
+                let theta = 0.5 * (2.0 * apq).atan2(m[p][p] - m[q][q]);
+                let (s, co) = theta.sin_cos();
+                for row in m.iter_mut() {
+                    let mkp = row[p];
+                    let mkq = row[q];
+                    row[p] = mkp * co + mkq * s;
+                    row[q] = -mkp * s + mkq * co;
+                }
+                let mp = m[p];
+                let mq = m[q];
+                for (x, (&a, &b)) in m[p].iter_mut().zip(mp.iter().zip(mq.iter())) {
+                    *x = a * co + b * s;
+                }
+                for (x, (&a, &b)) in m[q].iter_mut().zip(mp.iter().zip(mq.iter())) {
+                    *x = -a * s + b * co;
+                }
+                for row in v.iter_mut() {
+                    let vkp = row[p];
+                    let vkq = row[q];
+                    row[p] = vkp * co + vkq * s;
+                    row[q] = -vkp * s + vkq * co;
+                }
+            }
+        }
+    }
+
+    let mut idx = [0usize; N];
+    for (i, x) in idx.iter_mut().enumerate() {
+        *x = i;
+    }
+    let mut vals = [0.0f64; N];
+    for (i, x) in vals.iter_mut().enumerate() {
+        *x = m[i][i];
+    }
+    idx.sort_by(|&i, &j| vals[i].partial_cmp(&vals[j]).unwrap());
+    let mut values = [0.0f64; N];
+    for (o, &i) in values.iter_mut().zip(idx.iter()) {
+        *o = vals[i];
+    }
+    let mut vectors = [[0.0f64; N]; N];
+    for (orow, vrow) in vectors.iter_mut().zip(v.iter()) {
+        for (o, &i) in orow.iter_mut().zip(idx.iter()) {
+            *o = vrow[i];
+        }
+    }
+    (values, vectors)
+}
+
+/// `exp(−i·t·H)` for a **real symmetric** generator, via
+/// [`eigh_real_symmetric`]: the spectral sum reconstructs with one
+/// real×complex product per term, about 3× cheaper than the general
+/// [`SMat::expm_minus_i_hermitian`]. Agrees with it to `1e-12`.
+pub fn expm_minus_i_real_symmetric<const N: usize>(h: &[[f64; N]; N], t: f64) -> SMat<N> {
+    let (values, vectors) = eigh_real_symmetric(h);
+    let mut phases = [Complex::ZERO; N];
+    for (p, &l) in phases.iter_mut().zip(values.iter()) {
+        *p = Complex::cis(-t * l);
+    }
+    let mut out = SMat::<N>::zeros();
+    for j in 0..N {
+        let p = phases[j];
+        for (orow, vrow) in out.d.iter_mut().zip(vectors.iter()) {
+            let a = p.scale(vrow[j]);
+            for (o, wrow) in orow.iter_mut().zip(vectors.iter()) {
+                *o += a.scale(wrow[j]);
+            }
+        }
+    }
+    out
+}
+
+impl SMat<2> {
+    /// Kronecker product `self ⊗ rhs`, the 2⊗2 → 4 case the synthesis stack
+    /// uses for local (single-qubit) dressings.
+    #[inline]
+    pub fn kron(&self, rhs: &Mat2) -> Mat4 {
+        let mut out = Mat4::zeros();
+        for i in 0..2 {
+            for j in 0..2 {
+                let a = self.d[i][j];
+                for k in 0..2 {
+                    for l in 0..2 {
+                        out[(2 * i + k, 2 * j + l)] = a * rhs.d[k][l];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<const N: usize> Index<(usize, usize)> for SMat<N> {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (r, cc): (usize, usize)) -> &Complex {
+        &self.d[r][cc]
+    }
+}
+
+impl<const N: usize> IndexMut<(usize, usize)> for SMat<N> {
+    #[inline]
+    fn index_mut(&mut self, (r, cc): (usize, usize)) -> &mut Complex {
+        &mut self.d[r][cc]
+    }
+}
+
+impl<const N: usize> Add for SMat<N> {
+    type Output = SMat<N>;
+    #[inline]
+    fn add(self, rhs: SMat<N>) -> SMat<N> {
+        let mut out = self;
+        for (row, rrow) in out.d.iter_mut().zip(rhs.d.iter()) {
+            for (v, r) in row.iter_mut().zip(rrow.iter()) {
+                *v += *r;
+            }
+        }
+        out
+    }
+}
+
+impl<const N: usize> Sub for SMat<N> {
+    type Output = SMat<N>;
+    #[inline]
+    fn sub(self, rhs: SMat<N>) -> SMat<N> {
+        let mut out = self;
+        for (row, rrow) in out.d.iter_mut().zip(rhs.d.iter()) {
+            for (v, r) in row.iter_mut().zip(rrow.iter()) {
+                *v -= *r;
+            }
+        }
+        out
+    }
+}
+
+impl<const N: usize> Neg for SMat<N> {
+    type Output = SMat<N>;
+    #[inline]
+    fn neg(self) -> SMat<N> {
+        self.map(|z| -z)
+    }
+}
+
+impl<const N: usize> Mul for SMat<N> {
+    type Output = SMat<N>;
+    #[inline]
+    fn mul(self, rhs: SMat<N>) -> SMat<N> {
+        self.matmul(&rhs)
+    }
+}
+
+impl<const N: usize> Mul<&SMat<N>> for &SMat<N> {
+    type Output = SMat<N>;
+    #[inline]
+    fn mul(self, rhs: &SMat<N>) -> SMat<N> {
+        self.matmul(rhs)
+    }
+}
+
+impl<const N: usize> From<SMat<N>> for CMat {
+    fn from(m: SMat<N>) -> CMat {
+        CMat::from_fn(N, N, |r, cc| m.d[r][cc])
+    }
+}
+
+impl<const N: usize> From<&SMat<N>> for CMat {
+    fn from(m: &SMat<N>) -> CMat {
+        CMat::from_fn(N, N, |r, cc| m.d[r][cc])
+    }
+}
+
+impl<const N: usize> TryFrom<&CMat> for SMat<N> {
+    type Error = ShapeError;
+
+    fn try_from(m: &CMat) -> Result<Self, ShapeError> {
+        if m.rows() != N || m.cols() != N {
+            return Err(ShapeError {
+                rows: m.rows(),
+                cols: m.cols(),
+                expected: N,
+            });
+        }
+        Ok(Self::from_fn(|r, cc| m[(r, cc)]))
+    }
+}
+
+impl<const N: usize> fmt::Debug for SMat<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SMat<{N}> [")?;
+        for row in &self.d {
+            write!(f, "  ")?;
+            for z in row {
+                write!(f, "({:>9.5},{:>9.5}) ", z.re, z.im)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<const N: usize> fmt::Display for SMat<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample2() -> Mat2 {
+        Mat2::from_fn(|r, cc| c(r as f64 + 0.5, cc as f64 - 1.0))
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = sample2();
+        assert!(a.matmul(&Mat2::identity()).dist(&a) < 1e-15);
+        assert!(Mat2::identity().matmul(&a).dist(&a) < 1e-15);
+    }
+
+    #[test]
+    fn adjoint_is_involution() {
+        let a = sample2();
+        assert!(a.adjoint().adjoint().dist(&a) < 1e-15);
+        assert_eq!(a.dagger(), a.adjoint());
+    }
+
+    #[test]
+    fn kron_matches_cmat() {
+        let a = sample2();
+        let b = Mat2::from_fn(|r, cc| c((r * cc) as f64, 1.0));
+        let k = a.kron(&b);
+        let kc = CMat::from(a).kron(&CMat::from(b));
+        assert!(CMat::from(k).dist(&kc) < 1e-15);
+    }
+
+    #[test]
+    fn det_of_pauli_x_is_minus_one() {
+        let x = Mat2::from_rows([[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]);
+        assert!((x.det() + Complex::ONE).abs() < 1e-15);
+        assert!(x.is_unitary(1e-14));
+        assert!(x.is_hermitian(1e-14));
+    }
+
+    #[test]
+    fn eigh_of_pauli_z() {
+        let z = Mat2::diag([Complex::ONE, c(-1.0, 0.0)]);
+        let (vals, vecs) = z.eigh();
+        assert!((vals[0] + 1.0).abs() < 1e-13);
+        assert!((vals[1] - 1.0).abs() < 1e-13);
+        assert!(vecs.is_unitary(1e-13));
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let u = Mat4::zeros().expm_minus_i_hermitian(1.23);
+        assert!(u.dist(&Mat4::identity()) < 1e-14);
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        let a = sample2();
+        let heap: CMat = a.into();
+        let back = Mat2::try_from(&heap).unwrap();
+        assert_eq!(a, back);
+        assert!(Mat2::try_from(&CMat::identity(3)).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Differential suite holding the stack-allocated [`SMat`] kernels against
+//! the dense [`CMat`] reference: 200+ random 2×2/4×4 operations compared at
+//! `1e-12` (matmul, kron, dagger, transpose, add/sub/scale, trace,
+//! Frobenius norm, determinant, matrix–vector products, eigendecomposition
+//! and the Hermitian exponential — the solve-free set the synthesis stack
+//! uses).
+
+use ashn_math::randmat::{haar_unitary, random_hermitian};
+use ashn_math::{c, CMat, Complex, Mat2, Mat4, SMat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-12;
+
+fn random_cmat(n: usize, rng: &mut StdRng) -> CMat {
+    CMat::from_fn(n, n, |_, _| {
+        c(2.0 * rng.gen::<f64>() - 1.0, 2.0 * rng.gen::<f64>() - 1.0)
+    })
+}
+
+fn check_pair<const N: usize>(a: &CMat, b: &CMat, label: &str) {
+    let sa = SMat::<N>::try_from(a).unwrap();
+    let sb = SMat::<N>::try_from(b).unwrap();
+
+    // Binary operations.
+    assert!(
+        CMat::from(sa.matmul(&sb)).dist(&a.matmul(b)) < TOL,
+        "{label}: matmul"
+    );
+    assert!(CMat::from(sa + sb).dist(&(a + b)) < TOL, "{label}: add");
+    assert!(CMat::from(sa - sb).dist(&(a - b)) < TOL, "{label}: sub");
+
+    // Unary operations.
+    assert!(
+        CMat::from(sa.adjoint()).dist(&a.adjoint()) < TOL,
+        "{label}: dagger"
+    );
+    assert!(
+        CMat::from(sa.transpose()).dist(&a.transpose()) < TOL,
+        "{label}: transpose"
+    );
+    assert!(CMat::from(sa.conj()).dist(&a.conj()) < TOL, "{label}: conj");
+    assert!(CMat::from(-sa).dist(&(-a)) < TOL, "{label}: neg");
+    let k = c(0.3, -0.7);
+    assert!(
+        CMat::from(sa.scale(k)).dist(&a.scale(k)) < TOL,
+        "{label}: scale"
+    );
+
+    // Scalar reductions.
+    assert!((sa.trace() - a.trace()).abs() < TOL, "{label}: trace");
+    assert!(
+        (sa.frobenius_norm() - a.frobenius_norm()).abs() < TOL,
+        "{label}: frobenius"
+    );
+    assert!((sa.max_abs() - a.max_abs()).abs() < TOL, "{label}: max_abs");
+    assert!((sa.det() - a.det()).abs() < TOL, "{label}: det");
+    assert!(
+        (sa.hs_inner(&sb) - a.hs_inner(b)).abs() < TOL,
+        "{label}: hs_inner"
+    );
+    assert!((sa.dist(&sb) - a.dist(b)).abs() < TOL, "{label}: dist");
+}
+
+fn check_mul_vec<const N: usize>(a: &CMat, rng: &mut StdRng) {
+    let sa = SMat::<N>::try_from(a).unwrap();
+    let mut v = [Complex::ZERO; N];
+    for x in v.iter_mut() {
+        *x = c(rng.gen::<f64>(), rng.gen::<f64>());
+    }
+    let got = sa.mul_vec(&v);
+    let want = a.mul_vec(&v);
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert!((*g - *w).abs() < TOL, "mul_vec mismatch");
+    }
+}
+
+#[test]
+fn random_ops_match_cmat_2x2_and_4x4() {
+    // 60 pairs × 2 sizes × 12 checked ops ≫ 200 differential cases.
+    let mut rng = StdRng::seed_from_u64(7001);
+    for i in 0..60 {
+        let (a2, b2) = (random_cmat(2, &mut rng), random_cmat(2, &mut rng));
+        check_pair::<2>(&a2, &b2, &format!("2x2 pair {i}"));
+        check_mul_vec::<2>(&a2, &mut rng);
+        let (a4, b4) = (random_cmat(4, &mut rng), random_cmat(4, &mut rng));
+        check_pair::<4>(&a4, &b4, &format!("4x4 pair {i}"));
+        check_mul_vec::<4>(&a4, &mut rng);
+    }
+}
+
+#[test]
+fn kron_matches_cmat_over_random_pairs() {
+    let mut rng = StdRng::seed_from_u64(7002);
+    for _ in 0..50 {
+        let a = random_cmat(2, &mut rng);
+        let b = random_cmat(2, &mut rng);
+        let sa = Mat2::try_from(&a).unwrap();
+        let sb = Mat2::try_from(&b).unwrap();
+        assert!(CMat::from(sa.kron(&sb)).dist(&a.kron(&b)) < TOL);
+    }
+}
+
+#[test]
+fn unitary_det_and_checks_match() {
+    let mut rng = StdRng::seed_from_u64(7003);
+    for _ in 0..25 {
+        let u = haar_unitary(4, &mut rng);
+        let su = Mat4::try_from(&u).unwrap();
+        assert!(su.is_unitary(1e-10));
+        assert!((su.det() - u.det()).abs() < TOL);
+        assert!(!su.is_hermitian(1e-10) || u.is_hermitian(1e-10));
+    }
+}
+
+#[test]
+fn eigh_matches_cmat_eigh() {
+    let mut rng = StdRng::seed_from_u64(7004);
+    for _ in 0..30 {
+        let h = random_hermitian(4, &mut rng);
+        let sh = Mat4::try_from(&h).unwrap();
+        let (vals, vecs) = sh.eigh();
+        let reference = ashn_math::eig::eigh(&h);
+        for (got, want) in vals.iter().zip(reference.values.iter()) {
+            assert!((got - want).abs() < TOL, "eigenvalue mismatch");
+        }
+        assert!(
+            CMat::from(vecs).dist(&reference.vectors) < TOL,
+            "eigenvector mismatch"
+        );
+        // And the decomposition reconstructs.
+        let d = Mat4::diag([
+            c(vals[0], 0.0),
+            c(vals[1], 0.0),
+            c(vals[2], 0.0),
+            c(vals[3], 0.0),
+        ]);
+        assert!(vecs.matmul(&d).matmul(&vecs.adjoint()).dist(&sh) < 1e-9);
+    }
+}
+
+#[test]
+fn expm_matches_cmat_expm() {
+    let mut rng = StdRng::seed_from_u64(7005);
+    for _ in 0..30 {
+        let h = random_hermitian(4, &mut rng);
+        let t = 3.0 * rng.gen::<f64>() - 1.5;
+        let sh = Mat4::try_from(&h).unwrap();
+        let fast = sh.expm_minus_i_hermitian(t);
+        let reference = ashn_math::expm::expm_minus_i_hermitian(&h, t);
+        assert!(CMat::from(fast).dist(&reference) < TOL, "expm mismatch");
+        assert!(fast.is_unitary(1e-10));
+    }
+}
+
+#[test]
+fn conversions_are_lossless_and_shape_checked() {
+    let mut rng = StdRng::seed_from_u64(7006);
+    let a = random_cmat(4, &mut rng);
+    let s = Mat4::try_from(&a).unwrap();
+    assert_eq!(CMat::from(s).as_slice(), a.as_slice());
+    assert!(Mat2::try_from(&a).is_err(), "4x4 into Mat2 must fail");
+    assert!(Mat4::try_from(&CMat::zeros(4, 3)).is_err(), "non-square");
+    let err = Mat4::try_from(&CMat::identity(2)).unwrap_err();
+    assert_eq!((err.rows, err.cols, err.expected), (2, 2, 4));
+}

@@ -60,6 +60,7 @@ pub fn two_b_core(target: WeylPoint) -> Result<TwoQubitCircuit, BSpanError> {
                         max_evals: 2500,
                         f_tol: 1e-26,
                         initial_step: 0.4,
+                        ..NmOptions::default()
                     },
                 );
                 if res.f < 1e-16 {
@@ -170,6 +171,7 @@ mod tests {
                     max_evals: 3000,
                     f_tol: 1e-24,
                     initial_step: 0.5,
+                    ..NmOptions::default()
                 },
             );
             best = best.min(res.f);

@@ -103,6 +103,15 @@ impl AshnBasis {
             scheme: AshnScheme::with_cutoff(h_ratio, cutoff),
         }
     }
+
+    /// Fans the EA multistart of every pulse compilation over `workers`
+    /// scoped threads (`0` = one per hardware thread; default 1 = serial).
+    /// Synthesized circuits are bit-identical for every worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.scheme = self.scheme.with_workers(workers);
+        self
+    }
 }
 
 impl Basis for AshnBasis {

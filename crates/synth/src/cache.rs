@@ -16,9 +16,9 @@
 //! so one instance can serve every worker of a batch run.
 
 use crate::circuit2::{align_to_target, TwoQubitCircuit};
-use ashn_gates::kak::weyl_coordinates;
+use ashn_gates::kak::{weyl_coordinates, weyl_coordinates4};
 use ashn_ir::{Basis, Circuit, SynthError};
-use ashn_math::CMat;
+use ashn_math::{CMat, Mat4};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
@@ -53,11 +53,20 @@ struct Entry {
     circuit: TwoQubitCircuit,
 }
 
+/// How a cache lookup resolved (see [`CacheStats`]).
+#[derive(Clone, Copy, Debug)]
+enum Lookup {
+    ExactHit,
+    ClassHit,
+    Miss,
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
     map: HashMap<Key, Entry>,
     order: VecDeque<Key>,
-    hits: u64,
+    exact_hits: u64,
+    class_hits: u64,
     misses: u64,
 }
 
@@ -69,16 +78,46 @@ pub struct SynthCache {
 }
 
 /// Hit/miss/occupancy snapshot of a [`SynthCache`].
+///
+/// Hits are split by what the cache had to do: an **exact** hit returns the
+/// stored circuit verbatim (the target repeated to `1e-12`), a **class**
+/// hit re-dresses the stored circuit of the same Weyl class with
+/// KAK-computed locals, and a **miss** runs cold synthesis (including
+/// lookups whose stored circuit had drifted too far to re-dress).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
-    pub hits: u64,
+    /// Lookups served verbatim (exact target repeat).
+    pub exact_hits: u64,
+    /// Lookups served by re-dressing a same-class entry.
+    pub class_hits: u64,
     /// Lookups that fell through to cold synthesis.
     pub misses: u64,
     /// Entries currently stored.
     pub len: usize,
     /// Maximum entries retained.
     pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Total lookups served from the cache (exact + class).
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.class_hits
+    }
+
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
 }
 
 impl SynthCache {
@@ -105,18 +144,19 @@ impl SynthCache {
         )
     }
 
-    fn get(&self, key: Key) -> Option<Entry> {
+    /// Raw lookup; attribution to exact/class/miss happens once the caller
+    /// knows how the entry was (or wasn't) used, via [`SynthCache::count`].
+    fn get(&self, key: &Key) -> Option<Entry> {
+        let inner = self.inner.lock().expect("synth cache poisoned");
+        inner.map.get(key).cloned()
+    }
+
+    fn count(&self, outcome: Lookup) {
         let mut inner = self.inner.lock().expect("synth cache poisoned");
-        let found = inner.map.get(&key).cloned();
-        match found {
-            Some(e) => {
-                inner.hits += 1;
-                Some(e)
-            }
-            None => {
-                inner.misses += 1;
-                None
-            }
+        match outcome {
+            Lookup::ExactHit => inner.exact_hits += 1,
+            Lookup::ClassHit => inner.class_hits += 1,
+            Lookup::Miss => inner.misses += 1,
         }
     }
 
@@ -136,7 +176,8 @@ impl SynthCache {
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("synth cache poisoned");
         CacheStats {
-            hits: inner.hits,
+            exact_hits: inner.exact_hits,
+            class_hits: inner.class_hits,
             misses: inner.misses,
             len: inner.map.len(),
             capacity: self.capacity,
@@ -198,14 +239,17 @@ impl<B: Basis> Basis for CachedBasis<B> {
     fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
         // Only well-formed two-qubit unitaries are keyable; anything else
         // goes straight to the inner basis (which reports the right error).
-        if u.rows() != 4 || !u.is_square() || !u.is_unitary(1e-6) {
-            return self.inner.synthesize(u);
-        }
-        let coords = weyl_coordinates(u).canonicalize();
+        // The unitarity check runs on a stack-allocated copy.
+        let m4 = match Mat4::try_from(u) {
+            Ok(m) if m.is_unitary(1e-6) => m,
+            _ => return self.inner.synthesize(u),
+        };
+        let coords = weyl_coordinates4(&m4).canonicalize();
         let key = SynthCache::key_for(&self.inner.name(), coords, false);
-        if let Some(entry) = self.cache.get(key.clone()) {
+        if let Some(entry) = self.cache.get(&key) {
             // Exact repeat: the stored circuit IS the cold synthesis.
             if u.dist(&entry.target) < REPEAT_TOL {
+                self.cache.count(Lookup::ExactHit);
                 return Ok(entry.circuit.into());
             }
             // Same class, new target: re-dress the stored circuit with
@@ -220,10 +264,12 @@ impl<B: Basis> Basis for CachedBasis<B> {
                 // boundary locals so the hit carries the same single-qubit
                 // gate count (and thus the same per-gate noise charge) as a
                 // cold synthesis of this target.
+                self.cache.count(Lookup::ClassHit);
                 let dressed: Circuit = align_to_target(u, entry.circuit).into();
                 return Ok(dressed.fuse_single_qubit_runs());
             }
         }
+        self.cache.count(Lookup::Miss);
         let circuit = self.inner.synthesize(u)?;
         if let Ok(core) = TwoQubitCircuit::try_from(circuit.clone()) {
             self.cache.insert(
@@ -246,9 +292,11 @@ impl<B: Basis> Basis for CachedBasis<B> {
             weyl_coordinates(&swap).canonicalize(),
             true,
         );
-        if let Some(entry) = self.cache.get(key.clone()) {
+        if let Some(entry) = self.cache.get(&key) {
+            self.cache.count(Lookup::ExactHit);
             return Ok(entry.circuit.into());
         }
+        self.cache.count(Lookup::Miss);
         let circuit = self.inner.native_swap()?;
         if let Ok(core) = TwoQubitCircuit::try_from(circuit.clone()) {
             self.cache.insert(
@@ -298,7 +346,7 @@ mod tests {
             let cold = cached.synthesize(&u).unwrap();
             assert_eq!(cached.cache().stats().misses, 1);
             let hit = cached.synthesize(&u).unwrap();
-            assert_eq!(cached.cache().stats().hits, 1);
+            assert_eq!(cached.cache().stats().exact_hits, 1);
             assert_eq!(hit.instructions.len(), cold.instructions.len());
             assert_eq!(hit.entangler_count(), cold.entangler_count());
             let d = phase_invariant_distance(&hit.unitary(), &cold.unitary());
@@ -321,7 +369,11 @@ mod tests {
         let c1 = cached.synthesize(&u1).unwrap();
         let c2 = cached.synthesize(&u2).unwrap();
         let stats = cached.cache().stats();
-        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert_eq!(
+            (stats.misses, stats.class_hits, stats.exact_hits),
+            (1, 1, 0)
+        );
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(c2.entangler_count(), c1.entangler_count());
         assert!(c2.error(&u2) < 1e-5, "redressed error {}", c2.error(&u2));
     }
@@ -344,7 +396,7 @@ mod tests {
         let cached = CachedBasis::new(AshnBasis::ideal());
         let a = cached.native_swap().unwrap();
         let b = cached.native_swap().unwrap();
-        assert_eq!(cached.cache().stats().hits, 1);
+        assert_eq!(cached.cache().stats().exact_hits, 1);
         assert_eq!(a.instructions.len(), b.instructions.len());
         assert_eq!(b.entangler_count(), 1);
     }
@@ -400,7 +452,7 @@ mod tests {
         let sq = CachedBasis::with_cache(SqiswBasis, cache.clone());
         let c_cz = cz.synthesize(&u).unwrap();
         let c_sq = sq.synthesize(&u).unwrap();
-        assert_eq!(cache.stats().hits, 0, "cross-basis hit served");
+        assert_eq!(cache.stats().hits(), 0, "cross-basis hit served");
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(c_cz.entangler_count(), 3);
         assert!(c_sq.entangler_count() <= 3);
@@ -409,7 +461,7 @@ mod tests {
         }
         // And each wrapper still hits its own entry.
         let _ = cz.synthesize(&u).unwrap();
-        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().exact_hits, 1);
     }
 
     #[test]
@@ -418,6 +470,7 @@ mod tests {
         assert!(cached.synthesize(&CMat::zeros(4, 4)).is_err());
         assert!(cached.synthesize(&CMat::identity(8)).is_err());
         let stats = cached.cache().stats();
-        assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
+        assert_eq!((stats.hits(), stats.misses, stats.len), (0, 0, 0));
+        assert_eq!(stats.hit_rate(), 0.0);
     }
 }

@@ -193,12 +193,14 @@ pub fn align_to_target(target: &CMat, base: TwoQubitCircuit) -> TwoQubitCircuit 
     );
     // target = gU (A⊗A') CAN (B⊗B'); base = gC (P⊗P') CAN (Q⊗Q')
     // ⟹ target = (gU/gC) (AP†⊗A'P'†) · base · (Q†B⊗Q'†B').
+    // The corrections are computed on stack-allocated locals; only the
+    // final circuit ops materialize as dense matrices.
     let mut ops = Vec::with_capacity(base.ops.len() + 4);
-    ops.push(Op2::L0(kc.b1.adjoint().matmul(&ku.b1)));
-    ops.push(Op2::L1(kc.b2.adjoint().matmul(&ku.b2)));
+    ops.push(Op2::L0(kc.b1.adjoint().matmul(&ku.b1).into()));
+    ops.push(Op2::L1(kc.b2.adjoint().matmul(&ku.b2).into()));
     ops.extend(base.ops);
-    ops.push(Op2::L0(ku.a1.matmul(&kc.a1.adjoint())));
-    ops.push(Op2::L1(ku.a2.matmul(&kc.a2.adjoint())));
+    ops.push(Op2::L0(ku.a1.matmul(&kc.a1.adjoint()).into()));
+    ops.push(Op2::L1(ku.a2.matmul(&kc.a2.adjoint()).into()));
     TwoQubitCircuit {
         phase: base.phase * ku.phase / kc.phase,
         ops,

@@ -96,7 +96,10 @@ pub fn decompose_cnot(u: &CMat) -> TwoQubitCircuit {
             // u = g (A₁B₁ ⊗ A₂B₂).
             TwoQubitCircuit {
                 phase: k.phase,
-                ops: vec![Op2::L0(k.a1.matmul(&k.b1)), Op2::L1(k.a2.matmul(&k.b2))],
+                ops: vec![
+                    Op2::L0(k.a1.matmul(&k.b1).into()),
+                    Op2::L1(k.a2.matmul(&k.b2).into()),
+                ],
             }
         }
         1 => align_to_target(

@@ -12,7 +12,7 @@ use crate::ncircuit::embed;
 use ashn_gates::two::cnot;
 use ashn_math::randmat::haar_unitary;
 use ashn_math::svd::svd;
-use ashn_math::CMat;
+use ashn_math::{CMat, Mat2, Mat4};
 use rand::Rng;
 
 /// One block of an ansatz.
@@ -191,16 +191,22 @@ fn best_unitary_for_env(b: &CMat) -> CMat {
     s.v.matmul(&s.u.adjoint())
 }
 
+/// Stack-allocated 2×2 variant of [`best_unitary_for_env`] (the SVD itself
+/// still runs on the dense type).
+fn best_unitary_for_env2(b: &Mat2) -> Mat2 {
+    Mat2::try_from(&best_unitary_for_env(&CMat::from(b))).expect("svd preserves shape")
+}
+
 /// Jointly maximizes `|tr(B₄·(A⊗B))|` over product unitaries by inner
-/// alternation. Single-qubit-only circuits stall badly under one-at-a-time
-/// updates; optimizing the pair as a unit removes most of those fixed
-/// points.
-fn best_product_for_env(b4: &CMat, a0: &CMat, b0: &CMat) -> (CMat, CMat) {
-    let mut a = a0.clone();
-    let mut b = b0.clone();
+/// alternation, with the environment contractions on stack matrices.
+/// Single-qubit-only circuits stall badly under one-at-a-time updates;
+/// optimizing the pair as a unit removes most of those fixed points.
+fn best_product_for_env(b4: &Mat4, a0: &Mat2, b0: &Mat2) -> (Mat2, Mat2) {
+    let mut a = *a0;
+    let mut b = *b0;
     for _ in 0..12 {
         // C_A[i][i'] = Σ_{j,j'} B4[(i,j)][(i',j')]·B[j'][j]; A ← argmax tr(C_A·A).
-        let mut ca = CMat::zeros(2, 2);
+        let mut ca = Mat2::zeros();
         for i in 0..2 {
             for ip in 0..2 {
                 let mut acc = ashn_math::Complex::ZERO;
@@ -212,8 +218,8 @@ fn best_product_for_env(b4: &CMat, a0: &CMat, b0: &CMat) -> (CMat, CMat) {
                 ca[(i, ip)] = acc;
             }
         }
-        a = best_unitary_for_env(&ca);
-        let mut cb = CMat::zeros(2, 2);
+        a = best_unitary_for_env2(&ca);
+        let mut cb = Mat2::zeros();
         for j in 0..2 {
             for jp in 0..2 {
                 let mut acc = ashn_math::Complex::ZERO;
@@ -225,7 +231,7 @@ fn best_product_for_env(b4: &CMat, a0: &CMat, b0: &CMat) -> (CMat, CMat) {
                 cb[(j, jp)] = acc;
             }
         }
-        b = best_unitary_for_env(&cb);
+        b = best_unitary_for_env2(&cb);
     }
     (a, b)
 }
@@ -311,19 +317,21 @@ pub fn instantiate(
             };
             if let Some((ia, ib, qa, qb)) = pair_partner {
                 let a_full = pre[ia].matmul(&target.adjoint()).matmul(&suf[ib + 1]);
-                let env = reduce_env(&a_full, n, &[qa, qb]);
+                let env = Mat4::try_from(&reduce_env(&a_full, n, &[qa, qb]))
+                    .expect("two-qubit environment is 4x4");
                 let (cur_a, cur_b) = match (&ansatz.blocks[ia], &ansatz.blocks[ib]) {
-                    (Block::Free1 { u: ua, .. }, Block::Free1 { u: ub, .. }) => {
-                        (ua.clone(), ub.clone())
-                    }
+                    (Block::Free1 { u: ua, .. }, Block::Free1 { u: ub, .. }) => (
+                        Mat2::try_from(ua).expect("single-qubit block is 2x2"),
+                        Mat2::try_from(ub).expect("single-qubit block is 2x2"),
+                    ),
                     _ => unreachable!(),
                 };
                 let (ga, gb) = best_product_for_env(&env, &cur_a, &cur_b);
                 if let Block::Free1 { u, .. } = &mut ansatz.blocks[ia] {
-                    *u = ga;
+                    *u = ga.into();
                 }
                 if let Block::Free1 { u, .. } = &mut ansatz.blocks[ib] {
-                    *u = gb;
+                    *u = gb.into();
                 }
                 refresh(ansatz, ia, &mut pre, &mut suf, forward);
                 skip_next = Some(ib);

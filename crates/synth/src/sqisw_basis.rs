@@ -108,6 +108,7 @@ fn two_application_core(p: WeylPoint) -> Result<TwoQubitCircuit, SqiswError> {
                 max_evals: 2500,
                 f_tol: 1e-26,
                 initial_step: 0.4,
+                ..NmOptions::default()
             },
         );
         if res.f < 1e-17 {
@@ -158,6 +159,7 @@ fn w0_reduction(u: &CMat) -> Result<(CMat, CMat), SqiswError> {
                     max_evals: 3000,
                     f_tol: 1e-15,
                     initial_step: 0.5,
+                    ..NmOptions::default()
                 },
             );
             if res.f <= 1e-10 {

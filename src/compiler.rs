@@ -29,7 +29,13 @@ use ashn_qv::{GateSet, QvNoise};
 use ashn_route::Grid;
 use ashn_sim::{DensityMatrix, NoiseModel, Simulate, StateVector};
 use ashn_synth::basis::AshnBasis;
-use ashn_synth::cache::CachedBasis;
+use ashn_synth::cache::{CachedBasis, SynthCache};
+
+/// Synthesis-cache counters exposed by [`Compiler::synth_stats`]
+/// (re-exported [`ashn_synth::cache::CacheStats`]): exact hits, class hits,
+/// and misses, so the memo-cache's effect on synthesis throughput is
+/// observable from the facade.
+pub type SynthStats = ashn_synth::cache::CacheStats;
 
 /// Builder for the end-to-end compilation pipeline.
 ///
@@ -39,6 +45,9 @@ pub struct Compiler {
     basis: Box<dyn Basis>,
     noise: QvNoise,
     grid: Option<Grid>,
+    /// Handle onto the memo-cache wrapped around the basis (`None` when the
+    /// caller opted out via [`Compiler::basis_uncached`]).
+    cache: Option<SynthCache>,
 }
 
 impl Default for Compiler {
@@ -50,10 +59,15 @@ impl Default for Compiler {
 impl Compiler {
     /// A compiler with the default AshN configuration.
     pub fn new() -> Self {
+        let cache = SynthCache::default();
         Self {
-            basis: Box::new(CachedBasis::new(AshnBasis::with_cutoff(0.0, 1.1))),
+            basis: Box::new(CachedBasis::with_cache(
+                AshnBasis::with_cutoff(0.0, 1.1),
+                cache.clone(),
+            )),
             noise: QvNoise::with_e_cz(0.007),
             grid: None,
+            cache: Some(cache),
         }
     }
 
@@ -62,23 +76,34 @@ impl Compiler {
     ///
     /// The basis is wrapped in the bounded synthesis memo-cache
     /// ([`ashn_synth::cache::CachedBasis`]): repeated Weyl classes across
-    /// `compile` calls skip re-instantiation. Pass an already-cached or
-    /// deliberately uncached basis via [`Compiler::basis_uncached`]
-    /// instead — double-wrapping would shadow the caller's cache handle.
+    /// `compile` calls skip re-instantiation, observable via
+    /// [`Compiler::synth_stats`]. Pass an already-cached or deliberately
+    /// uncached basis via [`Compiler::basis_uncached`] instead —
+    /// double-wrapping would shadow the caller's cache handle.
     #[must_use]
     pub fn basis(mut self, basis: impl Basis + 'static) -> Self {
-        self.basis = Box::new(CachedBasis::new(basis));
+        let cache = SynthCache::default();
+        self.basis = Box::new(CachedBasis::with_cache(basis, cache.clone()));
+        self.cache = Some(cache);
         self
     }
 
     /// Sets the native basis without wrapping it in the synthesis
     /// memo-cache: for benchmarking cold synthesis, or when the caller
     /// manages caching themselves (e.g. a shared
-    /// [`ashn_synth::cache::CachedBasis`]).
+    /// [`ashn_synth::cache::CachedBasis`]). [`Compiler::synth_stats`]
+    /// returns `None` in this configuration.
     #[must_use]
     pub fn basis_uncached(mut self, basis: impl Basis + 'static) -> Self {
         self.basis = Box::new(basis);
+        self.cache = None;
         self
+    }
+
+    /// Current synthesis-cache counters (exact hits / class hits / misses /
+    /// occupancy), or `None` when the basis was installed uncached.
+    pub fn synth_stats(&self) -> Option<SynthStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Sets the basis from the paper's [`GateSet`] enum (convenience

@@ -67,6 +67,6 @@ pub use ashn_route as route;
 pub use ashn_sim as sim;
 pub use ashn_synth as synth;
 
-pub use compiler::{Compiled, Compiler};
+pub use compiler::{Compiled, Compiler, SynthStats};
 pub use error::AshnError;
 pub use qv::{GateSet, QvNoise};

@@ -1,0 +1,55 @@
+//! Facade-level synthesis-cache observability: `Compiler::synth_stats`
+//! exposes the exact-hit / class-hit / miss counters of the memo-cache
+//! wrapped around the active basis.
+
+use ashn::qv::sample_model_circuit;
+use ashn::{Compiler, GateSet, QvNoise};
+use ashn_synth::basis::CzBasis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn compile_twice_reports_misses_then_hits() {
+    let mut rng = StdRng::seed_from_u64(4001);
+    let model = sample_model_circuit(3, &mut rng);
+    let compiler = Compiler::new()
+        .gate_set(GateSet::Cz)
+        .noise(QvNoise::with_e_cz(0.01));
+
+    let fresh = compiler.synth_stats().expect("default compiler is cached");
+    assert_eq!((fresh.hits(), fresh.misses), (0, 0));
+
+    compiler.compile(&model).expect("compiles");
+    let cold = compiler.synth_stats().unwrap();
+    assert!(cold.misses > 0, "cold compile must miss");
+    assert!(cold.len > 0, "cold compile must populate the cache");
+
+    compiler.compile(&model).expect("compiles");
+    let warm = compiler.synth_stats().unwrap();
+    assert_eq!(
+        warm.misses, cold.misses,
+        "second compile of the same model must not miss"
+    );
+    assert!(
+        warm.exact_hits > cold.exact_hits,
+        "repeat targets must be exact hits"
+    );
+    assert!(warm.hit_rate() > 0.0);
+}
+
+#[test]
+fn uncached_basis_reports_no_stats() {
+    let compiler = Compiler::new().basis_uncached(CzBasis);
+    assert!(compiler.synth_stats().is_none());
+}
+
+#[test]
+fn stats_survive_basis_swap() {
+    // Installing a new basis swaps in a fresh cache with zeroed counters.
+    let compiler = Compiler::new().gate_set(GateSet::Sqisw);
+    let stats = compiler.synth_stats().unwrap();
+    assert_eq!(
+        (stats.exact_hits, stats.class_hits, stats.misses),
+        (0, 0, 0)
+    );
+}
