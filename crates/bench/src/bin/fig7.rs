@@ -11,7 +11,7 @@
 //! configurable with `--circuits`.
 
 use ashn_bench::{f4, row, Args};
-use ashn_qv::{compile_model, sample_model_circuit, score_compiled, GateSet, QvNoise};
+use ashn_qv::{compile_model, sample_model_circuit, score_compiled_many, GateSet, QvNoise};
 use ashn_sim::BatchRunner;
 
 fn main() {
@@ -28,6 +28,7 @@ fn main() {
         GateSet::Ashn { cutoff: 1.1 },
     ];
     let error_rates = [0.007, 0.012, 0.017];
+    let noise_points: Vec<QvNoise> = error_rates.iter().map(|&e| QvNoise::with_e_cz(e)).collect();
 
     // mean_hops[d - 2][e][k]: mean HOP at size d, noise e, gate set k.
     let mut mean_hops: Vec<Vec<Vec<f64>>> = Vec::new();
@@ -38,8 +39,13 @@ fn main() {
             let mut hop = vec![vec![0.0f64; gate_sets.len()]; error_rates.len()];
             for (k, gs) in gate_sets.iter().enumerate() {
                 let compiled = compile_model(&model, *gs).expect("compiles");
-                for (e, &e_cz) in error_rates.iter().enumerate() {
-                    hop[e][k] = score_compiled(&compiled, &QvNoise::with_e_cz(e_cz)).hop;
+                // One compilation, one ideal run: every noise point scores
+                // against the same plan (`score_compiled_many`).
+                for (e, score) in score_compiled_many(&compiled, &noise_points)
+                    .into_iter()
+                    .enumerate()
+                {
+                    hop[e][k] = score.hop;
                 }
             }
             hop

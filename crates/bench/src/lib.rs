@@ -32,16 +32,38 @@ impl Args {
     ///
     /// Panics on malformed arguments, listing the offender.
     pub fn parse() -> Self {
+        Self::parse_argv(false)
+    }
+
+    /// Like [`Args::parse`], but tolerates bare flags (e.g. the `--test`
+    /// smoke-mode switch criterion-style bench binaries receive): a `--key`
+    /// followed by another `--flag` (or nothing) is treated as a valueless
+    /// switch and skipped.
+    pub fn parse_lenient() -> Self {
+        Self::parse_argv(true)
+    }
+
+    fn parse_argv(lenient: bool) -> Self {
         let mut values = HashMap::new();
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
-            let key = argv[i]
-                .strip_prefix("--")
-                .unwrap_or_else(|| panic!("expected --key, got {}", argv[i]));
-            assert!(i + 1 < argv.len(), "missing value for --{key}");
-            values.insert(key.to_string(), argv[i + 1].clone());
-            i += 2;
+            let key = match argv[i].strip_prefix("--") {
+                Some(key) => key,
+                None if lenient => {
+                    i += 1;
+                    continue;
+                }
+                None => panic!("expected --key, got {}", argv[i]),
+            };
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ if lenient => i += 1,
+                _ => panic!("missing value for --{key}"),
+            }
         }
         Self { values }
     }

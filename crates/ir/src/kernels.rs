@@ -11,8 +11,26 @@
 //! structural zeros, and the differential suite in
 //! `crates/sim/tests/kernels.rs` pins each kernel to the generic path at
 //! `1e-12` on random unitaries and placements.
+//!
+//! Two kernel families live here:
+//!
+//! * the [`CMat`]-driven dispatchers ([`apply_1q`], [`apply_2q`]), which
+//!   re-detect the structural case on every call — the right tool when a
+//!   circuit is walked once;
+//! * the `*_at` kernels over pre-classified data ([`apply_dense_1q_at`],
+//!   [`apply_diag_2q_at`], [`apply_pauli_x_at`], …), which take **bit
+//!   positions** (`p = n − 1 − qubit`) and stack matrices
+//!   ([`Mat2`]/[`Mat4`]) or bare diagonal entries — the execution targets of
+//!   `ashn_sim::plan::ExecPlan`'s compiled op stream. Each `*_at` kernel
+//!   performs the same arithmetic in the same order as the matching branch
+//!   of the dispatchers, so the two families agree bit-for-bit on the
+//!   amplitudes they produce (up to the sign of exact zeros).
+//!
+//! The classification helpers ([`diagonal_of_1q`], [`diagonal_of_2q`],
+//! [`pauli_of_1q`]) are the build-time half of that contract: they recognize
+//! exactly the structural zeros the dispatchers test for.
 
-use ashn_math::{CMat, Complex};
+use ashn_math::{c, CMat, Complex, Mat2, Mat4};
 
 /// Inserts a zero bit at position `p`, shifting the higher bits up.
 #[inline(always)]
@@ -30,7 +48,7 @@ pub fn apply_1q(amps: &mut [Complex], n: usize, qubit: usize, m: &CMat) {
     let md = m.as_slice();
     let (m00, m01, m10, m11) = (md[0], md[1], md[2], md[3]);
     if m01 == Complex::ZERO && m10 == Complex::ZERO {
-        return apply_diag_1q(amps, p, m00, m11);
+        return apply_diag_1q_at(amps, p, m00, m11);
     }
     let half = amps.len() >> 1;
     for i in 0..half {
@@ -43,9 +61,11 @@ pub fn apply_1q(amps: &mut [Complex], n: usize, qubit: usize, m: &CMat) {
     }
 }
 
-/// Diagonal single-qubit gate (Rz-like): pure per-amplitude phases. When the
-/// `|0⟩` entry is exactly 1 (a phase gate), only the set-bit half is touched.
-fn apply_diag_1q(amps: &mut [Complex], p: usize, d0: Complex, d1: Complex) {
+/// Diagonal single-qubit gate (Rz-like) at bit position `p`: pure
+/// per-amplitude phases. When the `|0⟩` entry is exactly 1 (a phase gate),
+/// only the set-bit half is touched.
+#[inline]
+pub fn apply_diag_1q_at(amps: &mut [Complex], p: usize, d0: Complex, d1: Complex) {
     let bit = 1usize << p;
     if d0 == Complex::ONE {
         let half = amps.len() >> 1;
@@ -71,7 +91,7 @@ pub fn apply_2q(amps: &mut [Complex], n: usize, q0: usize, q1: usize, m: &CMat) 
     let (b0, b1) = (1usize << p0, 1usize << p1);
     let md = m.as_slice();
     if is_diag_4(md) {
-        return apply_diag_2q(amps, p0, p1, [md[0], md[5], md[10], md[15]]);
+        return apply_diag_2q_at(amps, p0, p1, [md[0], md[5], md[10], md[15]]);
     }
     let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
     let quarter = amps.len() >> 2;
@@ -100,23 +120,181 @@ fn is_diag_4(md: &[Complex]) -> bool {
     true
 }
 
-/// Diagonal two-qubit gate (CZ / ZZ / controlled-phase): per-amplitude
-/// phases. Controlled-phase gates (first three diagonal entries exactly 1,
-/// e.g. CZ) touch only the quarter of the state with both bits set.
-fn apply_diag_2q(amps: &mut [Complex], p0: usize, p1: usize, d: [Complex; 4]) {
-    let (b0, b1) = (1usize << p0, 1usize << p1);
+/// Diagonal two-qubit gate (CZ / ZZ / controlled-phase) at bit positions
+/// `(p0, p1)` (`p0` = high matrix bit): per-amplitude phases.
+/// Controlled-phase gates (first three diagonal entries exactly 1, e.g. CZ)
+/// dispatch to [`apply_cphase_at`], touching only the quarter of the state
+/// with both bits set.
+#[inline]
+pub fn apply_diag_2q_at(amps: &mut [Complex], p0: usize, p1: usize, d: [Complex; 4]) {
     if d[0] == Complex::ONE && d[1] == Complex::ONE && d[2] == Complex::ONE {
-        let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
-        let quarter = amps.len() >> 2;
-        for i in 0..quarter {
-            let idx = insert_zero(insert_zero(i, pl), ph) | b0 | b1;
-            amps[idx] *= d[3];
+        return apply_cphase_at(amps, p0, p1, d[3]);
+    }
+    for (i, a) in amps.iter_mut().enumerate() {
+        let s = (((i >> p0) & 1) << 1) | ((i >> p1) & 1);
+        *a *= d[s];
+    }
+}
+
+/// Controlled-phase gate (diag `[1, 1, 1, phase]`, e.g. CZ) at bit
+/// positions `(p0, p1)`: multiplies the both-bits-set quarter by `phase`.
+#[inline]
+pub fn apply_cphase_at(amps: &mut [Complex], p0: usize, p1: usize, phase: Complex) {
+    let (b0, b1) = (1usize << p0, 1usize << p1);
+    let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
+    let quarter = amps.len() >> 2;
+    for i in 0..quarter {
+        let idx = insert_zero(insert_zero(i, pl), ph) | b0 | b1;
+        amps[idx] *= phase;
+    }
+}
+
+/// Dense single-qubit unitary at bit position `p`, matrix inlined as a
+/// stack [`Mat2`] — the pre-classified counterpart of [`apply_1q`]'s dense
+/// branch (same arithmetic, same order).
+#[inline]
+pub fn apply_dense_1q_at(amps: &mut [Complex], p: usize, m: &Mat2) {
+    let bit = 1usize << p;
+    let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+    let half = amps.len() >> 1;
+    for i in 0..half {
+        let i0 = insert_zero(i, p);
+        let i1 = i0 | bit;
+        let a = amps[i0];
+        let b = amps[i1];
+        amps[i0] = m00 * a + m01 * b;
+        amps[i1] = m10 * a + m11 * b;
+    }
+}
+
+/// Dense two-qubit unitary at bit positions `(p0, p1)` (`p0` = high matrix
+/// bit), matrix inlined as a stack [`Mat4`] — the pre-classified
+/// counterpart of [`apply_2q`]'s dense branch (same arithmetic, same
+/// order).
+#[inline]
+pub fn apply_dense_2q_at(amps: &mut [Complex], p0: usize, p1: usize, m: &Mat4) {
+    let (b0, b1) = (1usize << p0, 1usize << p1);
+    let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
+    let quarter = amps.len() >> 2;
+    for i in 0..quarter {
+        let base = insert_zero(insert_zero(i, pl), ph);
+        let (i1, i2, i3) = (base | b1, base | b0, base | b0 | b1);
+        let a0 = amps[base];
+        let a1 = amps[i1];
+        let a2 = amps[i2];
+        let a3 = amps[i3];
+        amps[base] = m[(0, 0)] * a0 + m[(0, 1)] * a1 + m[(0, 2)] * a2 + m[(0, 3)] * a3;
+        amps[i1] = m[(1, 0)] * a0 + m[(1, 1)] * a1 + m[(1, 2)] * a2 + m[(1, 3)] * a3;
+        amps[i2] = m[(2, 0)] * a0 + m[(2, 1)] * a1 + m[(2, 2)] * a2 + m[(2, 3)] * a3;
+        amps[i3] = m[(3, 0)] * a0 + m[(3, 1)] * a1 + m[(3, 2)] * a2 + m[(3, 3)] * a3;
+    }
+}
+
+/// Pauli `X` at bit position `p`: swaps the paired amplitudes — no complex
+/// arithmetic at all.
+#[inline]
+pub fn apply_pauli_x_at(amps: &mut [Complex], p: usize) {
+    let bit = 1usize << p;
+    let half = amps.len() >> 1;
+    for i in 0..half {
+        let i0 = insert_zero(i, p);
+        amps.swap(i0, i0 | bit);
+    }
+}
+
+/// Pauli `Y` at bit position `p`: `(a, b) → (−i·b, i·a)` on each pair,
+/// computed by component shuffles instead of complex multiplication.
+#[inline]
+pub fn apply_pauli_y_at(amps: &mut [Complex], p: usize) {
+    let bit = 1usize << p;
+    let half = amps.len() >> 1;
+    for i in 0..half {
+        let i0 = insert_zero(i, p);
+        let i1 = i0 | bit;
+        let a = amps[i0];
+        let b = amps[i1];
+        amps[i0] = c(b.im, -b.re);
+        amps[i1] = c(-a.im, a.re);
+    }
+}
+
+/// Pauli `Z` at bit position `p`: negates the set-bit half.
+#[inline]
+pub fn apply_pauli_z_at(amps: &mut [Complex], p: usize) {
+    let bit = 1usize << p;
+    let half = amps.len() >> 1;
+    for i in 0..half {
+        let idx = insert_zero(i, p) | bit;
+        amps[idx] = -amps[idx];
+    }
+}
+
+/// A non-identity single-qubit Pauli, with its dedicated in-place kernel —
+/// the unit trajectory noise injection is built from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pauli {
+    /// Bit flip.
+    X,
+    /// Bit-and-phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// Applies this Pauli at bit position `p` via its bit-twiddled kernel.
+    #[inline]
+    pub fn apply_at(self, amps: &mut [Complex], p: usize) {
+        match self {
+            Pauli::X => apply_pauli_x_at(amps, p),
+            Pauli::Y => apply_pauli_y_at(amps, p),
+            Pauli::Z => apply_pauli_z_at(amps, p),
         }
+    }
+}
+
+/// The diagonal of a single-qubit matrix when its off-diagonals are *exact*
+/// structural zeros — the same trigger [`apply_1q`] tests before taking its
+/// diagonal branch.
+#[inline]
+pub fn diagonal_of_1q(m: &Mat2) -> Option<(Complex, Complex)> {
+    if m[(0, 1)] == Complex::ZERO && m[(1, 0)] == Complex::ZERO {
+        Some((m[(0, 0)], m[(1, 1)]))
     } else {
-        for (i, a) in amps.iter_mut().enumerate() {
-            let s = (((i >> p0) & 1) << 1) | ((i >> p1) & 1);
-            *a *= d[s];
+        None
+    }
+}
+
+/// The diagonal of a two-qubit matrix when all off-diagonals are *exact*
+/// structural zeros — the same trigger [`apply_2q`] tests before taking its
+/// diagonal branch.
+#[inline]
+pub fn diagonal_of_2q(m: &Mat4) -> Option<[Complex; 4]> {
+    for r in 0..4 {
+        for cc in 0..4 {
+            if r != cc && m[(r, cc)] != Complex::ZERO {
+                return None;
+            }
         }
+    }
+    Some([m[(0, 0)], m[(1, 1)], m[(2, 2)], m[(3, 3)]])
+}
+
+/// Recognizes a matrix that is *exactly* a non-identity Pauli (entrywise
+/// equality, no tolerance), so plan compilation can swap the dense kernel
+/// for the bit-twiddled [`Pauli`] one.
+pub fn pauli_of_1q(m: &Mat2) -> Option<Pauli> {
+    let x = Mat2::from_rows([[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]);
+    let y = Mat2::from_rows([[Complex::ZERO, c(0.0, -1.0)], [c(0.0, 1.0), Complex::ZERO]]);
+    let z = Mat2::from_rows([[Complex::ONE, Complex::ZERO], [Complex::ZERO, c(-1.0, 0.0)]]);
+    if *m == x {
+        Some(Pauli::X)
+    } else if *m == y {
+        Some(Pauli::Y)
+    } else if *m == z {
+        Some(Pauli::Z)
+    } else {
+        None
     }
 }
 
@@ -225,6 +403,90 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pauli_kernels_match_the_dense_path_exactly() {
+        let mats = [
+            CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]]),
+            CMat::from_rows(&[
+                &[Complex::ZERO, c(0.0, -1.0)],
+                &[c(0.0, 1.0), Complex::ZERO],
+            ]),
+            CMat::diag(&[Complex::ONE, c(-1.0, 0.0)]),
+        ];
+        for n in 1..=5 {
+            for q in 0..n {
+                for (which, m) in mats.iter().enumerate() {
+                    let mut fast = random_amps(n, 91 + (n * 8 + q) as u64);
+                    let mut slow = fast.clone();
+                    let p = n - 1 - q;
+                    match which {
+                        0 => apply_pauli_x_at(&mut fast, p),
+                        1 => apply_pauli_y_at(&mut fast, p),
+                        _ => apply_pauli_z_at(&mut fast, p),
+                    }
+                    apply_1q(&mut slow, n, q, m);
+                    for (a, b) in fast.iter().zip(slow.iter()) {
+                        assert!((*a - *b).abs() < 1e-15, "pauli {which} n={n} q={q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preclassified_dense_kernels_are_bit_identical_to_dispatch() {
+        let m1 = CMat::from_fn(2, 2, |r, cc| c(0.3 * (r + 1) as f64, 0.2 * cc as f64 - 0.1));
+        let m2 = CMat::from_fn(4, 4, |r, cc| c(0.13 * (r * 4 + cc) as f64, 0.07 * r as f64));
+        let s1 = Mat2::try_from(&m1).unwrap();
+        let s2 = Mat4::try_from(&m2).unwrap();
+        let n = 5;
+        for q in 0..n {
+            let mut fast = random_amps(n, 131 + q as u64);
+            let mut slow = fast.clone();
+            apply_dense_1q_at(&mut fast, n - 1 - q, &s1);
+            apply_1q(&mut slow, n, q, &m1);
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert!(a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits());
+            }
+        }
+        for (q0, q1) in [(0, 1), (1, 0), (0, 4), (3, 1)] {
+            let mut fast = random_amps(n, 137 + (q0 * 8 + q1) as u64);
+            let mut slow = fast.clone();
+            apply_dense_2q_at(&mut fast, n - 1 - q0, n - 1 - q1, &s2);
+            apply_2q(&mut slow, n, q0, q1, &m2);
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert!(a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn classification_helpers_recognize_structural_cases() {
+        let rz = Mat2::diag([Complex::cis(-0.4), Complex::cis(0.4)]);
+        assert_eq!(
+            diagonal_of_1q(&rz),
+            Some((Complex::cis(-0.4), Complex::cis(0.4)))
+        );
+        let h = {
+            let s = std::f64::consts::FRAC_1_SQRT_2;
+            Mat2::from_rows([[c(s, 0.0), c(s, 0.0)], [c(s, 0.0), c(-s, 0.0)]])
+        };
+        assert_eq!(diagonal_of_1q(&h), None);
+        assert_eq!(pauli_of_1q(&h), None);
+        let x = Mat2::from_rows([[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]]);
+        assert_eq!(pauli_of_1q(&x), Some(Pauli::X));
+        let z = Mat2::diag([Complex::ONE, c(-1.0, 0.0)]);
+        assert_eq!(pauli_of_1q(&z), Some(Pauli::Z));
+        let cz = Mat4::diag([Complex::ONE, Complex::ONE, Complex::ONE, c(-1.0, 0.0)]);
+        assert_eq!(
+            diagonal_of_2q(&cz),
+            Some([Complex::ONE, Complex::ONE, Complex::ONE, c(-1.0, 0.0)])
+        );
+        let mut dense = cz;
+        dense[(0, 3)] = c(1e-300, 0.0); // any nonzero kills the diagonal case
+        assert_eq!(diagonal_of_2q(&dense), None);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use ashn_ir::{Basis, Circuit, SynthError};
 use ashn_math::randmat::haar_su;
 use ashn_math::CMat;
 use ashn_route::{expand_route_ops, random_pairing, Grid, Router};
-use ashn_sim::{BatchRunner, NoiseModel, Simulate};
+use ashn_sim::{BatchRunner, SimEngine, Simulate};
 use ashn_synth::cnot_basis::CZ_DURATION;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -146,6 +146,12 @@ pub fn compile_model_on(
 
 /// Stamps per-gate depolarizing rates from the noise model (single-qubit
 /// fixed; two-qubit proportional to duration).
+///
+/// This deep-clones every gate matrix; the scoring hot path uses
+/// [`resolve_rates`] + [`ashn_sim::Simulate::run_noisy_scheduled`] instead,
+/// which resolve the same schedule without materializing an annotated copy
+/// of the circuit. Kept for callers that want a self-contained noisy
+/// circuit (e.g. to hand to the trajectory simulator as-is).
 pub fn stamp_noise(circuit: &Circuit, noise: &QvNoise) -> Circuit {
     let mut out = Circuit::new(circuit.n_qubits());
     out.phase = circuit.phase;
@@ -154,6 +160,17 @@ pub fn stamp_noise(circuit: &Circuit, noise: &QvNoise) -> Circuit {
         out.push(g.clone().with_error_rate(rate));
     }
     out
+}
+
+/// Per-instruction depolarizing rates resolved from the noise model — the
+/// noise-resolution half of [`stamp_noise`] without cloning gate matrices.
+/// `rates[i]` belongs to instruction `i` of `circuit`.
+pub fn resolve_rates(circuit: &Circuit, noise: &QvNoise) -> Vec<f64> {
+    circuit
+        .gates()
+        .iter()
+        .map(|g| noise.rate(g.qubits.len(), g.duration))
+        .collect()
 }
 
 /// Heavy-output set of an ideal distribution: outcomes with probability
@@ -186,16 +203,34 @@ pub struct CircuitScore {
 /// heavy-output probability of the noisy run against the noiseless heavy
 /// set, both marginalized onto the logical register.
 pub fn score_compiled(compiled: &CompiledModel, noise: &QvNoise) -> CircuitScore {
-    let ideal = compiled.logical_probs(&compiled.circuit.run_pure().probabilities());
+    score_compiled_many(compiled, std::slice::from_ref(noise))[0]
+}
+
+/// Scores an already-compiled circuit at **all** the given noise levels,
+/// paying the noise-independent work once: the ideal run executes through
+/// a plan-backed [`SimEngine`] and the heavy set is extracted a single
+/// time, then each noise point resolves its depolarizing schedule with
+/// [`resolve_rates`] (no gate-matrix cloning) and runs the exact
+/// density-matrix simulation.
+pub fn score_compiled_many(compiled: &CompiledModel, noises: &[QvNoise]) -> Vec<CircuitScore> {
+    let circuit = &compiled.circuit;
+    let mut engine = SimEngine::new(circuit.n_qubits());
+    let ideal = compiled.logical_probs(&engine.run_pure(circuit).probabilities());
     let heavy = heavy_set(&ideal);
-    let noisy = stamp_noise(&compiled.circuit, noise).run_noisy(&NoiseModel::NOISELESS);
-    let probs = compiled.logical_probs(&noisy.probabilities());
-    let hop = heavy.iter().map(|&i| probs[i]).sum();
-    CircuitScore {
-        hop,
-        two_qubit_gates: compiled.circuit.two_qubit_gate_count(),
-        interaction_time: compiled.circuit.total_duration(),
-    }
+    let two_qubit_gates = circuit.two_qubit_gate_count();
+    let interaction_time = circuit.total_duration();
+    noises
+        .iter()
+        .map(|noise| {
+            let noisy = circuit.run_noisy_scheduled(&resolve_rates(circuit, noise));
+            let probs = compiled.logical_probs(&noisy.probabilities());
+            CircuitScore {
+                hop: heavy.iter().map(|&i| probs[i]).sum(),
+                two_qubit_gates,
+                interaction_time,
+            }
+        })
+        .collect()
 }
 
 /// Compiles and scores one model circuit.
@@ -223,20 +258,47 @@ pub fn score_sampled(
     noise: &QvNoise,
     circuit_seed: u64,
 ) -> Result<CircuitScore, SynthError> {
-    let mut rng = StdRng::seed_from_u64(circuit_seed);
-    let model = sample_model_circuit(d, &mut rng);
-    score_circuit(&model, gate_set, noise)
+    Ok(score_sampled_many(d, gate_set, std::slice::from_ref(noise), circuit_seed)?[0])
 }
 
-/// Folds per-circuit heavy-output scores into the mean, propagating the
-/// first error.
-fn fold_mean_hop(scores: Vec<Result<CircuitScore, SynthError>>) -> Result<f64, SynthError> {
+/// [`score_sampled`] at all the given noise levels: the circuit is sampled
+/// and compiled **once**, then scored per point via
+/// [`score_compiled_many`].
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from compilation.
+pub fn score_sampled_many(
+    d: usize,
+    gate_set: GateSet,
+    noises: &[QvNoise],
+    circuit_seed: u64,
+) -> Result<Vec<CircuitScore>, SynthError> {
+    let mut rng = StdRng::seed_from_u64(circuit_seed);
+    let model = sample_model_circuit(d, &mut rng);
+    Ok(score_compiled_many(
+        &compile_model(&model, gate_set)?,
+        noises,
+    ))
+}
+
+/// Folds per-circuit, per-noise-point heavy-output scores into per-point
+/// means, propagating the first error.
+fn fold_mean_hops(
+    scores: Vec<Result<Vec<CircuitScore>, SynthError>>,
+    points: usize,
+) -> Result<Vec<f64>, SynthError> {
     let n = scores.len();
-    let mut total = 0.0;
+    let mut totals = vec![0.0; points];
     for s in scores {
-        total += s?.hop;
+        for (t, sc) in totals.iter_mut().zip(s?) {
+            *t += sc.hop;
+        }
     }
-    Ok(total / n as f64)
+    for t in totals.iter_mut() {
+        *t /= n as f64;
+    }
+    Ok(totals)
 }
 
 /// Mean heavy-output probability over `n_circuits` random model circuits of
@@ -256,11 +318,29 @@ pub fn mean_hop(
     n_circuits: usize,
     rng: &mut impl Rng,
 ) -> Result<f64, SynthError> {
+    Ok(mean_hop_sweep(d, gate_set, std::slice::from_ref(noise), n_circuits, rng)?[0])
+}
+
+/// [`mean_hop`] at all the given noise levels: each circuit is compiled
+/// **once** and scored at every point against the same compiled plan —
+/// the shape of a Fig. 7 noise sweep, where recompiling per point would
+/// multiply the synthesis cost by the number of points.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from compilation.
+pub fn mean_hop_sweep(
+    d: usize,
+    gate_set: GateSet,
+    noises: &[QvNoise],
+    n_circuits: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<f64>, SynthError> {
     let seeds: Vec<u64> = (0..n_circuits).map(|_| rng.gen::<u64>()).collect();
     let scores = BatchRunner::new(0).run(n_circuits, |i, _| {
-        score_sampled(d, gate_set, noise, seeds[i])
+        score_sampled_many(d, gate_set, noises, seeds[i])
     });
-    fold_mean_hop(scores)
+    fold_mean_hops(scores, noises.len())
 }
 
 /// [`mean_hop`] with an explicit master seed and worker count
@@ -280,12 +360,39 @@ pub fn mean_hop_batched(
     master_seed: u64,
     workers: usize,
 ) -> Result<f64, SynthError> {
+    Ok(mean_hop_batched_sweep(
+        d,
+        gate_set,
+        std::slice::from_ref(noise),
+        n_circuits,
+        master_seed,
+        workers,
+    )?[0])
+}
+
+/// [`mean_hop_batched`] at all the given noise levels, compiling each
+/// circuit once (same worker-count-invariance contract).
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from compilation.
+pub fn mean_hop_batched_sweep(
+    d: usize,
+    gate_set: GateSet,
+    noises: &[QvNoise],
+    n_circuits: usize,
+    master_seed: u64,
+    workers: usize,
+) -> Result<Vec<f64>, SynthError> {
     let runner = BatchRunner::new(master_seed).with_workers(workers);
     let scores = runner.run(n_circuits, |_, rng| {
         let model = sample_model_circuit(d, rng);
-        score_circuit(&model, gate_set, noise)
+        Ok(score_compiled_many(
+            &compile_model(&model, gate_set)?,
+            noises,
+        ))
     });
-    fold_mean_hop(scores)
+    fold_mean_hops(scores, noises.len())
 }
 
 #[cfg(test)]
@@ -373,6 +480,51 @@ mod tests {
             assert_eq!(got.to_bits(), reference.to_bits(), "workers = {workers}");
         }
         assert!((0.0..=1.0).contains(&reference));
+    }
+
+    #[test]
+    fn sweep_matches_per_point_scoring_bit_for_bit() {
+        // One compilation scored at three noise levels must equal three
+        // independent batched runs from the same master seed.
+        let points = [
+            QvNoise::with_e_cz(0.007),
+            QvNoise::with_e_cz(0.012),
+            QvNoise::with_e_cz(0.017),
+        ];
+        let swept = mean_hop_batched_sweep(3, GateSet::Cz, &points, 3, 41, 2).unwrap();
+        assert_eq!(swept.len(), points.len());
+        for (noise, &hop) in points.iter().zip(swept.iter()) {
+            let single = mean_hop_batched(3, GateSet::Cz, noise, 3, 41, 2).unwrap();
+            assert_eq!(hop.to_bits(), single.to_bits());
+        }
+        // More noise, less heavy output.
+        assert!(swept[0] > swept[2]);
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant() {
+        let points = [QvNoise::with_e_cz(0.007), QvNoise::with_e_cz(0.017)];
+        let reference = mean_hop_batched_sweep(3, GateSet::Cz, &points, 4, 43, 1).unwrap();
+        for workers in [2, 8] {
+            let got = mean_hop_batched_sweep(3, GateSet::Cz, &points, 4, 43, workers).unwrap();
+            for (a, b) in got.iter().zip(reference.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers = {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_rates_matches_stamp_noise() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let model = sample_model_circuit(3, &mut rng);
+        let compiled = compile_model(&model, GateSet::Cz).unwrap();
+        let noise = QvNoise::with_e_cz(0.013);
+        let rates = resolve_rates(&compiled.circuit, &noise);
+        let stamped = stamp_noise(&compiled.circuit, &noise);
+        assert_eq!(rates.len(), stamped.gates().len());
+        for (r, g) in rates.iter().zip(stamped.gates()) {
+            assert_eq!(Some(*r), g.error_rate);
+        }
     }
 
     #[test]

@@ -21,8 +21,9 @@ pub mod gateset;
 pub mod protocol;
 
 pub use experiment::{
-    compile_model, compile_model_on, heavy_set, mean_hop, mean_hop_batched, sample_model_circuit,
-    score_circuit, score_compiled, score_sampled, stamp_noise, CircuitScore, CompiledModel,
-    ModelCircuit, QvNoise,
+    compile_model, compile_model_on, heavy_set, mean_hop, mean_hop_batched, mean_hop_batched_sweep,
+    mean_hop_sweep, resolve_rates, sample_model_circuit, score_circuit, score_compiled,
+    score_compiled_many, score_sampled, score_sampled_many, stamp_noise, CircuitScore,
+    CompiledModel, ModelCircuit, QvNoise,
 };
 pub use gateset::GateSet;

@@ -50,6 +50,12 @@ pub trait Simulate {
     /// Runs the circuit with depolarizing noise after every gate, returning
     /// the exact output density matrix.
     fn run_noisy(&self, noise: &NoiseModel) -> DensityMatrix;
+
+    /// Runs the circuit with an externally resolved depolarizing schedule:
+    /// `rates[i]` is applied after instruction `i`. This lets callers score
+    /// one circuit under many noise models without materializing an
+    /// annotated copy of the circuit (and its gate matrices) per model.
+    fn run_noisy_scheduled(&self, rates: &[f64]) -> DensityMatrix;
 }
 
 impl Simulate for Circuit {
@@ -71,6 +77,22 @@ impl Simulate for Circuit {
         for g in &self.instructions {
             rho.apply(&g.qubits, &g.matrix);
             let p = noise.rate_for(g);
+            if p > 0.0 {
+                rho.depolarize(&g.qubits, p);
+            }
+        }
+        rho
+    }
+
+    fn run_noisy_scheduled(&self, rates: &[f64]) -> DensityMatrix {
+        assert_eq!(
+            rates.len(),
+            self.instructions.len(),
+            "one rate per instruction"
+        );
+        let mut rho = DensityMatrix::zero(self.n);
+        for (g, &p) in self.instructions.iter().zip(rates) {
+            rho.apply(&g.qubits, &g.matrix);
             if p > 0.0 {
                 rho.depolarize(&g.qubits, p);
             }

@@ -8,8 +8,18 @@
 //! amplitude buffer (and the Pauli matrices the trajectory unravelling
 //! draws from) alive across runs, so a batch of circuits on the same
 //! register costs zero allocations after the first.
+//!
+//! Circuit-level entry points ([`SimEngine::run_pure`],
+//! [`SimEngine::run_trajectory`]) compile the circuit to an
+//! [`ExecPlan`] and execute that; ensemble callers build the plan once and
+//! drive [`SimEngine::run_plan`] / [`SimEngine::run_plan_trajectory`]
+//! directly. The original instruction walk survives as
+//! [`SimEngine::run_pure_walk`] / [`SimEngine::run_trajectory_walk`] — the
+//! differential reference the plan path is pinned against, and the
+//! fallback for circuits a plan cannot express (gates on ≥ 3 qubits).
 
 use crate::circuit::{Circuit, NoiseModel};
+use crate::plan::ExecPlan;
 use crate::state::StateVector;
 use ashn_math::{c, CMat, Complex};
 use rand::Rng;
@@ -83,10 +93,11 @@ impl SimEngine {
     }
 
     /// Resets the workspace to `phase·|0…0⟩` on an `n`-qubit register,
-    /// resizing the buffer only when the register size changes.
+    /// resizing the buffer only when the register size changed (or the
+    /// buffer was moved out by [`SimEngine::take_state`]).
     pub fn load_zero(&mut self, n: usize, phase: Complex) {
         assert!((1..=24).contains(&n), "qubit count out of supported range");
-        if n != self.n {
+        if n != self.n || self.amps.len() != 1 << n {
             self.n = n;
             self.amps.resize(1 << n, Complex::ZERO);
         }
@@ -99,14 +110,38 @@ impl SimEngine {
         ashn_ir::circuit::apply_gate(&mut self.amps, self.n, qubits, m);
     }
 
+    /// Executes a compiled [`ExecPlan`] on `phase·|0…0⟩` without noise,
+    /// leaving the final amplitudes in the workspace.
+    pub fn run_plan(&mut self, plan: &ExecPlan) -> &Self {
+        self.load_zero(plan.n_qubits(), plan.phase());
+        plan.execute_pure(&mut self.amps);
+        self
+    }
+
+    /// Executes one stochastic trajectory of a compiled [`ExecPlan`] (the
+    /// depolarizing rates were resolved at plan build).
+    pub fn run_plan_trajectory(&mut self, plan: &ExecPlan, rng: &mut impl Rng) -> &Self {
+        self.load_zero(plan.n_qubits(), plan.phase());
+        plan.execute_trajectory(&mut self.amps, rng);
+        self
+    }
+
     /// Runs the circuit on `|0…0⟩` without noise, leaving the final
     /// amplitudes in the workspace.
+    ///
+    /// Compiles the circuit to an [`ExecPlan`] first (falling back to
+    /// [`SimEngine::run_pure_walk`] for circuits a plan cannot express);
+    /// callers running the same circuit many times should build the plan
+    /// once and call [`SimEngine::run_plan`]. Plan build costs roughly one
+    /// instruction walk, so on very small registers a strictly single-shot
+    /// caller that cannot benefit from fusion is marginally better served
+    /// by [`SimEngine::run_pure_walk`]; the plan pays for itself as soon
+    /// as the register grows or the run repeats.
     pub fn run_pure(&mut self, circuit: &Circuit) -> &Self {
-        self.load_zero(circuit.n_qubits(), circuit.phase);
-        for g in circuit.gates() {
-            self.apply(&g.qubits, &g.matrix);
+        match ExecPlan::pure(circuit) {
+            Ok(plan) => self.run_plan(&plan),
+            Err(_) => self.run_pure_walk(circuit),
         }
-        self
     }
 
     /// Runs one stochastic trajectory of the circuit under its per-gate
@@ -114,7 +149,42 @@ impl SimEngine {
     /// probability `p` is realized exactly in distribution by applying,
     /// with probability `p`, a uniformly random Pauli on each touched
     /// qubit, identity included).
+    ///
+    /// Compiles the circuit to an [`ExecPlan`] first (falling back to
+    /// [`SimEngine::run_trajectory_walk`] for circuits a plan cannot
+    /// express); ensemble callers should build the plan once and call
+    /// [`SimEngine::run_plan_trajectory`] per trajectory.
     pub fn run_trajectory(
+        &mut self,
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        rng: &mut impl Rng,
+    ) -> &Self {
+        match ExecPlan::build(circuit, noise) {
+            Ok(plan) => self.run_plan_trajectory(&plan, rng),
+            Err(_) => self.run_trajectory_walk(circuit, noise, rng),
+        }
+    }
+
+    /// The instruction-walk pure run: applies every [`ashn_ir::Instruction`]
+    /// through the dispatching kernels, re-classifying each gate per
+    /// application. Kept as the differential reference for the plan path
+    /// (`crates/sim/tests/plan_differential.rs`) and as the fallback for
+    /// gates on ≥ 3 qubits.
+    pub fn run_pure_walk(&mut self, circuit: &Circuit) -> &Self {
+        self.load_zero(circuit.n_qubits(), circuit.phase);
+        for g in circuit.gates() {
+            self.apply(&g.qubits, &g.matrix);
+        }
+        self
+    }
+
+    /// The instruction-walk trajectory: per gate, re-resolves the noise
+    /// rate and injects Paulis through the generic dense path. Draws the
+    /// exact same RNG sequence as the plan-backed
+    /// [`SimEngine::run_plan_trajectory`] — the property the differential
+    /// suite pins down.
+    pub fn run_trajectory_walk(
         &mut self,
         circuit: &Circuit,
         noise: &NoiseModel,
@@ -159,9 +229,22 @@ impl SimEngine {
         }
     }
 
-    /// Snapshot of the current amplitudes as a [`StateVector`].
+    /// Snapshot of the current amplitudes as a [`StateVector`] (clones the
+    /// whole buffer — one-shot callers that are done with the engine should
+    /// use [`SimEngine::take_state`] instead).
     pub fn state(&self) -> StateVector {
         StateVector::from_amplitudes_unchecked(self.amps.clone())
+    }
+
+    /// Moves the current amplitudes out as a [`StateVector`] without
+    /// copying. The workspace buffer is left empty; the next
+    /// [`SimEngine::load_zero`] (or any `run_*` call) re-allocates it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called again before another run refills the buffer.
+    pub fn take_state(&mut self) -> StateVector {
+        StateVector::from_amplitudes_unchecked(std::mem::take(&mut self.amps))
     }
 }
 
@@ -212,6 +295,50 @@ mod tests {
             let norm: f64 = engine.probabilities().iter().sum();
             assert!((norm - 1.0).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn take_state_moves_the_buffer_and_the_engine_recovers() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let circuit = random_circuit(3, &mut rng);
+        let mut engine = SimEngine::new(3);
+        engine.run_pure(&circuit);
+        let snapshot = engine.state();
+        let taken = engine.take_state();
+        assert_eq!(taken.amplitudes(), snapshot.amplitudes());
+        assert!(engine.amplitudes().is_empty());
+        // The next run re-allocates and produces the same state again.
+        engine.run_pure(&circuit);
+        for (a, b) in engine.amplitudes().iter().zip(taken.amplitudes()) {
+            assert!((*a - *b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn plan_and_walk_agree_on_the_engine() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let circuit = random_circuit(4, &mut rng);
+        let mut engine = SimEngine::new(4);
+        let walk = engine.run_pure_walk(&circuit).probabilities();
+        let plan = engine.run_pure(&circuit).probabilities();
+        for (a, b) in walk.iter().zip(plan.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn run_pure_falls_back_for_wide_gates() {
+        // A 3-qubit gate has no plan opcode; run_pure must still be exact.
+        let mut circuit = Circuit::new(3);
+        let mut swap02 = CMat::zeros(8, 8);
+        for i in 0..8usize {
+            let j = (i & 0b010) | ((i & 0b100) >> 2) | ((i & 0b001) << 2);
+            swap02[(j, i)] = Complex::ONE;
+        }
+        circuit.push(Instruction::new(vec![0, 1, 2], swap02, "SWAP02"));
+        let mut engine = SimEngine::new(3);
+        let p = engine.run_pure(&circuit).probabilities();
+        assert!((p[0] - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! durations and error rates (the quantities the paper's quantum-volume
 //! noise model is built from).
 //!
+//! The statevector hot loop runs on **compiled execution plans**
+//! ([`ExecPlan`], [`plan`]): a circuit + noise model is specialized once
+//! into a flat stream of `Copy` ops — kernel case pre-classified, matrix
+//! inlined on the stack, bit masks and depolarizing rates precomputed —
+//! and Monte-Carlo trajectory ensembles ([`trajectory`]) replay that
+//! stream with bit-twiddled Pauli injection. [`SimEngine`] provides the
+//! reusable amplitude workspace; the original instruction walk survives as
+//! `run_*_walk` differential references.
+//!
 //! ## Example: a noisy Bell pair
 //!
 //! ```
@@ -35,6 +44,7 @@ pub mod circuit;
 pub mod density;
 pub mod engine;
 pub mod measure;
+pub mod plan;
 pub mod state;
 pub mod trajectory;
 
@@ -44,4 +54,5 @@ pub use circuit::Gate;
 pub use circuit::{Circuit, Instruction, NoiseModel, Simulate};
 pub use density::DensityMatrix;
 pub use engine::SimEngine;
+pub use plan::{ExecPlan, KernelOp, PlanError, PlanOp};
 pub use state::StateVector;

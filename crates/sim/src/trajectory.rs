@@ -9,21 +9,30 @@
 use crate::batch::BatchRunner;
 use crate::circuit::{Circuit, NoiseModel};
 use crate::engine::SimEngine;
+use crate::plan::ExecPlan;
 use crate::state::StateVector;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Runs one stochastic trajectory of the circuit under its per-gate
 /// depolarizing annotations, returning the final pure state.
 ///
-/// One-shot convenience over [`SimEngine::run_trajectory`]; batched callers
-/// keep one engine alive (or use [`trajectory_probabilities_batched`]) to
-/// amortize the amplitude-buffer allocation.
+/// One-shot convenience over [`SimEngine::run_trajectory`] (the state is
+/// moved out of the engine, not copied); batched callers keep one engine
+/// and one [`ExecPlan`] alive (or use
+/// [`trajectory_probabilities_batched`]) to amortize both the
+/// amplitude-buffer allocation and the plan build.
 pub fn run_trajectory(circuit: &Circuit, noise: &NoiseModel, rng: &mut impl Rng) -> StateVector {
     let mut engine = SimEngine::new(circuit.n_qubits());
-    engine.run_trajectory(circuit, noise, rng).state()
+    engine.run_trajectory(circuit, noise, rng);
+    engine.take_state()
 }
 
 /// Estimates outcome probabilities by averaging `n_traj` trajectories.
+///
+/// The circuit is compiled to an [`ExecPlan`] once and every trajectory
+/// executes the plan (the instruction walk is kept as the fallback for
+/// circuits a plan cannot express).
 pub fn trajectory_probabilities(
     circuit: &Circuit,
     noise: &NoiseModel,
@@ -33,10 +42,13 @@ pub fn trajectory_probabilities(
     let dim = 1usize << circuit.n_qubits();
     let mut acc = vec![0.0; dim];
     let mut engine = SimEngine::new(circuit.n_qubits());
+    let plan = ExecPlan::build(circuit, noise).ok();
     for _ in 0..n_traj {
-        engine
-            .run_trajectory(circuit, noise, rng)
-            .accumulate_probabilities(&mut acc);
+        match &plan {
+            Some(plan) => engine.run_plan_trajectory(plan, rng),
+            None => engine.run_trajectory_walk(circuit, noise, rng),
+        }
+        .accumulate_probabilities(&mut acc);
     }
     for a in acc.iter_mut() {
         *a /= n_traj as f64;
@@ -56,6 +68,11 @@ fn trajectory_chunks(n_traj: usize) -> usize {
 /// default). The ensemble is split into fixed-size chunks with per-chunk
 /// RNG streams derived from `master_seed`, so the estimate is bit-identical
 /// for any worker count.
+///
+/// The circuit is compiled to an [`ExecPlan`] once, shared read-only by all
+/// workers (the instruction walk is kept as the fallback for circuits a
+/// plan cannot express — same RNG streams, so the determinism contract is
+/// unchanged).
 pub fn trajectory_probabilities_batched(
     circuit: &Circuit,
     noise: &NoiseModel,
@@ -63,7 +80,51 @@ pub fn trajectory_probabilities_batched(
     master_seed: u64,
     workers: usize,
 ) -> Vec<f64> {
-    let dim = 1usize << circuit.n_qubits();
+    match ExecPlan::build(circuit, noise) {
+        Ok(plan) => trajectory_probabilities_batched_plan(&plan, n_traj, master_seed, workers),
+        Err(_) => batched_ensemble(
+            circuit.n_qubits(),
+            n_traj,
+            master_seed,
+            workers,
+            |engine, rng| {
+                engine.run_trajectory_walk(circuit, noise, rng);
+            },
+        ),
+    }
+}
+
+/// [`trajectory_probabilities_batched`] over an already-compiled
+/// [`ExecPlan`] — the entry point for callers scoring one compiled circuit
+/// against many ensemble configurations.
+pub fn trajectory_probabilities_batched_plan(
+    plan: &ExecPlan,
+    n_traj: usize,
+    master_seed: u64,
+    workers: usize,
+) -> Vec<f64> {
+    batched_ensemble(
+        plan.n_qubits(),
+        n_traj,
+        master_seed,
+        workers,
+        |engine, rng| {
+            engine.run_plan_trajectory(plan, rng);
+        },
+    )
+}
+
+/// The shared chunked-ensemble driver behind the batched estimators: fans
+/// `n_traj` runs of `run_one` across workers and averages the accumulated
+/// probabilities.
+fn batched_ensemble(
+    n: usize,
+    n_traj: usize,
+    master_seed: u64,
+    workers: usize,
+    run_one: impl Fn(&mut SimEngine, &mut StdRng) + Sync,
+) -> Vec<f64> {
+    let dim = 1usize << n;
     if n_traj == 0 {
         return vec![0.0; dim];
     }
@@ -73,12 +134,11 @@ pub fn trajectory_probabilities_batched(
         // Chunk `index` owns trajectories [lo, hi) of the ensemble.
         let lo = index * n_traj / chunks;
         let hi = (index + 1) * n_traj / chunks;
-        let mut engine = SimEngine::new(circuit.n_qubits());
+        let mut engine = SimEngine::new(n);
         let mut acc = vec![0.0; dim];
         for _ in lo..hi {
-            engine
-                .run_trajectory(circuit, noise, rng)
-                .accumulate_probabilities(&mut acc);
+            run_one(&mut engine, rng);
+            engine.accumulate_probabilities(&mut acc);
         }
         acc
     });

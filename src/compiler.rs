@@ -23,10 +23,13 @@
 use crate::error::AshnError;
 use ashn_ir::{Basis, Circuit};
 use ashn_qv::experiment::{
-    compile_model_on, score_compiled, stamp_noise, CircuitScore, CompiledModel, ModelCircuit,
+    compile_model_on, score_compiled, score_compiled_many, stamp_noise, CircuitScore,
+    CompiledModel, ModelCircuit,
 };
 use ashn_qv::{GateSet, QvNoise};
 use ashn_route::Grid;
+use ashn_sim::plan::{ExecPlan, PlanError};
+use ashn_sim::trajectory::trajectory_probabilities_batched_plan;
 use ashn_sim::{DensityMatrix, NoiseModel, Simulate, StateVector};
 use ashn_synth::basis::AshnBasis;
 use ashn_synth::cache::{CachedBasis, SynthCache};
@@ -201,15 +204,63 @@ impl Compiled {
         self.model.circuit.run_pure()
     }
 
-    /// Exact density-matrix simulation under the scheduled noise.
+    /// Exact density-matrix simulation under the scheduled noise, resolved
+    /// per instruction without materializing an annotated circuit copy.
     pub fn simulate_noisy(&self) -> DensityMatrix {
-        self.scheduled().run_noisy(&NoiseModel::NOISELESS)
+        let rates = ashn_qv::resolve_rates(&self.model.circuit, &self.noise);
+        self.model.circuit.run_noisy_scheduled(&rates)
+    }
+
+    /// Compiles the circuit + scheduled noise into an
+    /// [`ashn_sim::ExecPlan`]: kernels pre-classified, matrices inlined,
+    /// depolarizing rates already resolved — the input the Monte-Carlo
+    /// trajectory ensembles execute. Gate matrices are not cloned.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] when the circuit cannot be expressed as a plan
+    /// (compiled circuits only contain 1q/2q gates, so this is reachable
+    /// only through hand-built models).
+    pub fn exec_plan(&self) -> Result<ExecPlan, PlanError> {
+        let noise = self.noise;
+        ExecPlan::build_with(&self.model.circuit, |g| {
+            noise.rate(g.qubits.len(), g.duration)
+        })
+    }
+
+    /// Physical-site outcome probabilities estimated from `n_traj`
+    /// Monte-Carlo trajectories under the scheduled noise, fanned across
+    /// `workers` threads (`0` = machine default) — plan-backed, and
+    /// bit-identical for any worker count at a fixed `master_seed`.
+    /// Marginalize with [`Compiled::logical_probs`].
+    pub fn simulate_trajectories(
+        &self,
+        n_traj: usize,
+        master_seed: u64,
+        workers: usize,
+    ) -> Vec<f64> {
+        match self.exec_plan() {
+            Ok(plan) => trajectory_probabilities_batched_plan(&plan, n_traj, master_seed, workers),
+            Err(_) => ashn_sim::trajectory::trajectory_probabilities_batched(
+                &self.scheduled(),
+                &NoiseModel::NOISELESS,
+                n_traj,
+                master_seed,
+                workers,
+            ),
+        }
     }
 
     /// Heavy-output score of the compiled circuit under the configured
     /// noise (the full schedule → simulate → marginalize chain).
     pub fn score(&self) -> CircuitScore {
         score_compiled(&self.model, &self.noise)
+    }
+
+    /// Heavy-output scores at several noise levels, paying the compile and
+    /// ideal-run cost once (see [`ashn_qv::score_compiled_many`]).
+    pub fn score_many(&self, noises: &[QvNoise]) -> Vec<CircuitScore> {
+        score_compiled_many(&self.model, noises)
     }
 
     /// Marginalizes a physical-site distribution onto the logical register.

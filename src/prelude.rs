@@ -13,5 +13,5 @@ pub use ashn_ir::{Basis, Circuit, Instruction, IrError, SynthError};
 pub use ashn_math::{c, CMat, Complex, Mat2, Mat4};
 pub use ashn_qv::{sample_model_circuit, GateSet, QvNoise};
 pub use ashn_route::Grid;
-pub use ashn_sim::{NoiseModel, Simulate};
+pub use ashn_sim::{ExecPlan, NoiseModel, SimEngine, Simulate};
 pub use ashn_synth::basis::{AshnBasis, CnotBasis, CzBasis, SqiswBasis};

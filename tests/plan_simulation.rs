@@ -1,0 +1,62 @@
+//! Facade-level plan-backed simulation: `Compiled::exec_plan` resolves the
+//! scheduled noise into an `ExecPlan` without cloning gate matrices, and
+//! `Compiled::simulate_trajectories` estimates the same distribution the
+//! exact density-matrix simulator computes — deterministically for any
+//! worker count.
+
+use ashn::qv::sample_model_circuit;
+use ashn::{Compiler, GateSet, QvNoise};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn trajectories_converge_to_the_exact_density_matrix() {
+    let mut rng = StdRng::seed_from_u64(4101);
+    let model = sample_model_circuit(3, &mut rng);
+    let compiled = Compiler::new()
+        .gate_set(GateSet::Cz)
+        .noise(QvNoise::with_e_cz(0.03))
+        .compile(&model)
+        .expect("compiles");
+
+    let plan = compiled.exec_plan().expect("compiled circuits plan");
+    assert_eq!(plan.n_qubits(), compiled.circuit().n_qubits());
+    assert!(!plan.is_noiseless(), "scheduled noise must be resolved");
+    assert!(plan.ops().len() <= compiled.circuit().gates().len());
+
+    let exact = compiled.simulate_noisy().probabilities();
+    let est = compiled.simulate_trajectories(4000, 7, 0);
+    let linf = exact
+        .iter()
+        .zip(est.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(linf < 0.03, "trajectory vs exact deviation {linf}");
+
+    // Worker-count invariance at the facade boundary.
+    let reference = compiled.simulate_trajectories(200, 11, 1);
+    for workers in [2, 8] {
+        assert_eq!(
+            compiled.simulate_trajectories(200, 11, workers),
+            reference,
+            "workers = {workers}"
+        );
+    }
+}
+
+#[test]
+fn score_many_matches_score_at_each_point() {
+    let mut rng = StdRng::seed_from_u64(4102);
+    let model = sample_model_circuit(3, &mut rng);
+    let points = [QvNoise::with_e_cz(0.007), QvNoise::with_e_cz(0.017)];
+    let compiled = Compiler::new()
+        .gate_set(GateSet::Cz)
+        .noise(points[0])
+        .compile(&model)
+        .expect("compiles");
+    let many = compiled.score_many(&points);
+    assert_eq!(many.len(), 2);
+    let single = compiled.score();
+    assert_eq!(many[0].hop.to_bits(), single.hop.to_bits());
+    assert!(many[0].hop > many[1].hop, "more noise, less heavy output");
+}
