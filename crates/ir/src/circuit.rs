@@ -267,7 +267,7 @@ pub fn apply_gate(amps: &mut [Complex], n: usize, qubits: &[usize], m: &CMat) {
 }
 
 /// Embeds a `k`-qubit gate matrix into the full `2^n` space (dense form;
-/// moved here from `ashn_synth::ncircuit`).
+/// formerly `ashn_synth`'s n-qubit embedding).
 pub fn embed(n: usize, qubits: &[usize], m: &CMat) -> CMat {
     let k = qubits.len();
     assert_eq!(m.rows(), 1 << k, "gate dimension mismatch in embed");
@@ -387,6 +387,34 @@ mod tests {
         assert!((a.phase - Complex::cis(0.7)).abs() < 1e-12);
         assert_eq!(a.instructions.len(), 1);
         assert!(a.append(Circuit::new(2)).is_err());
+    }
+
+    #[test]
+    fn embed_respects_qubit_ordering() {
+        // X on qubit 1 of 2 = I ⊗ X; on qubit 0 = X ⊗ I.
+        let e1 = embed(2, &[1], &x_gate());
+        assert!(e1.dist(&CMat::identity(2).kron(&x_gate())) < 1e-15);
+        let e0 = embed(2, &[0], &x_gate());
+        assert!(e0.dist(&x_gate().kron(&CMat::identity(2))) < 1e-15);
+    }
+
+    #[test]
+    fn embed_reversed_pair_transposes_roles() {
+        let u = CMat::from_rows_f64(&[
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+            &[1.0, 0.0, 0.0, 0.0],
+        ]);
+        let swap = CMat::from_rows_f64(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        let a = embed(2, &[1, 0], &u);
+        let b = swap.matmul(&u).matmul(&swap);
+        assert!(a.dist(&b) < 1e-12);
     }
 
     #[test]

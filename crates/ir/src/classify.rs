@@ -1,0 +1,166 @@
+//! Structural classification and commutation queries on [`Instruction`]s.
+//!
+//! The circuit optimizer (`ashn-opt`) rewrites circuits by asking questions
+//! of individual gates — "is this a pure phase?", "do these two commute?" —
+//! and those questions belong next to the IR they interrogate. The checks
+//! use cheap structural fast paths (diagonal×diagonal always commutes,
+//! disjoint wires always commute) and fall back to a dense commutator on
+//! the joint wire space only when structure says nothing.
+
+use crate::circuit::embed;
+use crate::error::IrError;
+use crate::instruction::Instruction;
+use ashn_math::{CMat, Complex};
+
+/// `Some(c)` when `m ≈ c·I` within `tol` (Frobenius), i.e. the matrix is a
+/// pure phase times the identity. The witness `c` is the mean diagonal
+/// entry, so folding it into a circuit's global phase is exact to rounding.
+pub fn scalar_of(m: &CMat, tol: f64) -> Option<Complex> {
+    if !m.is_square() || m.rows() == 0 {
+        return None;
+    }
+    let n = m.rows();
+    let c = m.trace() / n as f64;
+    let mut off = 0.0;
+    for r in 0..n {
+        for col in 0..n {
+            let expect = if r == col { c } else { Complex::ZERO };
+            off += (m[(r, col)] - expect).norm_sqr();
+        }
+    }
+    (off.sqrt() < tol).then_some(c)
+}
+
+/// The instruction's matrix re-expressed on an explicit ordered wire list:
+/// `wires[i]` is the circuit qubit carried by bit `i` (big-endian) of the
+/// returned `2^wires.len()` matrix. Every qubit of the instruction must
+/// appear in `wires`; extra wires act as identity.
+///
+/// # Errors
+///
+/// [`IrError::QubitOutOfRange`] when the instruction touches a qubit not
+/// listed in `wires`.
+pub fn matrix_on(instruction: &Instruction, wires: &[usize]) -> Result<CMat, IrError> {
+    let positions = instruction
+        .qubits
+        .iter()
+        .map(|q| {
+            wires
+                .iter()
+                .position(|w| w == q)
+                .ok_or(IrError::QubitOutOfRange {
+                    qubit: *q,
+                    n: wires.len(),
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(embed(wires.len(), &positions, &instruction.matrix))
+}
+
+impl Instruction {
+    /// `Some(phase)` when the gate is `phase·I` within `tol` — a "gate"
+    /// that only contributes a global phase.
+    pub fn phase_of_identity(&self, tol: f64) -> Option<Complex> {
+        scalar_of(&self.matrix, tol)
+    }
+
+    /// `true` when this gate commutes with `other` (commutator Frobenius
+    /// norm below `tol` on the joint wire space).
+    ///
+    /// Structural fast paths — disjoint wires, or both gates diagonal —
+    /// answer without touching matrices; otherwise the dense commutator is
+    /// evaluated on the union of the two wire sets (at most 4 qubits for
+    /// 1q/2q gates, so the embedded products stay small).
+    pub fn commutes_with(&self, other: &Instruction, tol: f64) -> bool {
+        if self.qubits.iter().all(|q| !other.qubits.contains(q)) {
+            return true;
+        }
+        if self.is_diagonal(tol) && other.is_diagonal(tol) {
+            return true;
+        }
+        let mut wires: Vec<usize> = self.qubits.clone();
+        for q in &other.qubits {
+            if !wires.contains(q) {
+                wires.push(*q);
+            }
+        }
+        let a = matrix_on(self, &wires).expect("own qubits are in the union");
+        let b = matrix_on(other, &wires).expect("own qubits are in the union");
+        a.matmul(&b).dist(&b.matmul(&a)) < tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_math::c;
+
+    fn x_gate() -> CMat {
+        CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]])
+    }
+
+    fn z_gate() -> CMat {
+        CMat::from_rows_f64(&[&[1.0, 0.0], &[0.0, -1.0]])
+    }
+
+    fn cz_gate() -> CMat {
+        CMat::diag(&[Complex::ONE, Complex::ONE, Complex::ONE, c(-1.0, 0.0)])
+    }
+
+    #[test]
+    fn scalar_detection() {
+        let m = CMat::identity(4).scale(Complex::cis(0.4));
+        let got = scalar_of(&m, 1e-12).expect("scalar");
+        assert!((got - Complex::cis(0.4)).abs() < 1e-14);
+        assert!(scalar_of(&x_gate(), 1e-9).is_none());
+        assert!(Instruction::new(vec![0], x_gate(), "X")
+            .phase_of_identity(1e-9)
+            .is_none());
+    }
+
+    #[test]
+    fn disjoint_wires_commute() {
+        let a = Instruction::new(vec![0], x_gate(), "X");
+        let b = Instruction::new(vec![1], z_gate(), "Z");
+        assert!(a.commutes_with(&b, 1e-12));
+    }
+
+    #[test]
+    fn diagonals_commute_structurally() {
+        let a = Instruction::new(vec![0, 1], cz_gate(), "CZ");
+        let b = Instruction::new(vec![1], z_gate(), "Z");
+        assert!(a.commutes_with(&b, 1e-12));
+        assert!(b.commutes_with(&a, 1e-12));
+    }
+
+    #[test]
+    fn shared_wire_non_commuting_pair_detected() {
+        let a = Instruction::new(vec![0], x_gate(), "X");
+        let b = Instruction::new(vec![0], z_gate(), "Z");
+        assert!(!a.commutes_with(&b, 1e-9));
+        // CZ and X on a shared wire do not commute either.
+        let cz = Instruction::new(vec![0, 1], cz_gate(), "CZ");
+        assert!(!cz.commutes_with(&a, 1e-9));
+    }
+
+    #[test]
+    fn dense_fallback_catches_non_diagonal_commuters() {
+        // X⊗X commutes with X on either wire even though neither is
+        // diagonal — only the dense check can see it.
+        let xx = Instruction::new(vec![0, 1], x_gate().kron(&x_gate()), "XX");
+        let x0 = Instruction::new(vec![0], x_gate(), "X");
+        assert!(xx.commutes_with(&x0, 1e-12));
+    }
+
+    #[test]
+    fn matrix_on_respects_wire_order() {
+        let cz = Instruction::new(vec![2, 0], cz_gate(), "CZ");
+        let m = matrix_on(&cz, &[0, 2]).unwrap();
+        // CZ is symmetric under qubit exchange.
+        assert!(m.dist(&cz_gate()) < 1e-15);
+        assert!(matches!(
+            matrix_on(&cz, &[0, 1]),
+            Err(IrError::QubitOutOfRange { qubit: 2, .. })
+        ));
+    }
+}

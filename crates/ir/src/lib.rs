@@ -37,11 +37,13 @@
 
 pub mod basis;
 pub mod circuit;
+pub mod classify;
 pub mod error;
 pub mod instruction;
 pub mod kernels;
 
 pub use basis::Basis;
 pub use circuit::{embed, Circuit};
+pub use classify::{matrix_on, scalar_of};
 pub use error::{IrError, SynthError};
 pub use instruction::Instruction;

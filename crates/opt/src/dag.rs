@@ -1,0 +1,540 @@
+//! A dependency-DAG view over the linear [`ashn_ir::Circuit`] IR.
+//!
+//! Each instruction becomes a node; for every wire it touches, the node is
+//! linked to the previous and next instruction on that wire. That is the
+//! full dependency structure of a quantum circuit (two gates must keep
+//! their relative order iff they share a wire), so optimization passes can
+//! remove, rewrite, and splice gates in `O(1)` per link without re-scanning
+//! the instruction list.
+//!
+//! The round trip is lossless: [`DagCircuit::into_circuit`] emits nodes in
+//! topological order with the *lowest creation index first* among ready
+//! nodes. Node indices are assigned in instruction order, and the original
+//! order is itself topological, so a DAG that no pass touched emits the
+//! exact instruction sequence it was built from — bit-identical matrices,
+//! labels, durations, and annotations (pinned by the round-trip suite in
+//! `crates/opt/tests`).
+
+use crate::error::OptError;
+use ashn_ir::{Circuit, Instruction, IrError};
+use ashn_math::Complex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of a node in a [`DagCircuit`]. Stable across removals (slots are
+/// never reused); new nodes always get larger ids.
+pub type NodeId = usize;
+
+/// Per-wire links of one node (parallel to the instruction's qubit list).
+#[derive(Clone, Copy, Debug, Default)]
+struct WireLink {
+    prev: Option<NodeId>,
+    next: Option<NodeId>,
+}
+
+/// The DAG view of a circuit: a register size, a global phase, and
+/// per-wire doubly linked chains of instructions.
+#[derive(Clone, Debug)]
+pub struct DagCircuit {
+    n: usize,
+    phase: Complex,
+    /// Slot-per-node storage; `None` marks a removed node.
+    nodes: Vec<Option<Instruction>>,
+    /// `links[id][k]` = neighbors of node `id` on wire `qubits[k]`.
+    links: Vec<Vec<WireLink>>,
+    head: Vec<Option<NodeId>>,
+    tail: Vec<Option<NodeId>>,
+    live: usize,
+}
+
+impl DagCircuit {
+    /// An empty DAG on `n` wires with unit phase.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            phase: Complex::ONE,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            head: vec![None; n],
+            tail: vec![None; n],
+            live: 0,
+        }
+    }
+
+    /// Builds the DAG view of a circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::Ir`] ([`IrError::QubitOutOfRange`] /
+    /// [`IrError::RepeatedQubit`]) when an instruction references a wire
+    /// `>= n` or lists a wire twice — hand-assembled circuits can violate
+    /// the invariants [`Circuit::push`] maintains, and the optimizer must
+    /// reject them with a structured error rather than corrupt its links.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, OptError> {
+        let mut dag = Self::new(circuit.n);
+        dag.phase = circuit.phase;
+        for g in &circuit.instructions {
+            dag.push_back(g.clone())?;
+        }
+        Ok(dag)
+    }
+
+    /// Register size.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Global phase.
+    pub fn phase(&self) -> Complex {
+        self.phase
+    }
+
+    /// Multiplies the global phase (used when a pass folds a scalar gate
+    /// away).
+    pub fn mul_phase(&mut self, c: Complex) {
+        self.phase *= c;
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no live nodes remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total node slots ever allocated (live + removed); valid ids are
+    /// `0..capacity()`.
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when `id` names a live node.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes.get(id).is_some_and(|s| s.is_some())
+    }
+
+    /// The instruction at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not live.
+    pub fn instruction(&self, id: NodeId) -> &Instruction {
+        self.nodes[id].as_ref().expect("live node")
+    }
+
+    /// Live node ids in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).filter(|&id| self.is_live(id))
+    }
+
+    /// First live node on `wire`.
+    pub fn wire_head(&self, wire: usize) -> Option<NodeId> {
+        self.head[wire]
+    }
+
+    /// Last live node on `wire`.
+    pub fn wire_tail(&self, wire: usize) -> Option<NodeId> {
+        self.tail[wire]
+    }
+
+    fn slot_of(&self, id: NodeId, wire: usize) -> usize {
+        self.instruction(id)
+            .qubits
+            .iter()
+            .position(|&q| q == wire)
+            .expect("node is linked on this wire")
+    }
+
+    /// The node preceding `id` on `wire` (`None` at the wire head).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not live or does not touch `wire`.
+    pub fn pred(&self, id: NodeId, wire: usize) -> Option<NodeId> {
+        self.links[id][self.slot_of(id, wire)].prev
+    }
+
+    /// The node following `id` on `wire` (`None` at the wire tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not live or does not touch `wire`.
+    pub fn succ(&self, id: NodeId, wire: usize) -> Option<NodeId> {
+        self.links[id][self.slot_of(id, wire)].next
+    }
+
+    fn validate(&self, g: &Instruction) -> Result<(), OptError> {
+        for (i, &q) in g.qubits.iter().enumerate() {
+            if q >= self.n {
+                return Err(IrError::QubitOutOfRange {
+                    qubit: q,
+                    n: self.n,
+                }
+                .into());
+            }
+            if g.qubits[i + 1..].contains(&q) {
+                return Err(IrError::RepeatedQubit { qubit: q }.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends an instruction at the end of all its wires.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::Ir`] on out-of-range or repeated wires.
+    pub fn push_back(&mut self, g: Instruction) -> Result<NodeId, OptError> {
+        self.validate(&g)?;
+        let id = self.nodes.len();
+        let mut links = vec![WireLink::default(); g.qubits.len()];
+        for (k, &q) in g.qubits.iter().enumerate() {
+            links[k].prev = self.tail[q];
+            match self.tail[q] {
+                Some(t) => {
+                    let slot = self.slot_of(t, q);
+                    self.links[t][slot].next = Some(id);
+                }
+                None => self.head[q] = Some(id),
+            }
+            self.tail[q] = Some(id);
+        }
+        self.nodes.push(Some(g));
+        self.links.push(links);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Inserts an instruction immediately before the per-wire anchors:
+    /// `anchors[k]` is the node the new instruction must precede on wire
+    /// `g.qubits[k]` (`None` appends at that wire's tail). Anchor nodes
+    /// must be live and touch the corresponding wire.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::Ir`] on out-of-range/repeated wires;
+    /// [`OptError::InvalidAnchor`] when an anchor is not a live node on its
+    /// wire (e.g. a stale id from before a removal).
+    pub fn insert_before(
+        &mut self,
+        g: Instruction,
+        anchors: &[Option<NodeId>],
+    ) -> Result<NodeId, OptError> {
+        self.validate(&g)?;
+        assert_eq!(anchors.len(), g.qubits.len(), "one anchor per wire");
+        for (k, &q) in g.qubits.iter().enumerate() {
+            if let Some(a) = anchors[k] {
+                if !self.is_live(a) || !self.instruction(a).qubits.contains(&q) {
+                    return Err(OptError::InvalidAnchor { node: a, wire: q });
+                }
+            }
+        }
+        let id = self.nodes.len();
+        let mut links = vec![WireLink::default(); g.qubits.len()];
+        self.nodes.push(Some(g));
+        self.links.push(links.clone());
+        let qubits = self.instruction(id).qubits.clone();
+        for (k, &q) in qubits.iter().enumerate() {
+            match anchors[k] {
+                Some(a) => {
+                    let aslot = self.slot_of(a, q);
+                    let prev = self.links[a][aslot].prev;
+                    links[k] = WireLink {
+                        prev,
+                        next: Some(a),
+                    };
+                    self.links[a][aslot].prev = Some(id);
+                    match prev {
+                        Some(p) => {
+                            let pslot = self.slot_of(p, q);
+                            self.links[p][pslot].next = Some(id);
+                        }
+                        None => self.head[q] = Some(id),
+                    }
+                }
+                None => {
+                    links[k].prev = self.tail[q];
+                    match self.tail[q] {
+                        Some(t) => {
+                            let slot = self.slot_of(t, q);
+                            self.links[t][slot].next = Some(id);
+                        }
+                        None => self.head[q] = Some(id),
+                    }
+                    self.tail[q] = Some(id);
+                }
+            }
+        }
+        self.links[id] = links;
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Removes a node, splicing its wire chains, and returns its
+    /// instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not live.
+    pub fn remove(&mut self, id: NodeId) -> Instruction {
+        let g = self.nodes[id].clone().expect("live node");
+        for (k, &q) in g.qubits.iter().enumerate() {
+            let WireLink { prev, next } = self.links[id][k];
+            match prev {
+                Some(p) => {
+                    let slot = self.slot_of(p, q);
+                    self.links[p][slot].next = next;
+                }
+                None => self.head[q] = next,
+            }
+            match next {
+                Some(s) => {
+                    let slot = self.slot_of(s, q);
+                    self.links[s][slot].prev = prev;
+                }
+                None => self.tail[q] = prev,
+            }
+        }
+        self.nodes[id] = None;
+        self.live -= 1;
+        g
+    }
+
+    /// Replaces the instruction at `id` in place. The replacement must act
+    /// on exactly the same wires in the same order (the links stay valid);
+    /// use [`DagCircuit::remove`] + [`DagCircuit::insert_before`] to change
+    /// wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not live or the wire lists differ.
+    pub fn replace_gate(&mut self, id: NodeId, g: Instruction) {
+        assert_eq!(
+            self.instruction(id).qubits,
+            g.qubits,
+            "replacement must keep the wire list"
+        );
+        self.nodes[id] = Some(g);
+    }
+
+    /// Live instructions acting on two or more wires.
+    pub fn two_qubit_count(&self) -> usize {
+        self.node_ids()
+            .filter(|&id| self.instruction(id).is_entangler())
+            .count()
+    }
+
+    /// Circuit depth: length of the longest wire-dependency chain (every
+    /// instruction counts one layer on each of its wires).
+    pub fn depth(&self) -> usize {
+        let order = self.topo_order();
+        let mut d = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for &id in &order {
+            let mut best = 0;
+            for (k, _) in self.instruction(id).qubits.iter().enumerate() {
+                if let Some(p) = self.links[id][k].prev {
+                    best = best.max(d[p]);
+                }
+            }
+            d[id] = best + 1;
+            max = max.max(d[id]);
+        }
+        max
+    }
+
+    /// Live node ids in the canonical topological order (lowest id first
+    /// among ready nodes). For a freshly built DAG this is exactly the
+    /// source instruction order.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut indeg = vec![0usize; self.nodes.len()];
+        let mut heap: BinaryHeap<Reverse<NodeId>> = BinaryHeap::new();
+        for id in self.node_ids() {
+            indeg[id] = self.links[id].iter().filter(|l| l.prev.is_some()).count();
+            if indeg[id] == 0 {
+                heap.push(Reverse(id));
+            }
+        }
+        let mut out = Vec::with_capacity(self.live);
+        while let Some(Reverse(id)) = heap.pop() {
+            out.push(id);
+            for link in &self.links[id] {
+                if let Some(nx) = link.next {
+                    indeg[nx] -= 1;
+                    if indeg[nx] == 0 {
+                        heap.push(Reverse(nx));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.live, "wire chains form a DAG");
+        out
+    }
+
+    /// Emits the circuit in canonical topological order, consuming the DAG
+    /// (no instruction clones).
+    pub fn into_circuit(mut self) -> Circuit {
+        let order = self.topo_order();
+        let mut out = Circuit::new(self.n);
+        out.phase = self.phase;
+        out.instructions = order
+            .into_iter()
+            .map(|id| self.nodes[id].take().expect("live node"))
+            .collect();
+        out
+    }
+
+    /// Emits the circuit in canonical topological order, cloning the
+    /// instructions (the DAG stays usable).
+    pub fn to_circuit(&self) -> Circuit {
+        let mut out = Circuit::new(self.n);
+        out.phase = self.phase;
+        out.instructions = self
+            .topo_order()
+            .into_iter()
+            .map(|id| self.instruction(id).clone())
+            .collect();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_math::CMat;
+
+    fn x_gate() -> CMat {
+        CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]])
+    }
+
+    fn cz_gate() -> CMat {
+        CMat::from_rows_f64(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, -1.0],
+        ])
+    }
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.phase = Complex::cis(0.3);
+        c.push(Instruction::new(vec![0], x_gate(), "X0"));
+        c.push(Instruction::new(vec![0, 1], cz_gate(), "CZ01").with_duration(1.0));
+        c.push(Instruction::new(vec![2], x_gate(), "X2"));
+        c.push(Instruction::new(vec![1, 2], cz_gate(), "CZ12").with_duration(1.0));
+        c.push(Instruction::new(vec![0], x_gate(), "X0b"));
+        c
+    }
+
+    #[test]
+    fn links_expose_wire_chains() {
+        let dag = DagCircuit::from_circuit(&sample()).unwrap();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.wire_head(0), Some(0));
+        assert_eq!(dag.succ(0, 0), Some(1));
+        assert_eq!(dag.succ(1, 0), Some(4));
+        assert_eq!(dag.succ(1, 1), Some(3));
+        assert_eq!(dag.pred(3, 2), Some(2));
+        assert_eq!(dag.wire_tail(0), Some(4));
+        assert_eq!(dag.two_qubit_count(), 2);
+        assert_eq!(dag.depth(), 3);
+    }
+
+    #[test]
+    fn untouched_round_trip_preserves_order() {
+        let c = sample();
+        let back = DagCircuit::from_circuit(&c).unwrap().into_circuit();
+        assert_eq!(back.instructions.len(), c.instructions.len());
+        for (a, b) in back.instructions.iter().zip(&c.instructions) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.qubits, b.qubits);
+        }
+        assert_eq!(back.phase, c.phase);
+    }
+
+    #[test]
+    fn remove_splices_chains() {
+        let mut dag = DagCircuit::from_circuit(&sample()).unwrap();
+        dag.remove(1); // CZ01
+        assert_eq!(dag.succ(0, 0), Some(4));
+        assert_eq!(dag.pred(4, 0), Some(0));
+        assert_eq!(dag.wire_head(1), Some(3));
+        assert_eq!(dag.len(), 4);
+        let order = dag.topo_order();
+        assert_eq!(order, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn insert_before_anchors_and_tail() {
+        let mut dag = DagCircuit::from_circuit(&sample()).unwrap();
+        // Insert a 2q gate on (0,1) before CZ01 on wire 0 and before CZ12
+        // on wire 1 — i.e. after X0 and before both entanglers.
+        let id = dag
+            .insert_before(
+                Instruction::new(vec![0, 1], cz_gate(), "NEW"),
+                &[Some(1), Some(1)],
+            )
+            .unwrap();
+        assert_eq!(dag.succ(0, 0), Some(id));
+        assert_eq!(dag.succ(id, 0), Some(1));
+        assert_eq!(dag.pred(1, 1), Some(id));
+        // Tail append.
+        let t = dag
+            .insert_before(Instruction::new(vec![2], x_gate(), "TAIL"), &[None])
+            .unwrap();
+        assert_eq!(dag.wire_tail(2), Some(t));
+        let labels: Vec<_> = dag
+            .into_circuit()
+            .instructions
+            .iter()
+            .map(|g| g.label.clone())
+            .collect();
+        // Min-id tie-breaking emits the older X2 (id 2) before the freshly
+        // created NEW node; the order is still topological — NEW precedes
+        // CZ01 and CZ12 on its wires.
+        assert_eq!(
+            labels,
+            vec!["X0", "X2", "NEW", "CZ01", "CZ12", "X0b", "TAIL"]
+        );
+    }
+
+    #[test]
+    fn from_circuit_rejects_out_of_range_wires() {
+        // Hand-assembled circuit violating the register bound.
+        let mut c = Circuit::new(2);
+        c.instructions
+            .push(Instruction::new(vec![5], x_gate(), "bad"));
+        match DagCircuit::from_circuit(&c) {
+            Err(OptError::Ir(IrError::QubitOutOfRange { qubit: 5, n: 2 })) => {}
+            other => panic!("expected QubitOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_before_rejects_stale_or_off_wire_anchors() {
+        let mut dag = DagCircuit::from_circuit(&sample()).unwrap();
+        // Anchor on a wire it does not touch (node 0 = X0 is on wire 0).
+        let err = dag
+            .insert_before(Instruction::new(vec![2], x_gate(), "bad"), &[Some(0)])
+            .unwrap_err();
+        assert!(matches!(err, OptError::InvalidAnchor { node: 0, wire: 2 }));
+        // Stale anchor: a removed node id.
+        dag.remove(2);
+        let err = dag
+            .insert_before(Instruction::new(vec![2], x_gate(), "bad"), &[Some(2)])
+            .unwrap_err();
+        assert!(matches!(err, OptError::InvalidAnchor { node: 2, wire: 2 }));
+    }
+
+    #[test]
+    fn replace_gate_keeps_links() {
+        let mut dag = DagCircuit::from_circuit(&sample()).unwrap();
+        dag.replace_gate(0, Instruction::new(vec![0], x_gate(), "X0'"));
+        assert_eq!(dag.instruction(0).label, "X0'");
+        assert_eq!(dag.succ(0, 0), Some(1));
+    }
+}

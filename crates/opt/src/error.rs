@@ -1,0 +1,57 @@
+//! Optimizer error type.
+
+use ashn_ir::{IrError, SynthError};
+use std::error::Error;
+use std::fmt;
+
+/// Failures building the DAG view or running optimization passes.
+#[derive(Clone, Debug)]
+pub enum OptError {
+    /// A structural IR error (malformed instruction, out-of-range wire).
+    Ir(IrError),
+    /// Basis synthesis failed during block resynthesis.
+    Synth(SynthError),
+    /// A splice anchor passed to `DagCircuit::insert_before` is not a live
+    /// node on the required wire (typically a stale id from before a
+    /// removal).
+    InvalidAnchor {
+        /// The anchor node id.
+        node: usize,
+        /// The wire the anchor was required to touch.
+        wire: usize,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Ir(e) => write!(f, "ir error during optimization: {e}"),
+            OptError::Synth(e) => write!(f, "synthesis error during optimization: {e}"),
+            OptError::InvalidAnchor { node, wire } => {
+                write!(f, "splice anchor {node} is not a live node on wire {wire}")
+            }
+        }
+    }
+}
+
+impl Error for OptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptError::Ir(e) => Some(e),
+            OptError::Synth(e) => Some(e),
+            OptError::InvalidAnchor { .. } => None,
+        }
+    }
+}
+
+impl From<IrError> for OptError {
+    fn from(e: IrError) -> Self {
+        OptError::Ir(e)
+    }
+}
+
+impl From<SynthError> for OptError {
+    fn from(e: SynthError) -> Self {
+        OptError::Synth(e)
+    }
+}

@@ -1,0 +1,148 @@
+//! Commutation-aware cancellation.
+
+use crate::dag::DagCircuit;
+use crate::error::OptError;
+use crate::pass::Pass;
+use crate::passes::EXACT_TOL;
+use ashn_ir::classify::{matrix_on, scalar_of};
+use ashn_ir::Instruction;
+
+/// Cancels gate pairs that multiply to a pure phase, even when separated by
+/// commuting gates.
+///
+/// For each gate `a` (in topological order) the pass scans forward through
+/// the circuit: gates on disjoint wires are skipped freely; a gate sharing
+/// wires with `a` may be crossed only when it commutes with `a` (checked
+/// structurally — diagonal×diagonal — or by the dense commutator on the
+/// joint wire space). When the scan reaches a gate `b` on exactly `a`'s
+/// wire set whose product with `a` is `phase·I`, both gates are removed and
+/// the phase folds into the circuit's global phase. This is the pass that
+/// collapses `CZ …diag… CZ` echoes and `Rz`-pushing cancellations that
+/// plain adjacent-merge can never see.
+#[derive(Clone, Copy, Debug)]
+pub struct CommuteCancel {
+    /// Cancellation/commutation tolerance (Frobenius); see
+    /// [`EXACT_TOL`](crate::passes::EXACT_TOL).
+    pub tol: f64,
+}
+
+impl Default for CommuteCancel {
+    fn default() -> Self {
+        Self { tol: EXACT_TOL }
+    }
+}
+
+fn same_wire_set(a: &Instruction, b: &Instruction) -> bool {
+    a.qubits.len() == b.qubits.len() && a.qubits.iter().all(|q| b.qubits.contains(q))
+}
+
+fn shares_wire(a: &Instruction, b: &Instruction) -> bool {
+    a.qubits.iter().any(|q| b.qubits.contains(q))
+}
+
+impl Pass for CommuteCancel {
+    fn name(&self) -> String {
+        "commute-cancel".into()
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> Result<bool, OptError> {
+        let mut changed = false;
+        let order = dag.topo_order();
+        for (i, &a) in order.iter().enumerate() {
+            if !dag.is_live(a) {
+                continue;
+            }
+            let ga = dag.instruction(a).clone();
+            if ga.error_rate.is_some() {
+                continue;
+            }
+            let mut wires = ga.qubits.clone();
+            wires.sort_unstable();
+            for &b in &order[i + 1..] {
+                if !dag.is_live(b) {
+                    continue;
+                }
+                let gb = dag.instruction(b);
+                if !shares_wire(&ga, gb) {
+                    continue;
+                }
+                if same_wire_set(&ga, gb) && gb.error_rate.is_none() {
+                    let product = matrix_on(gb, &wires)?.matmul(&matrix_on(&ga, &wires)?);
+                    if let Some(phase) = scalar_of(&product, self.tol) {
+                        dag.mul_phase(phase);
+                        dag.remove(a);
+                        dag.remove(b);
+                        changed = true;
+                        break;
+                    }
+                }
+                // Not a cancelling partner: `a` may only slide past when
+                // the two gates commute (annotated gates are opaque noise
+                // events — never crossed).
+                if gb.error_rate.is_some() || !ga.commutes_with(gb, self.tol) {
+                    break;
+                }
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_ir::Circuit;
+    use ashn_math::{c, CMat, Complex};
+
+    fn cz() -> CMat {
+        CMat::diag(&[Complex::ONE, Complex::ONE, Complex::ONE, c(-1.0, 0.0)])
+    }
+
+    fn rz(theta: f64) -> CMat {
+        CMat::diag(&[Complex::cis(-theta / 2.0), Complex::cis(theta / 2.0)])
+    }
+
+    fn h() -> CMat {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        CMat::from_rows_f64(&[&[s, s], &[s, -s]])
+    }
+
+    #[test]
+    fn cz_pair_cancels_through_commuting_diagonals() {
+        let mut circuit = Circuit::new(3);
+        circuit.push(Instruction::new(vec![0, 1], cz(), "CZ"));
+        circuit.push(Instruction::new(vec![0], rz(0.7), "Rz")); // diagonal, commutes
+        circuit.push(Instruction::new(vec![1, 2], cz(), "CZ12")); // diagonal, commutes
+        circuit.push(Instruction::new(vec![2], h(), "H")); // disjoint from {0,1}
+        circuit.push(Instruction::new(vec![0, 1], cz(), "CZ"));
+        let reference = circuit.unitary();
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        assert!(CommuteCancel::default().run(&mut dag).unwrap());
+        let out = dag.into_circuit();
+        assert_eq!(out.entangler_count(), 1, "one CZ pair cancels");
+        assert!(out.unitary().dist(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn non_commuting_obstruction_blocks_cancellation() {
+        let mut circuit = Circuit::new(2);
+        circuit.push(Instruction::new(vec![0, 1], cz(), "CZ"));
+        circuit.push(Instruction::new(vec![0], h(), "H")); // breaks diagonality
+        circuit.push(Instruction::new(vec![0, 1], cz(), "CZ"));
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        assert!(!CommuteCancel::default().run(&mut dag).unwrap());
+        assert_eq!(dag.len(), 3);
+    }
+
+    #[test]
+    fn reversed_wire_order_still_cancels() {
+        // CZ on [0,1] and its inverse written on [1,0]: the wire-set match
+        // and the canonical re-expression must see through the ordering.
+        let mut circuit = Circuit::new(2);
+        circuit.push(Instruction::new(vec![0, 1], cz(), "CZ"));
+        circuit.push(Instruction::new(vec![1, 0], cz(), "CZ'"));
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        assert!(CommuteCancel::default().run(&mut dag).unwrap());
+        assert!(dag.is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Adjacent single-qubit merge.
+
+use crate::dag::DagCircuit;
+use crate::error::OptError;
+use crate::pass::Pass;
+use crate::passes::EXACT_TOL;
+use ashn_ir::Instruction;
+
+/// Merges runs of adjacent single-qubit gates per wire into one gate (the
+/// matrix product), then drops any merged gate that is a pure phase times
+/// the identity (folding the phase into the circuit's global phase).
+///
+/// Gates carrying an explicit `error_rate` annotation are never merged —
+/// each annotated gate is a distinct noise event, and merging would change
+/// the noise semantics, not just the unitary. Durations of merged gates
+/// are summed.
+#[derive(Clone, Copy, Debug)]
+pub struct Merge1q {
+    /// Identity-drop tolerance (Frobenius); see
+    /// [`EXACT_TOL`](crate::passes::EXACT_TOL).
+    pub tol: f64,
+}
+
+impl Default for Merge1q {
+    fn default() -> Self {
+        Self { tol: EXACT_TOL }
+    }
+}
+
+fn mergeable_1q(g: &Instruction) -> bool {
+    g.qubits.len() == 1 && g.error_rate.is_none()
+}
+
+impl Pass for Merge1q {
+    fn name(&self) -> String {
+        "merge-1q".into()
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> Result<bool, OptError> {
+        let mut changed = false;
+        for q in 0..dag.n_qubits() {
+            let mut cur = dag.wire_head(q);
+            while let Some(a) = cur {
+                if !mergeable_1q(dag.instruction(a)) {
+                    cur = dag.succ(a, q);
+                    continue;
+                }
+                // Absorb every following mergeable 1q gate into `a`.
+                while let Some(b) = dag.succ(a, q) {
+                    if !mergeable_1q(dag.instruction(b)) {
+                        break;
+                    }
+                    let gb = dag.remove(b);
+                    let ga = dag.instruction(a);
+                    let merged = Instruction::new(vec![q], gb.matrix.matmul(&ga.matrix), "1q")
+                        .with_duration(ga.duration + gb.duration);
+                    dag.replace_gate(a, merged);
+                    changed = true;
+                }
+                let next = dag.succ(a, q);
+                if let Some(phase) = dag.instruction(a).phase_of_identity(self.tol) {
+                    dag.mul_phase(phase);
+                    dag.remove(a);
+                    changed = true;
+                }
+                cur = next;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_ir::Circuit;
+    use ashn_math::randmat::haar_unitary;
+    use ashn_math::CMat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn merges_runs_and_drops_identities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = haar_unitary(2, &mut rng);
+        let mut c = Circuit::new(2);
+        c.push(Instruction::new(vec![0], u.clone(), "a"));
+        c.push(Instruction::new(vec![0], u.adjoint(), "a_dag"));
+        c.push(Instruction::new(vec![1], haar_unitary(2, &mut rng), "b"));
+        c.push(Instruction::new(vec![1], haar_unitary(2, &mut rng), "c"));
+        let reference = c.unitary();
+        let mut dag = DagCircuit::from_circuit(&c).unwrap();
+        assert!(Merge1q::default().run(&mut dag).unwrap());
+        // Wire 0 collapses to nothing (u·u† = I); wire 1 to one gate.
+        assert_eq!(dag.len(), 1);
+        assert!(dag.to_circuit().unitary().dist(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn annotated_gates_are_left_alone() {
+        let x = CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let mut c = Circuit::new(1);
+        c.push(Instruction::new(vec![0], x.clone(), "X").with_error_rate(0.01));
+        c.push(Instruction::new(vec![0], x, "X").with_error_rate(0.01));
+        let mut dag = DagCircuit::from_circuit(&c).unwrap();
+        assert!(!Merge1q::default().run(&mut dag).unwrap());
+        assert_eq!(dag.len(), 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! The built-in optimization passes.
+
+mod commute_cancel;
+mod merge1q;
+mod phase_fold;
+mod resynth;
+
+pub use commute_cancel::CommuteCancel;
+pub use merge1q::Merge1q;
+pub use phase_fold::PhaseFold;
+pub use resynth::Resynthesize;
+
+/// Default tolerance for the *exact* rewrite passes (adjacent merges,
+/// phase folds, commutation-aware cancellation).
+///
+/// Deliberately far below working precision: a gate is only dropped or
+/// commuted when the decision holds at near-machine accuracy, so the
+/// structural passes perturb the circuit unitary by well under `1e-12`
+/// even after hundreds of rewrites (the bound the optimizer soundness
+/// suite enforces). Approximate rewrites belong to
+/// [`Resynthesize`], which carries its own acceptance tolerance.
+pub const EXACT_TOL: f64 = 1e-13;

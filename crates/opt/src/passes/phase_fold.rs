@@ -1,0 +1,86 @@
+//! Global-phase folding.
+
+use crate::dag::DagCircuit;
+use crate::error::OptError;
+use crate::pass::Pass;
+use crate::passes::EXACT_TOL;
+
+/// Removes every gate (any arity) that is a pure phase times the identity,
+/// folding the phase into the circuit's global phase.
+///
+/// [`Merge1q`](crate::passes::Merge1q) already drops single-qubit
+/// identities it creates; this pass additionally catches identity-like
+/// *two-qubit* gates (e.g. a `ZZ(2π)` echo, or a resynthesized block that
+/// collapsed to the identity class) and standalone phase gates. Gates
+/// carrying an explicit `error_rate` annotation are kept — they are noise
+/// events even when their unitary is trivial.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseFold {
+    /// Identity-detection tolerance (Frobenius); see
+    /// [`EXACT_TOL`](crate::passes::EXACT_TOL).
+    pub tol: f64,
+}
+
+impl Default for PhaseFold {
+    fn default() -> Self {
+        Self { tol: EXACT_TOL }
+    }
+}
+
+impl Pass for PhaseFold {
+    fn name(&self) -> String {
+        "phase-fold".into()
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> Result<bool, OptError> {
+        let mut changed = false;
+        let ids: Vec<_> = dag.node_ids().collect();
+        for id in ids {
+            let g = dag.instruction(id);
+            if g.error_rate.is_some() {
+                continue;
+            }
+            if let Some(phase) = g.phase_of_identity(self.tol) {
+                dag.mul_phase(phase);
+                dag.remove(id);
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_ir::{Circuit, Instruction};
+    use ashn_math::{CMat, Complex};
+
+    #[test]
+    fn folds_identity_two_qubit_gates() {
+        let phase = Complex::cis(0.4);
+        let mut c = Circuit::new(2);
+        c.push(Instruction::new(
+            vec![0, 1],
+            CMat::identity(4).scale(phase),
+            "ZZ(2π)",
+        ));
+        let x = CMat::from_rows_f64(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        c.push(Instruction::new(vec![0], x, "X"));
+        let reference = c.unitary();
+        let mut dag = DagCircuit::from_circuit(&c).unwrap();
+        assert!(PhaseFold::default().run(&mut dag).unwrap());
+        assert_eq!(dag.len(), 1);
+        assert!((dag.phase() - phase).abs() < 1e-14);
+        assert!(dag.to_circuit().unitary().dist(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn keeps_annotated_identities() {
+        let mut c = Circuit::new(1);
+        c.push(Instruction::new(vec![0], CMat::identity(2), "idle").with_error_rate(0.01));
+        let mut dag = DagCircuit::from_circuit(&c).unwrap();
+        assert!(!PhaseFold::default().run(&mut dag).unwrap());
+        assert_eq!(dag.len(), 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! Collect2q + Resynthesize: the headline pass realizing the paper's
+//! "any two-qubit block is one native gate" claim on arbitrary circuits.
+
+use crate::dag::{DagCircuit, NodeId};
+use crate::error::OptError;
+use crate::pass::Pass;
+use ashn_ir::classify::matrix_on;
+use ashn_ir::{Basis, Instruction};
+use ashn_math::CMat;
+use ashn_synth::resynth::resynthesize_block;
+
+/// Gathers maximal two-qubit runs into a single 4×4 unitary and re-emits
+/// each through a native [`Basis`], keeping the replacement only when it is
+/// strictly cheaper.
+///
+/// For every unvisited two-qubit gate (in topological order) the pass grows
+/// the maximal contiguous block on that wire pair — single-qubit gates on
+/// either wire and two-qubit gates on exactly that pair, fenced by gates
+/// that leave the pair or carry noise annotations — multiplies it into one
+/// `SU(4)` target, and asks the basis to resynthesize it. The basis
+/// KAK-canonicalizes the target internally; wrapped in
+/// [`ashn_synth::cache::SynthCache`] (as `ashn::Compiler` does), repeated
+/// Weyl classes skip the numerical search entirely.
+///
+/// Blocks already at minimal cost are skipped before any synthesis runs:
+/// when the block's entangler count equals
+/// [`Basis::expected_entanglers`] for its class and its single-qubit
+/// dressing is within the `2(k+1)` locals a fused resynthesis could emit,
+/// no rewrite can win. A replacement is committed only when
+///
+/// 1. its realized unitary matches the block target within
+///    [`Resynthesize::accept_tol`] (measured, not assumed), and
+/// 2. it is strictly cheaper: fewer entanglers, or equally many with fewer
+///    total gates, or equal counts with shorter interaction time.
+///
+/// Per-block synthesis failures skip the block rather than aborting the
+/// pass — an optimizer must degrade to "no rewrite", never to an error, on
+/// targets a numerical basis rejects.
+#[derive(Clone, Debug)]
+pub struct Resynthesize<B> {
+    basis: B,
+    /// Maximum Frobenius error between a replacement's unitary and the
+    /// block target for the replacement to be accepted.
+    pub accept_tol: f64,
+}
+
+impl<B: Basis> Resynthesize<B> {
+    /// A resynthesis pass over `basis` accepting replacements within
+    /// `accept_tol` (Frobenius) of the block unitary.
+    pub fn new(basis: B, accept_tol: f64) -> Self {
+        Self { basis, accept_tol }
+    }
+}
+
+/// A collected block: nodes in a valid topological order plus the per-wire
+/// insertion anchors (the first node *after* the block on each wire).
+struct Block {
+    nodes: Vec<NodeId>,
+    anchor_a: Option<NodeId>,
+    anchor_b: Option<NodeId>,
+}
+
+fn is_plain_1q_on(g: &Instruction, wire: usize) -> bool {
+    g.qubits == [wire] && g.error_rate.is_none()
+}
+
+fn is_pair_2q(g: &Instruction, wa: usize, wb: usize) -> bool {
+    g.qubits.len() == 2
+        && g.qubits.contains(&wa)
+        && g.qubits.contains(&wb)
+        && g.error_rate.is_none()
+}
+
+/// Grows the maximal block around `seed` (a two-qubit gate on `(wa, wb)`).
+/// The returned node list is a valid topological order of the block: each
+/// backward 1q run is emitted chain-first (the two runs touch disjoint
+/// wires), and forward growth only appends a node once its in-block
+/// predecessors are present.
+fn collect_block(dag: &DagCircuit, seed: NodeId, wa: usize, wb: usize) -> Block {
+    let mut nodes = Vec::new();
+    // Backward: contiguous plain 1q runs feeding the seed on each wire.
+    for w in [wa, wb] {
+        let mut run = Vec::new();
+        let mut p = dag.pred(seed, w);
+        while let Some(x) = p {
+            if !is_plain_1q_on(dag.instruction(x), w) {
+                break;
+            }
+            run.push(x);
+            p = dag.pred(x, w);
+        }
+        nodes.extend(run.into_iter().rev());
+    }
+    nodes.push(seed);
+    // Forward: plain 1q gates on either wire, and 2q gates on exactly this
+    // pair once both wire frontiers agree on them.
+    let (mut last_a, mut last_b) = (seed, seed);
+    loop {
+        let mut progressed = false;
+        for w in [wa, wb] {
+            let last = if w == wa { last_a } else { last_b };
+            let Some(x) = dag.succ(last, w) else { continue };
+            let g = dag.instruction(x);
+            if is_plain_1q_on(g, w) {
+                nodes.push(x);
+                if w == wa {
+                    last_a = x;
+                } else {
+                    last_b = x;
+                }
+                progressed = true;
+            } else if is_pair_2q(g, wa, wb)
+                && dag.succ(last_a, wa) == Some(x)
+                && dag.succ(last_b, wb) == Some(x)
+            {
+                nodes.push(x);
+                last_a = x;
+                last_b = x;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Block {
+        nodes,
+        anchor_a: dag.succ(last_a, wa),
+        anchor_b: dag.succ(last_b, wb),
+    }
+}
+
+impl<B: Basis> Pass for Resynthesize<B> {
+    fn name(&self) -> String {
+        format!("resynth[{}]", self.basis.name())
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> Result<bool, OptError> {
+        let mut changed = false;
+        let order = dag.topo_order();
+        let mut visited = vec![false; dag.capacity()];
+        for &seed in &order {
+            if !dag.is_live(seed) || visited[seed] {
+                continue;
+            }
+            let g = dag.instruction(seed);
+            if g.qubits.len() != 2 || g.error_rate.is_some() {
+                continue;
+            }
+            let (wa, wb) = {
+                let (a, b) = (g.qubits[0], g.qubits[1]);
+                (a.min(b), a.max(b))
+            };
+            let block = collect_block(dag, seed, wa, wb);
+            // Replacement nodes from an earlier commit carry ids past the
+            // sweep's snapshot; they can join a later block but were never
+            // seed candidates, so marking the snapshot-era ids suffices.
+            for &id in &block.nodes {
+                if id < visited.len() {
+                    visited[id] = true;
+                }
+            }
+
+            // Accumulate the block unitary on the wire order [wa, wb].
+            let mut u = CMat::identity(4);
+            let mut cur_2q = 0usize;
+            let mut cur_duration = 0.0;
+            for &id in &block.nodes {
+                let gi = dag.instruction(id);
+                u = matrix_on(gi, &[wa, wb])?.matmul(&u);
+                if gi.is_entangler() {
+                    cur_2q += 1;
+                    cur_duration += gi.duration;
+                }
+            }
+            let cur_gates = block.nodes.len();
+
+            // Already minimal? A fused resynthesis of a k-entangler class
+            // carries at most 2(k+1) single-qubit locals.
+            let expected = self.basis.expected_entanglers(&u);
+            if cur_2q <= expected && cur_gates <= expected + 2 * (expected + 1) {
+                continue;
+            }
+
+            // Recompile through the basis; skip the block on failure or
+            // when the realized error exceeds the acceptance tolerance.
+            let Ok(replacement) = resynthesize_block(&u, &self.basis) else {
+                continue;
+            };
+            if replacement.error > self.accept_tol {
+                continue;
+            }
+            let new = &replacement.circuit;
+            let new_2q = new.entangler_count();
+            let new_gates = new.instructions.len();
+            let new_duration = new.entangler_duration();
+            let better = new_2q < cur_2q
+                || (new_2q == cur_2q && new_gates < cur_gates)
+                || (new_2q == cur_2q
+                    && new_gates == cur_gates
+                    && new_duration < cur_duration - 1e-12);
+            if !better {
+                continue;
+            }
+
+            // Commit: splice the replacement in before the block's
+            // successors on each wire.
+            for &id in &block.nodes {
+                dag.remove(id);
+            }
+            dag.mul_phase(new.phase);
+            for gi in &new.instructions {
+                let qubits: Vec<usize> = gi
+                    .qubits
+                    .iter()
+                    .map(|&q| if q == 0 { wa } else { wb })
+                    .collect();
+                let anchors: Vec<Option<NodeId>> = qubits
+                    .iter()
+                    .map(|&q| {
+                        if q == wa {
+                            block.anchor_a
+                        } else {
+                            block.anchor_b
+                        }
+                    })
+                    .collect();
+                let mut mapped = Instruction::new(qubits, gi.matrix.clone(), gi.label.clone())
+                    .with_duration(gi.duration);
+                mapped.error_rate = gi.error_rate;
+                dag.insert_before(mapped, &anchors)?;
+            }
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_ir::Circuit;
+    use ashn_math::randmat::haar_unitary;
+    use ashn_synth::basis::CzBasis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Frobenius distance after aligning global phases.
+    fn phase_dist(a: &CMat, b: &CMat) -> f64 {
+        let tr = a.adjoint().matmul(b).trace();
+        let phase = if tr.abs() > 1e-15 {
+            tr / tr.abs()
+        } else {
+            ashn_math::Complex::ONE
+        };
+        a.scale(phase).dist(b)
+    }
+
+    #[test]
+    fn six_cz_block_collapses_to_three() {
+        // Two consecutive CZ-synthesized Haar gates on the same pair form
+        // one block of 6 CZs; the combined class needs only 3.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut circuit = Circuit::new(2);
+        for _ in 0..2 {
+            let u = haar_unitary(4, &mut rng);
+            let part = CzBasis.synthesize(&u).unwrap().fuse_single_qubit_runs();
+            circuit.append(part).unwrap();
+        }
+        assert_eq!(circuit.entangler_count(), 6);
+        let reference = circuit.unitary();
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        let pass = Resynthesize::new(CzBasis, 1e-6);
+        assert!(pass.run(&mut dag).unwrap());
+        let out = dag.into_circuit();
+        assert_eq!(out.entangler_count(), 3);
+        assert!(
+            phase_dist(&out.unitary(), &reference) < 1e-6,
+            "dist {}",
+            phase_dist(&out.unitary(), &reference)
+        );
+    }
+
+    #[test]
+    fn minimal_blocks_are_skipped() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let u = haar_unitary(4, &mut rng);
+        let circuit = CzBasis.synthesize(&u).unwrap().fuse_single_qubit_runs();
+        let before = circuit.instructions.len();
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        let pass = Resynthesize::new(CzBasis, 1e-6);
+        assert!(
+            !pass.run(&mut dag).unwrap(),
+            "minimal block must be skipped"
+        );
+        assert_eq!(dag.len(), before);
+    }
+
+    #[test]
+    fn blocks_fenced_by_other_wires_stay_separate() {
+        // g(0,1) · g(1,2) · g(0,1): the middle gate fences the outer pair,
+        // so the entangler runs must not merge across it — the CZ count
+        // stays 3 per gate even though stray single-qubit dressing may be
+        // absorbed (single-qubit gates on wire 0 commute past the fence).
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut circuit = Circuit::new(3);
+        for pair in [[0usize, 1], [1, 2], [0, 1]] {
+            let u = haar_unitary(4, &mut rng);
+            let part = CzBasis.synthesize(&u).unwrap().fuse_single_qubit_runs();
+            circuit.append(part.embed(3, &pair).unwrap()).unwrap();
+        }
+        assert_eq!(circuit.entangler_count(), 9);
+        let reference = circuit.unitary();
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        let pass = Resynthesize::new(CzBasis, 1e-6);
+        pass.run(&mut dag).unwrap();
+        let out = dag.into_circuit();
+        assert_eq!(out.entangler_count(), 9, "no cross-fence entangler merge");
+        assert!(
+            phase_dist(&out.unitary(), &reference) < 1e-6,
+            "dist {}",
+            phase_dist(&out.unitary(), &reference)
+        );
+    }
+}

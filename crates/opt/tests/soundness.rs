@@ -1,0 +1,218 @@
+//! Optimizer soundness: every pass pipeline must preserve the circuit
+//! unitary (global phase folded) at `1e-12` on randomized 2–4 qubit
+//! circuits, and the DAG↔linear round trip must be bit-identical when no
+//! pass fires.
+
+use ashn_ir::{Basis, Circuit, Instruction};
+use ashn_math::randmat::haar_unitary;
+use ashn_math::{CMat, Complex};
+use ashn_opt::{standard_pipeline, structural_pipeline, DagCircuit, PassManager, Resynthesize};
+use ashn_synth::basis::{AshnBasis, CzBasis};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Frobenius distance after optimally aligning global phases.
+fn phase_folded_distance(a: &CMat, b: &CMat) -> f64 {
+    let tr = a.adjoint().matmul(b).trace();
+    let phase = if tr.abs() > 1e-15 {
+        tr / tr.abs()
+    } else {
+        Complex::ONE
+    };
+    a.scale(phase).dist(b)
+}
+
+fn cz() -> CMat {
+    CMat::diag(&[
+        Complex::ONE,
+        Complex::ONE,
+        Complex::ONE,
+        ashn_math::c(-1.0, 0.0),
+    ])
+}
+
+/// A randomized circuit deliberately rich in optimizer bait: Haar 1q/2q
+/// gates, CZ pairs that cancel through commuting diagonals, inverse pairs,
+/// and pure-phase identities.
+fn random_circuit(n: usize, gates: usize, rng: &mut StdRng) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.phase = Complex::cis(rng.gen_range(-3.0..3.0));
+    while c.instructions.len() < gates {
+        let pick = rng.gen_range(0..10usize);
+        match pick {
+            0..=2 => {
+                let q = rng.gen_range(0..n);
+                c.push(Instruction::new(vec![q], haar_unitary(2, rng), "1q"));
+            }
+            3..=5 => {
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                c.push(Instruction::new(vec![a, b], haar_unitary(4, rng), "2q"));
+            }
+            6 => {
+                // CZ pair separated by a commuting diagonal on one wire.
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                let theta = rng.gen_range(-3.0..3.0f64);
+                let rz = CMat::diag(&[Complex::cis(-theta / 2.0), Complex::cis(theta / 2.0)]);
+                c.push(Instruction::new(vec![a, b], cz(), "CZ"));
+                c.push(Instruction::new(vec![a], rz, "Rz"));
+                c.push(Instruction::new(vec![a, b], cz(), "CZ"));
+            }
+            7 => {
+                // Adjacent inverse pair on one wire.
+                let q = rng.gen_range(0..n);
+                let u = haar_unitary(2, rng);
+                c.push(Instruction::new(vec![q], u.adjoint(), "u_dag"));
+                c.push(Instruction::new(vec![q], u, "u"));
+            }
+            8 => {
+                // Pure phase "gate".
+                let q = rng.gen_range(0..n);
+                let phase = Complex::cis(rng.gen_range(-3.0..3.0));
+                c.push(Instruction::new(
+                    vec![q],
+                    CMat::identity(2).scale(phase),
+                    "ph",
+                ));
+            }
+            _ => {
+                // Two gates on the same pair: a resynthesis block.
+                let a = rng.gen_range(0..n);
+                let mut b = rng.gen_range(0..n);
+                while b == a {
+                    b = rng.gen_range(0..n);
+                }
+                c.push(Instruction::new(vec![a, b], haar_unitary(4, rng), "2q"));
+                c.push(Instruction::new(vec![b, a], haar_unitary(4, rng), "2q"));
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The structural passes plus strictly-verified resynthesis preserve
+    /// the unitary at 1e-12: every exact rewrite holds at near-machine
+    /// precision, and a resynthesized block is committed only after its
+    /// realized unitary is measured against the block target at 1e-13.
+    #[test]
+    fn optimize_is_unitary_equivalent_at_1e12(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..=4usize);
+        let gates = rng.gen_range(6..=28usize);
+        let circuit = random_circuit(n, gates, &mut rng);
+        let reference = circuit.unitary();
+        let pipeline = structural_pipeline()
+            .with_pass(Resynthesize::new(CzBasis, 1e-13));
+        let (optimized, stats) = pipeline.run(&circuit).expect("optimizes");
+        let d = phase_folded_distance(&optimized.unitary(), &reference);
+        prop_assert!(d < 1e-12, "equivalence broken: {d:.2e} (stats {stats})");
+        prop_assert!(optimized.instructions.len() <= circuit.instructions.len());
+        prop_assert_eq!(stats.before.gates, circuit.instructions.len());
+    }
+
+    /// DAG → linear round trip is bit-identical when no pass fires: same
+    /// instruction order, same matrices to the bit, same annotations.
+    #[test]
+    fn round_trip_is_bit_identical_when_nothing_fires(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDA6);
+        let n = rng.gen_range(2..=4usize);
+        // No two adjacent 1q gates on a wire, no cancelling pairs: nothing
+        // for any pass to do.
+        let mut circuit = Circuit::new(n);
+        circuit.phase = Complex::cis(rng.gen_range(-3.0..3.0));
+        for _ in 0..rng.gen_range(3..=10usize) {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            while b == a { b = rng.gen_range(0..n); }
+            circuit.push(Instruction::new(vec![a], haar_unitary(2, &mut rng), "1q"));
+            circuit.push(
+                Instruction::new(vec![a, b], haar_unitary(4, &mut rng), "2q")
+                    .with_duration(rng.gen_range(0.1..2.0))
+                    .with_error_rate(0.001),
+            );
+        }
+        // Plain round trip.
+        let back = DagCircuit::from_circuit(&circuit).expect("valid").into_circuit();
+        assert_bit_identical(&circuit, &back);
+        // Round trip through a pipeline that inspects but never fires
+        // (annotated 2q gates fence every rewrite; single 1q runs and
+        // 1-entangler blocks are already minimal).
+        let pipeline = structural_pipeline()
+            .with_pass(Resynthesize::new(CzBasis, 1e-13));
+        let (optimized, stats) = pipeline.run(&circuit).expect("optimizes");
+        prop_assert_eq!(stats.before.gates, stats.after.gates, "nothing to do");
+        assert_bit_identical(&circuit, &optimized);
+    }
+}
+
+fn assert_bit_identical(a: &Circuit, b: &Circuit) {
+    assert_eq!(a.n, b.n);
+    assert_eq!(a.phase.re.to_bits(), b.phase.re.to_bits());
+    assert_eq!(a.phase.im.to_bits(), b.phase.im.to_bits());
+    assert_eq!(a.instructions.len(), b.instructions.len());
+    for (x, y) in a.instructions.iter().zip(&b.instructions) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.qubits, y.qubits);
+        assert_eq!(x.duration.to_bits(), y.duration.to_bits());
+        assert_eq!(
+            x.error_rate.map(f64::to_bits),
+            y.error_rate.map(f64::to_bits)
+        );
+        assert_eq!(x.matrix.rows(), y.matrix.rows());
+        for (p, q) in x.matrix.as_slice().iter().zip(y.matrix.as_slice()) {
+            assert_eq!(p.re.to_bits(), q.re.to_bits());
+            assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+    }
+}
+
+/// The full standard pipeline over the AshN basis: equivalence within the
+/// block-acceptance tolerance, with the expected entangler collapse (two
+/// same-pair Haar gates = one block = one pulse).
+#[test]
+fn ashn_standard_pipeline_collapses_blocks_within_tolerance() {
+    let mut rng = StdRng::seed_from_u64(977);
+    let basis = AshnBasis::ideal();
+    let mut circuit = Circuit::new(3);
+    for pair in [[0usize, 1], [0, 1], [1, 2], [1, 2], [1, 2]] {
+        let u = haar_unitary(4, &mut rng);
+        let part = basis.synthesize(&u).unwrap().fuse_single_qubit_runs();
+        circuit.append(part.embed(3, &pair).unwrap()).unwrap();
+    }
+    assert_eq!(circuit.entangler_count(), 5);
+    let reference = circuit.unitary();
+    let (optimized, stats) = standard_pipeline(basis, 1e-5)
+        .run(&circuit)
+        .expect("optimizes");
+    assert_eq!(
+        optimized.entangler_count(),
+        2,
+        "each same-pair run is one AshN pulse (stats {stats})"
+    );
+    let d = phase_folded_distance(&optimized.unitary(), &reference);
+    assert!(d < 1e-4, "replacement drifted: {d:.2e}");
+    assert_eq!(stats.before.two_qubit, 5);
+    assert_eq!(stats.after.two_qubit, 2);
+}
+
+/// An empty pipeline is the identity transformation.
+#[test]
+fn empty_pipeline_is_identity() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let circuit = random_circuit(3, 12, &mut rng);
+    let (out, stats) = PassManager::new().run(&circuit).expect("runs");
+    assert_bit_identical(&circuit, &out);
+    assert_eq!(stats.iterations, 1);
+    assert!(stats.passes.is_empty());
+}

@@ -3,19 +3,13 @@
 //! The circuit representation itself lives in `ashn-ir` (one IR for the
 //! whole workspace); this module keeps the noise model and provides the
 //! [`Simulate`] extension trait so `circuit.run_pure()` /
-//! `circuit.run_noisy(..)` read as before. The former `ashn_sim::Gate` and
-//! the private `Circuit` are thin deprecated aliases for one release.
+//! `circuit.run_noisy(..)` read as before. (The transitional
+//! `ashn_sim::Gate` alias has been removed — every consumer now speaks
+//! `ashn_ir::Instruction` directly.)
 
 use crate::density::DensityMatrix;
 use crate::state::StateVector;
 pub use ashn_ir::{Circuit, Instruction};
-
-/// Deprecated name of [`Instruction`], kept for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ashn_ir::Instruction` (re-exported as `ashn_sim::Instruction`)"
-)]
-pub type Gate = Instruction;
 
 /// Per-arity default depolarizing rates.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -178,12 +172,5 @@ mod tests {
         for (r, a) in amps.amplitudes().iter().enumerate() {
             assert!((*a - u[(r, 0)]).abs() < 1e-12, "row {r}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_gate_alias_still_constructs() {
-        let g = Gate::new(vec![0], h_gate(), "H");
-        assert_eq!(g.qubits, vec![0]);
     }
 }

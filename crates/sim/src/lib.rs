@@ -49,8 +49,6 @@ pub mod state;
 pub mod trajectory;
 
 pub use batch::BatchRunner;
-#[allow(deprecated)]
-pub use circuit::Gate;
 pub use circuit::{Circuit, Instruction, NoiseModel, Simulate};
 pub use density::DensityMatrix;
 pub use engine::SimEngine;

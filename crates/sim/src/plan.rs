@@ -71,6 +71,16 @@ pub enum PlanError {
         /// The offending register size.
         n: usize,
     },
+    /// An instruction references a wire outside the circuit register.
+    /// `Circuit::push` maintains this invariant, but the instruction list
+    /// is a public field, so hand-assembled circuits can violate it; the
+    /// plan compiler reports it instead of panicking on bit arithmetic.
+    WireOutOfRange {
+        /// The offending wire index.
+        qubit: usize,
+        /// Register size.
+        n: usize,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -81,6 +91,12 @@ impl fmt::Display for PlanError {
             }
             PlanError::RegisterOutOfRange { n } => {
                 write!(f, "register size {n} outside the supported 1..=24 range")
+            }
+            PlanError::WireOutOfRange { qubit, n } => {
+                write!(
+                    f,
+                    "instruction wire {qubit} out of range for a {n}-qubit register"
+                )
             }
         }
     }
@@ -278,6 +294,9 @@ impl ExecPlan {
         let mut pending: Vec<Option<Mat2>> = vec![None; n];
         let mut absorber: Vec<Option<(usize, bool)>> = vec![None; n];
         for g in circuit.gates() {
+            if let Some(&q) = g.qubits.iter().find(|&&q| q >= n) {
+                return Err(PlanError::WireOutOfRange { qubit: q, n });
+            }
             let rate = rate_of(g);
             match g.qubits[..] {
                 [q] => {
@@ -571,6 +590,30 @@ mod tests {
         assert_eq!(
             ExecPlan::pure(&circuit).unwrap_err(),
             PlanError::UnsupportedArity { qubits: 3 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_wires_are_a_structured_error() {
+        // Bypass `Circuit::push` validation: the instruction list is a
+        // public field, so a hand-assembled circuit can reference wires
+        // outside the register. The plan compiler must report it, not
+        // panic in the bit-position arithmetic.
+        let mut circuit = Circuit::new(2);
+        circuit
+            .instructions
+            .push(Instruction::new(vec![0, 5], x_gate().kron(&x_gate()), "XX"));
+        assert_eq!(
+            ExecPlan::pure(&circuit).unwrap_err(),
+            PlanError::WireOutOfRange { qubit: 5, n: 2 }
+        );
+        let mut one_q = Circuit::new(1);
+        one_q
+            .instructions
+            .push(Instruction::new(vec![1], x_gate(), "X"));
+        assert_eq!(
+            ExecPlan::build(&one_q, &NoiseModel::NOISELESS).unwrap_err(),
+            PlanError::WireOutOfRange { qubit: 1, n: 1 }
         );
     }
 

@@ -8,8 +8,8 @@
 //! CNOT vs generic two-qubit ansätze, with the sharp drop at the
 //! dimension-counting lower bounds.
 
-use crate::ncircuit::embed;
 use ashn_gates::two::cnot;
+use ashn_ir::embed;
 use ashn_math::randmat::haar_unitary;
 use ashn_math::svd::svd;
 use ashn_math::{CMat, Mat2, Mat4};

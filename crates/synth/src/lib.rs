@@ -37,8 +37,8 @@ pub mod counts;
 pub mod csd;
 pub mod instantiate;
 pub mod multiplexor;
-pub mod ncircuit;
 pub mod qsd;
+pub mod resynth;
 pub mod sqisw_basis;
 pub mod three_qubit;
 

@@ -1,0 +1,67 @@
+//! Block resynthesis: the entry point the circuit optimizer (`ashn-opt`)
+//! uses to recompile a collected two-qubit block through any native basis.
+//!
+//! A block's accumulated 4×4 unitary is synthesized over the basis (which
+//! KAK-canonicalizes internally — and, wrapped in
+//! [`crate::cache::CachedBasis`], serves repeated Weyl classes from the
+//! memo-cache), single-qubit runs are fused, and the realized error against
+//! the block unitary is measured so the caller can accept or reject the
+//! replacement against its own tolerance.
+
+use ashn_ir::{Basis, Circuit, SynthError};
+use ashn_math::CMat;
+
+/// A candidate replacement for a two-qubit block.
+#[derive(Clone, Debug)]
+pub struct BlockResynthesis {
+    /// The replacement circuit on qubits `{0, 1}` (single-qubit runs
+    /// fused), including its global phase.
+    pub circuit: Circuit,
+    /// Frobenius distance between the replacement's unitary and the block
+    /// target.
+    pub error: f64,
+}
+
+/// Synthesizes a two-qubit block unitary over `basis` and measures the
+/// realized error.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from the basis (callers typically *skip* the
+/// block on error rather than abort the whole optimization).
+pub fn resynthesize_block<B: Basis + ?Sized>(
+    u: &CMat,
+    basis: &B,
+) -> Result<BlockResynthesis, SynthError> {
+    let circuit = basis.synthesize(u)?.fuse_single_qubit_runs();
+    let error = circuit.error(u);
+    Ok(BlockResynthesis { circuit, error })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::CzBasis;
+    use ashn_gates::two::swap;
+    use ashn_math::randmat::haar_unitary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resynthesis_reproduces_target_and_reports_error() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let u = haar_unitary(4, &mut rng);
+        let r = resynthesize_block(&u, &CzBasis).unwrap();
+        assert!(r.error < 1e-6, "error {}", r.error);
+        assert!(r.circuit.error(&u) <= r.error + 1e-12);
+        assert_eq!(r.circuit.entangler_count(), 3);
+    }
+
+    #[test]
+    fn swap_block_resynthesizes_through_dyn_basis() {
+        let basis: Box<dyn Basis> = Box::new(CzBasis);
+        let r = resynthesize_block(&swap(), basis.as_ref()).unwrap();
+        assert!(r.error < 1e-8);
+        assert_eq!(r.circuit.entangler_count(), 3);
+    }
+}

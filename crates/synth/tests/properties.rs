@@ -3,12 +3,12 @@
 
 use ashn_gates::kak::weyl_coordinates;
 use ashn_gates::two::canonical;
+use ashn_ir::embed;
 use ashn_math::randmat::haar_unitary;
 use ashn_math::CMat;
 use ashn_synth::cnot_basis::{cnot_count_for, decompose_cnot};
 use ashn_synth::csd::csd;
 use ashn_synth::multiplexor::{demultiplex, mux_rotation, Axis};
-use ashn_synth::ncircuit::embed;
 use ashn_synth::sqisw_basis::{in_w0, sqisw_count_for};
 use ashn_synth::three_qubit::lemma14;
 use proptest::prelude::*;

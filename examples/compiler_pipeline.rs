@@ -72,10 +72,32 @@ fn main() -> Result<(), AshnError> {
         .compile(&model)?;
     report(&compiled);
 
+    // The optimizer slots in between routing and scheduling: maximal
+    // two-qubit runs (routed SWAP + layer gate, repeated pairings) are
+    // recompiled as single AshN pulses, and single-qubit runs merge.
+    let optimized = Compiler::new()
+        .gate_set(GateSet::Ashn { cutoff: 1.1 })
+        .noise(noise)
+        .opt_level(OptLevel::Default)
+        .compile(&model)?;
+    let score = optimized.score();
+    println!(
+        "{:<14} {:>10.4} {:>10} {:>18.2}",
+        format!("{} +opt", optimized.basis_name()),
+        score.hop,
+        score.two_qubit_gates,
+        score.interaction_time,
+    );
+    if let Some(stats) = optimized.opt_stats() {
+        println!("\nOptimizer (OptLevel::Default): {stats}");
+    }
+
     println!(
         "\nAshN needs one pulse per gate (SWAPs included); the B-gate basis\n\
          always needs two, and CZ three — the interaction-time column is the\n\
-         noise exposure that decides the quantum-volume ordering."
+         noise exposure that decides the quantum-volume ordering. The\n\
+         optimized AshN row shows the DAG optimizer recovering further\n\
+         gates on top of the single-pulse advantage."
     );
     Ok(())
 }

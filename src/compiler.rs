@@ -1,5 +1,5 @@
-//! The builder-style compilation pipeline: synthesize → route → schedule →
-//! simulate, over any [`Basis`].
+//! The builder-style compilation pipeline: synthesize → route → optimize →
+//! schedule → simulate, over any [`Basis`].
 //!
 //! This replaces the former free-function flow
 //! (`qv::compile_model` + `qv::score_compiled`) as the facade entry point:
@@ -22,6 +22,7 @@
 
 use crate::error::AshnError;
 use ashn_ir::{Basis, Circuit};
+use ashn_opt::{standard_pipeline, structural_pipeline, OptStats, PassManager};
 use ashn_qv::experiment::{
     compile_model_on, score_compiled, score_compiled_many, stamp_noise, CircuitScore,
     CompiledModel, ModelCircuit,
@@ -40,10 +41,38 @@ use ashn_synth::cache::{CachedBasis, SynthCache};
 /// observable from the facade.
 pub type SynthStats = ashn_synth::cache::CacheStats;
 
+/// How aggressively the compiler optimizes the routed circuit before
+/// scheduling (the `ashn-opt` pass pipeline).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OptLevel {
+    /// No optimization: the routed circuit is scheduled as assembled. This
+    /// is the builder default, preserving the historical pipeline output
+    /// bit for bit.
+    #[default]
+    None,
+    /// Structural passes only (exact rewrites at near-machine precision):
+    /// adjacent single-qubit merge, global-phase folding, and
+    /// commutation-aware cancellation.
+    Light,
+    /// The standard pipeline: the structural passes plus `Collect2q` +
+    /// resynthesis — maximal two-qubit runs are gathered into one `SU(4)`
+    /// target and re-emitted through the compiler's (cached) basis when
+    /// that is strictly cheaper. Replacements are accepted only when their
+    /// realized unitary matches the block within
+    /// [`Compiler::OPT_ACCEPT_TOL`], the same fidelity scale the numerical
+    /// bases synthesize to.
+    Default,
+}
+
 /// Builder for the end-to-end compilation pipeline.
 ///
 /// Defaults: the AshN basis with the paper's cutoff `r = 1.1`, the paper's
-/// noise anchored at `e_cz = 0.7%`, and a grid sized to the model.
+/// noise anchored at `e_cz = 0.7%`, a grid sized to the model, and
+/// [`OptLevel::None`] — the optimizer ([`Compiler::opt_level`]) is opt-in,
+/// so out of the box the pipeline reproduces the historical
+/// synthesize → route → schedule → simulate output bit for bit. Select
+/// [`OptLevel::Light`] for the exact structural rewrites or
+/// [`OptLevel::Default`] to add two-qubit block resynthesis.
 pub struct Compiler {
     basis: Box<dyn Basis>,
     noise: QvNoise,
@@ -51,6 +80,7 @@ pub struct Compiler {
     /// Handle onto the memo-cache wrapped around the basis (`None` when the
     /// caller opted out via [`Compiler::basis_uncached`]).
     cache: Option<SynthCache>,
+    opt: OptLevel,
 }
 
 impl Default for Compiler {
@@ -71,7 +101,26 @@ impl Compiler {
             noise: QvNoise::with_e_cz(0.007),
             grid: None,
             cache: Some(cache),
+            opt: OptLevel::None,
         }
+    }
+
+    /// Acceptance tolerance for resynthesized blocks under
+    /// [`OptLevel::Default`]: a replacement is committed only when its
+    /// realized unitary is within this Frobenius distance of the block it
+    /// replaces — the same fidelity scale the numerical bases (AshN pulse
+    /// compilation, the SQiSW interleaver search) synthesize to, so
+    /// optimization never degrades fidelity below what compilation already
+    /// delivers.
+    pub const OPT_ACCEPT_TOL: f64 = 1e-5;
+
+    /// Sets the optimization level run between routing and scheduling
+    /// (default: [`OptLevel::None`] — optimization is opt-in so the
+    /// historical pipeline output is preserved bit for bit).
+    #[must_use]
+    pub fn opt_level(mut self, level: OptLevel) -> Self {
+        self.opt = level;
+        self
     }
 
     /// Sets the native basis (any [`Basis`] implementation — the built-in
@@ -150,16 +199,38 @@ impl Compiler {
                 ),
             });
         }
-        let compiled =
+        let mut compiled =
             compile_model_on(model, self.basis.as_ref(), Some(grid)).map_err(|e| match e {
                 ashn_ir::SynthError::Ir(ir) => AshnError::Ir(ir),
                 other => AshnError::Synth(other),
             })?;
+        // Optimize between routing and scheduling: rewrites act on the
+        // physical-site circuit (wire identities preserved, so the router's
+        // final placement stays valid) before noise rates are resolved.
+        let opt_stats = match self.opt {
+            OptLevel::None => None,
+            OptLevel::Light => Some(self.optimize(&mut compiled.circuit, structural_pipeline())?),
+            OptLevel::Default => Some(self.optimize(
+                &mut compiled.circuit,
+                standard_pipeline(&self.basis, Self::OPT_ACCEPT_TOL),
+            )?),
+        };
         Ok(Compiled {
             model: compiled,
             noise: self.noise,
             basis_name: self.basis.name(),
+            opt_stats,
         })
+    }
+
+    fn optimize(
+        &self,
+        circuit: &mut Circuit,
+        pipeline: PassManager,
+    ) -> Result<OptStats, AshnError> {
+        let (optimized, stats) = pipeline.run(circuit)?;
+        *circuit = optimized;
+        Ok(stats)
     }
 }
 
@@ -169,6 +240,7 @@ pub struct Compiled {
     model: CompiledModel,
     noise: QvNoise,
     basis_name: String,
+    opt_stats: Option<OptStats>,
 }
 
 impl Compiled {
@@ -186,6 +258,13 @@ impl Compiled {
     /// Name of the basis this was compiled for.
     pub fn basis_name(&self) -> &str {
         &self.basis_name
+    }
+
+    /// Optimizer accounting for this compilation — gate counts, two-qubit
+    /// counts, and depth before→after, with a per-pass breakdown — or
+    /// `None` when the compiler ran at [`OptLevel::None`].
+    pub fn opt_stats(&self) -> Option<&OptStats> {
+        self.opt_stats.as_ref()
     }
 
     /// The underlying `ashn-qv` compiled model.

@@ -8,6 +8,7 @@
 
 use ashn_core::scheme::CompileError;
 use ashn_ir::{IrError, SynthError};
+use ashn_opt::OptError;
 use std::error::Error;
 use std::fmt;
 
@@ -64,5 +65,19 @@ impl From<IrError> for AshnError {
 impl From<CompileError> for AshnError {
     fn from(e: CompileError) -> Self {
         AshnError::Pulse(e)
+    }
+}
+
+/// Optimizer failures surface through the same hierarchy: a structural DAG
+/// error is an IR error, a resynthesis failure a synthesis error.
+impl From<OptError> for AshnError {
+    fn from(e: OptError) -> Self {
+        match e {
+            OptError::Ir(ir) => AshnError::Ir(ir),
+            OptError::Synth(s) => AshnError::Synth(s),
+            stale @ OptError::InvalidAnchor { .. } => AshnError::Config {
+                detail: stale.to_string(),
+            },
+        }
     }
 }

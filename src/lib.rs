@@ -15,13 +15,15 @@
 //!   the [`ir::Basis`] gate-set abstraction shared by every crate below;
 //! * [`sim`] — statevector/density-matrix simulators with noise;
 //! * [`synth`] — circuit synthesis (CNOT/SQiSW/AshN bases, QSD, Theorem 12);
+//! * [`opt`] — the DAG-based circuit optimizer (pass pipelines, KAK block
+//!   resynthesis) behind [`Compiler::opt_level`];
 //! * [`route`] — 2-D grid qubit routing and IR assembly;
 //! * [`qv`] — quantum-volume experiments (paper Fig. 7);
 //! * [`cal`] — calibration (Cartan doubles, QPE, FRB, control models);
 //!
 //! and provides the end-to-end entry points: the builder-style
-//! [`Compiler`] (synthesize → route → schedule → simulate over any
-//! [`ir::Basis`]) and the unified [`AshnError`].
+//! [`Compiler`] (synthesize → route → optimize → schedule → simulate over
+//! any [`ir::Basis`]) and the unified [`AshnError`].
 //!
 //! ## Quickstart: compile one gate to one pulse
 //!
@@ -62,11 +64,13 @@ pub use ashn_core as core;
 pub use ashn_gates as gates;
 pub use ashn_ir as ir;
 pub use ashn_math as math;
+pub use ashn_opt as opt;
 pub use ashn_qv as qv;
 pub use ashn_route as route;
 pub use ashn_sim as sim;
 pub use ashn_synth as synth;
 
-pub use compiler::{Compiled, Compiler, SynthStats};
+pub use compiler::{Compiled, Compiler, OptLevel, SynthStats};
 pub use error::AshnError;
+pub use opt::{OptStats, PassManager};
 pub use qv::{GateSet, QvNoise};
