@@ -28,6 +28,20 @@ pub trait Basis {
     /// Short display name (e.g. `"CZ"`, `"SQiSW"`, `"AshN(r=1.1)"`).
     fn name(&self) -> String;
 
+    /// Scheme parameters that change synthesized circuits without changing
+    /// the display name — the cache discriminator.
+    ///
+    /// Synthesis caches (`ashn_synth::cache`, the `ashn-service` sharded
+    /// persistent cache) key entries by `(name, cache_params, Weyl class)`;
+    /// two instances whose `name` and `cache_params` both match are
+    /// promised to synthesize bit-identical circuits for the same target.
+    /// Parameterized bases must override this with every parameter that
+    /// affects output (e.g. AshN's `ZZ` ratio `h̃` and cutoff `r`);
+    /// parameter-free bases keep the empty default.
+    fn cache_params(&self) -> String {
+        String::new()
+    }
+
     /// Compiles an arbitrary two-qubit unitary into a circuit on qubits
     /// `{0, 1}` whose entanglers are all native to this basis.
     ///
@@ -58,6 +72,9 @@ impl<B: Basis + ?Sized> Basis for &B {
     fn name(&self) -> String {
         (**self).name()
     }
+    fn cache_params(&self) -> String {
+        (**self).cache_params()
+    }
     fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
         (**self).synthesize(u)
     }
@@ -72,6 +89,9 @@ impl<B: Basis + ?Sized> Basis for &B {
 impl Basis for Box<dyn Basis> {
     fn name(&self) -> String {
         (**self).name()
+    }
+    fn cache_params(&self) -> String {
+        (**self).cache_params()
     }
     fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
         (**self).synthesize(u)

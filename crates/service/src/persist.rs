@@ -1,0 +1,329 @@
+//! The versioned on-disk format for cached synthesis results.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Lossless.** A warm-started service must serve bit-identical
+//!    circuits to the process that saved the cache, so every `f64` is
+//!    written as the hex of its exact IEEE-754 bit pattern — no decimal
+//!    round trip anywhere.
+//! 2. **Keyed by provenance, not just geometry.** Entries carry the basis
+//!    display name *and* its [`ashn_ir::Basis::cache_params`] (e.g. AshN's
+//!    `ZZ` ratio and cutoff), exactly as the in-memory [`ClassKey`] does —
+//!    two bases with identical quantized Weyl coordinates but different
+//!    scheme parameters can never cross-hit after a save/load round trip.
+//! 3. **Corruption degrades, never errors.** Any parse failure — wrong
+//!    magic, unknown version, truncation, a flipped bit in a hex field —
+//!    makes the loader report a cold start; a compile service must boot
+//!    with an empty cache rather than refuse to boot.
+//!
+//! Format (line-oriented text, `|`-separated, `%`-escaped strings):
+//!
+//! ```text
+//! ashn-synth-cache v1
+//! k|<basis>|<params>|<x>|<y>|<z>|<swap 0/1>     -- one per entry
+//! t|<32 hex f64 words>                          -- 4x4 target, row-major
+//! p|<2 hex f64 words>                           -- global phase
+//! 0|<8 hex f64 words>                           -- op: 1q gate on qubit 0
+//! 1|<8 hex f64 words>                           -- op: 1q gate on qubit 1
+//! e|<label>|<duration hex>|<32 hex f64 words>   -- op: entangler
+//! .                                             -- end of entry
+//! end <entry count>                             -- truncation sentinel
+//! ```
+
+use ashn_math::{CMat, Complex};
+use ashn_synth::cache::{ClassEntry, ClassKey};
+use ashn_synth::circuit2::{Op2, TwoQubitCircuit};
+use std::io::Write;
+use std::path::Path;
+
+/// Magic + version line. Bump the version whenever the entry layout, the
+/// key quantization, or the meaning of any field changes: old files must
+/// degrade to a cold start, not be misread.
+pub const HEADER: &str = "ashn-synth-cache v1";
+
+/// How a [`crate::ShardedCache::warm_start`] resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The file parsed cleanly; every entry was installed.
+    Warm,
+    /// No file at the path (first boot) — the cache stays cold.
+    Missing,
+    /// The file was unreadable, had a mismatched version, or was corrupt;
+    /// the cache stays cold and the reason says why.
+    Cold(String),
+}
+
+/// Result of a warm-start attempt: entries installed plus the outcome.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Entries installed into the cache.
+    pub loaded: usize,
+    /// How the load resolved.
+    pub outcome: LoadOutcome,
+}
+
+impl LoadReport {
+    /// Whether the cache was actually warmed.
+    pub fn is_warm(&self) -> bool {
+        self.outcome == LoadOutcome::Warm
+    }
+}
+
+/// `%`-escapes the separator, the escape character itself, and newlines.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '%' => out.push_str("%25"),
+            '|' => out.push_str("%7C"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '%' {
+            out.push(ch);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).collect();
+        match hex.as_str() {
+            "25" => out.push('%'),
+            "7C" => out.push('|'),
+            "0A" => out.push('\n'),
+            "0D" => out.push('\r'),
+            other => return Err(format!("bad escape %{other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn push_matrix(line: &mut String, m: &CMat) {
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            let z = m[(i, j)];
+            line.push_str(&format!("|{:016x}|{:016x}", z.re.to_bits(), z.im.to_bits()));
+        }
+    }
+}
+
+fn parse_f64(word: &str) -> Result<f64, String> {
+    u64::from_str_radix(word, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 word {word:?}: {e}"))
+}
+
+fn parse_matrix(words: &[&str], rows: usize, cols: usize) -> Result<CMat, String> {
+    let expect = rows * cols * 2;
+    if words.len() != expect {
+        return Err(format!("matrix needs {expect} words, got {}", words.len()));
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for pair in words.chunks_exact(2) {
+        data.push(Complex::new(parse_f64(pair[0])?, parse_f64(pair[1])?));
+    }
+    Ok(CMat::from_fn(rows, cols, |i, j| data[i * cols + j]))
+}
+
+/// Serializes `entries` into the v1 format.
+pub fn write_entries(
+    w: &mut impl Write,
+    entries: &[(ClassKey, ClassEntry)],
+) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for (key, entry) in entries {
+        writeln!(
+            w,
+            "k|{}|{}|{}|{}|{}|{}",
+            escape(&key.basis),
+            escape(&key.params),
+            key.x,
+            key.y,
+            key.z,
+            u8::from(key.swap),
+        )?;
+        let mut line = String::from("t");
+        push_matrix(&mut line, &entry.target);
+        writeln!(w, "{line}")?;
+        let phase = entry.circuit.phase;
+        writeln!(
+            w,
+            "p|{:016x}|{:016x}",
+            phase.re.to_bits(),
+            phase.im.to_bits()
+        )?;
+        for op in &entry.circuit.ops {
+            let mut line = String::new();
+            match op {
+                Op2::L0(m) => {
+                    line.push('0');
+                    push_matrix(&mut line, m);
+                }
+                Op2::L1(m) => {
+                    line.push('1');
+                    push_matrix(&mut line, m);
+                }
+                Op2::Entangler {
+                    label,
+                    matrix,
+                    duration,
+                } => {
+                    line.push('e');
+                    line.push_str(&format!("|{}|{:016x}", escape(label), duration.to_bits()));
+                    push_matrix(&mut line, matrix);
+                }
+            }
+            writeln!(w, "{line}")?;
+        }
+        writeln!(w, ".")?;
+    }
+    writeln!(w, "end {}", entries.len())?;
+    Ok(())
+}
+
+/// Writes `entries` to `path`, returning how many were written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_to_path(
+    path: impl AsRef<Path>,
+    entries: &[(ClassKey, ClassEntry)],
+) -> std::io::Result<usize> {
+    let mut buf = Vec::new();
+    write_entries(&mut buf, entries)?;
+    std::fs::write(path, buf)?;
+    Ok(entries.len())
+}
+
+/// Parses a v1 cache file.
+///
+/// # Errors
+///
+/// Every failure mode maps to a [`LoadOutcome`]: [`LoadOutcome::Missing`]
+/// when there is no file, [`LoadOutcome::Cold`] with a reason for
+/// unreadable, version-mismatched, or corrupt content.
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<Vec<(ClassKey, ClassEntry)>, LoadOutcome> {
+    let path = path.as_ref();
+    if !path.exists() {
+        return Err(LoadOutcome::Missing);
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| LoadOutcome::Cold(format!("unreadable: {e}")))?;
+    parse_entries(&text).map_err(LoadOutcome::Cold)
+}
+
+/// Parses the v1 text format (exposed for tests; [`load_from_path`] is the
+/// file-level entry point).
+///
+/// # Errors
+///
+/// A human-readable reason on any structural or field-level corruption.
+pub fn parse_entries(text: &str) -> Result<Vec<(ClassKey, ClassEntry)>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == HEADER => {}
+        Some(h) => return Err(format!("version mismatch: expected {HEADER:?}, got {h:?}")),
+        None => return Err("empty file".into()),
+    }
+    let mut entries = Vec::new();
+    let mut saw_end = false;
+    while let Some(line) = lines.next() {
+        if let Some(count) = line.strip_prefix("end ") {
+            let count: usize = count.parse().map_err(|e| format!("bad end count: {e}"))?;
+            if count != entries.len() {
+                return Err(format!(
+                    "truncated: end sentinel says {count} entries, parsed {}",
+                    entries.len()
+                ));
+            }
+            saw_end = true;
+            break;
+        }
+        let key = parse_key(line)?;
+        let target = parse_tagged_matrix(lines.next(), "t", 4)?;
+        let phase = parse_phase(lines.next())?;
+        let mut ops = Vec::new();
+        loop {
+            let line = lines.next().ok_or("truncated inside entry")?;
+            if line == "." {
+                break;
+            }
+            let fields: Vec<&str> = line.split('|').collect();
+            let op = match fields[0] {
+                "0" => Op2::L0(parse_matrix(&fields[1..], 2, 2)?),
+                "1" => Op2::L1(parse_matrix(&fields[1..], 2, 2)?),
+                "e" => {
+                    if fields.len() < 3 {
+                        return Err("entangler line too short".into());
+                    }
+                    Op2::Entangler {
+                        label: unescape(fields[1])?,
+                        duration: parse_f64(fields[2])?,
+                        matrix: parse_matrix(&fields[3..], 4, 4)?,
+                    }
+                }
+                tag => return Err(format!("unknown op tag {tag:?}")),
+            };
+            ops.push(op);
+        }
+        entries.push((
+            key,
+            ClassEntry {
+                target,
+                circuit: TwoQubitCircuit { phase, ops },
+            },
+        ));
+    }
+    if !saw_end {
+        return Err("truncated: missing end sentinel".into());
+    }
+    Ok(entries)
+}
+
+fn parse_key(line: &str) -> Result<ClassKey, String> {
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != 7 || fields[0] != "k" {
+        return Err(format!("bad key line {line:?}"));
+    }
+    let coord = |s: &str| -> Result<i64, String> {
+        s.parse().map_err(|e| format!("bad coordinate {s:?}: {e}"))
+    };
+    let swap = match fields[6] {
+        "0" => false,
+        "1" => true,
+        other => return Err(format!("bad swap flag {other:?}")),
+    };
+    Ok(ClassKey {
+        basis: unescape(fields[1])?,
+        params: unescape(fields[2])?,
+        x: coord(fields[3])?,
+        y: coord(fields[4])?,
+        z: coord(fields[5])?,
+        swap,
+    })
+}
+
+fn parse_tagged_matrix(line: Option<&str>, tag: &str, dim: usize) -> Result<CMat, String> {
+    let line = line.ok_or("truncated inside entry")?;
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields[0] != tag {
+        return Err(format!("expected {tag:?} line, got {line:?}"));
+    }
+    parse_matrix(&fields[1..], dim, dim)
+}
+
+fn parse_phase(line: Option<&str>) -> Result<Complex, String> {
+    let line = line.ok_or("truncated inside entry")?;
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != 3 || fields[0] != "p" {
+        return Err(format!("bad phase line {line:?}"));
+    }
+    Ok(Complex::new(parse_f64(fields[1])?, parse_f64(fields[2])?))
+}

@@ -1,0 +1,682 @@
+//! The batched compile server.
+//!
+//! [`CompileService`] turns the per-call synthesis pipeline into a
+//! multi-tenant batch engine built around one observation from the paper:
+//! every `SU(4)` target collapses to a Weyl class that is compiled once
+//! and re-dressed forever. A batch is therefore processed as
+//!
+//! 1. **Canonicalize** every target to its quantized Weyl class
+//!    ([`ClassKey`]) — fanned over the worker pool;
+//! 2. **Deduplicate** identical classes across the *whole batch* before
+//!    any EA/pulse search runs — one thousand requests with two hundred
+//!    distinct classes cost two hundred cold syntheses at most;
+//! 3. **Solve** the classes missing from the shared [`ShardedCache`] on a
+//!    deterministic worker pool ([`ashn_core::par::parallel_map`]: indexed
+//!    jobs, results in index order — batch output is bit-identical at any
+//!    worker count);
+//! 4. **Serve** every request from the solved-class table: exact repeats
+//!    verbatim, same-class targets re-dressed with KAK-computed locals
+//!    ([`ashn_synth::cache::serve_from_entry`]).
+//!
+//! Worker-count invariance holds because each phase is a pure
+//! index-ordered map over frozen inputs: requests never read the shared
+//! cache during the parallel phases — they read the per-batch solution
+//! table, which is sealed before fan-out (cache evictions between batches
+//! can change *speed*, never *bits*).
+//!
+//! [`CompileService::compile_batch`] extends the same machinery to whole
+//! circuits: per-request routing on a grid ([`LookaheadRouter`]), optional
+//! optimizer passes, and noise scheduling — the full
+//! synthesize → route → opt → schedule pipeline behind a
+//! [`CompileRequest`]/[`CompileResult`] API.
+
+use crate::error::ServiceError;
+use crate::sharded::ShardedCache;
+use ashn_core::par::parallel_map;
+use ashn_gates::kak::weyl_coordinates4;
+use ashn_gates::weyl::WeylPoint;
+use ashn_ir::{Basis, Circuit};
+use ashn_math::{CMat, Mat4};
+use ashn_opt::{standard_pipeline, structural_pipeline, OptStats};
+use ashn_qv::{stamp_noise, QvNoise};
+use ashn_route::{Grid, LookaheadRouter, RouteOp};
+use ashn_synth::cache::{serve_from_entry, ClassEntry, ClassKey, ClassStore, Lookup};
+use ashn_synth::circuit2::TwoQubitCircuit;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Acceptance tolerance for resynthesized blocks under
+/// [`OptLevel::Standard`] — the fidelity scale the numerical bases
+/// synthesize to (mirrors `ashn::Compiler::OPT_ACCEPT_TOL`).
+pub const OPT_ACCEPT_TOL: f64 = 1e-5;
+
+/// Optimizer effort for a [`CompileRequest`] (the `ashn-opt` pipelines).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Route and schedule only.
+    #[default]
+    None,
+    /// Structural passes (exact rewrites at near-machine precision).
+    Light,
+    /// Structural passes plus two-qubit block resynthesis through the
+    /// service basis. Resynthesis runs on the *uncached* basis so each
+    /// request stays a pure function of its inputs (worker-count
+    /// invariant); repeated blocks are rare after routing, so the cache
+    /// would buy little here anyway.
+    Standard,
+}
+
+/// One circuit to compile, with its pipeline options.
+#[derive(Clone, Debug)]
+pub struct CompileRequest {
+    /// The logical circuit (1q/2q instructions on arbitrary wires).
+    pub circuit: Circuit,
+    /// Routing grid (default: the smallest near-square grid holding the
+    /// circuit's register).
+    pub grid: Option<Grid>,
+    /// Optimizer effort between routing and scheduling.
+    pub opt: OptLevel,
+    /// When set, the result circuit carries per-gate depolarizing rates
+    /// scheduled from this noise model (single-qubit fixed, two-qubit ∝
+    /// duration).
+    pub noise: Option<QvNoise>,
+}
+
+impl CompileRequest {
+    /// A request with default options (auto grid, no opt, no scheduling).
+    pub fn new(circuit: Circuit) -> Self {
+        Self {
+            circuit,
+            grid: None,
+            opt: OptLevel::None,
+            noise: None,
+        }
+    }
+
+    /// Sets an explicit routing grid.
+    #[must_use]
+    pub fn grid(mut self, grid: Grid) -> Self {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Sets the optimizer effort.
+    #[must_use]
+    pub fn opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Schedules per-gate error rates from `noise`.
+    #[must_use]
+    pub fn noise(mut self, noise: QvNoise) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+}
+
+/// A compiled request: the physical-site circuit and where the logical
+/// qubits ended up.
+#[derive(Clone, Debug)]
+pub struct CompileResult {
+    /// The physical-site circuit (noise-scheduled when the request asked).
+    pub circuit: Circuit,
+    /// `positions[l]` = physical site holding logical qubit `l` at the end.
+    pub positions: Vec<usize>,
+    /// Optimizer accounting, when the request ran passes.
+    pub opt_stats: Option<OptStats>,
+}
+
+/// How one synthesis target was served (the cache-tier breakdown in
+/// [`ServiceStats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Tier {
+    /// Served verbatim from a stored entry (exact target repeat).
+    Exact,
+    /// Served by re-dressing a same-class entry.
+    Redressed,
+    /// This target's class was synthesized cold (it was the class
+    /// representative, or its stored entry had drifted).
+    Cold,
+    /// Cold synthesis of the class failed.
+    Failed,
+}
+
+/// Per-batch accounting: dedup effectiveness, cache-hit tiers, wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Two-qubit synthesis targets across the batch (== `requests` for
+    /// [`CompileService::synthesize_batch`]; the total 2q instruction
+    /// count for [`CompileService::compile_batch`]).
+    pub targets: usize,
+    /// Distinct Weyl classes among the valid targets.
+    pub unique_classes: usize,
+    /// Unique classes already present in the shared cache.
+    pub warm_classes: usize,
+    /// Unique classes synthesized cold by this batch.
+    pub cold_classes: usize,
+    /// Targets served verbatim (exact repeat of a stored target).
+    pub exact_hits: u64,
+    /// Targets served by re-dressing a same-class entry.
+    pub class_hits: u64,
+    /// Targets that paid a cold synthesis (class representatives).
+    pub cold_serves: u64,
+    /// Targets whose class failed to synthesize.
+    pub failed: u64,
+    /// Wall-clock time for the whole batch, milliseconds.
+    pub wall_ms: f64,
+    /// Worker threads the batch fanned over.
+    pub workers: usize,
+}
+
+impl ServiceStats {
+    /// Targets per unique class — how much work batch dedup saved
+    /// (1.0 = nothing shared, N = every class amortized N ways).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.unique_classes == 0 {
+            1.0
+        } else {
+            self.targets as f64 / self.unique_classes as f64
+        }
+    }
+
+    /// Fraction of targets served without a cold synthesis.
+    pub fn hit_rate(&self) -> f64 {
+        if self.targets == 0 {
+            0.0
+        } else {
+            (self.exact_hits + self.class_hits) as f64 / self.targets as f64
+        }
+    }
+
+    /// Batch throughput in compiled requests per second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / (self.wall_ms / 1e3)
+        }
+    }
+}
+
+/// Result of [`CompileService::synthesize_batch`]: per-target circuits in
+/// request order plus batch accounting.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// One circuit (or error) per input target, in input order.
+    pub circuits: Vec<Result<Circuit, ServiceError>>,
+    /// Batch accounting.
+    pub stats: ServiceStats,
+}
+
+/// Result of [`CompileService::compile_batch`]: per-request compilations
+/// in request order plus batch accounting.
+#[derive(Clone, Debug)]
+pub struct BatchCompileResult {
+    /// One compilation (or error) per request, in request order.
+    pub results: Vec<Result<CompileResult, ServiceError>>,
+    /// Batch accounting.
+    pub stats: ServiceStats,
+}
+
+/// One unique Weyl class in a batch and how it got its solution.
+struct UniqueClass {
+    key: ClassKey,
+    /// Index of the representative target (first occurrence).
+    rep: usize,
+    solution: Solution,
+}
+
+enum Solution {
+    /// Found in the shared cache before the batch ran.
+    Warm(ClassEntry),
+    /// Synthesized cold by this batch.
+    Cold(ClassEntry),
+    Failed(String),
+}
+
+/// The sealed per-batch class table the serve phase reads.
+struct Prepared {
+    /// Per target: `(unique-class index, coords)` or the validation error.
+    status: Vec<Result<(usize, WeylPoint), ServiceError>>,
+    unique: Vec<UniqueClass>,
+}
+
+/// The batched compile server: a shared [`ShardedCache`], a basis, and a
+/// worker count.
+#[derive(Clone, Debug)]
+pub struct CompileService<B> {
+    basis: B,
+    cache: ShardedCache,
+    workers: usize,
+}
+
+impl<B: Basis + Sync> CompileService<B> {
+    /// A service over `basis` with a fresh default [`ShardedCache`] and
+    /// one worker.
+    pub fn new(basis: B) -> Self {
+        Self::with_cache(basis, ShardedCache::new())
+    }
+
+    /// A service sharing an existing cache (several services — or
+    /// `ashn::Compiler`s via `with_shared_cache` — can point at one).
+    pub fn with_cache(basis: B, cache: ShardedCache) -> Self {
+        Self {
+            basis,
+            cache,
+            workers: 1,
+        }
+    }
+
+    /// Fans batches over `workers` scoped threads (`0` = one per hardware
+    /// thread). Batch output is bit-identical for every worker count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The shared cache handle (for stats, persistence, sharing).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// The service's basis.
+    pub fn basis(&self) -> &B {
+        &self.basis
+    }
+
+    /// Canonicalizes, deduplicates, and solves every class in `targets`,
+    /// sealing the per-batch solution table. Cold solutions are installed
+    /// into the shared cache (in deterministic first-occurrence order).
+    fn prime(&self, targets: &[&CMat]) -> Prepared {
+        // Phase 1: canonicalize (parallel; pure per index).
+        let keyed: Vec<Result<(ClassKey, WeylPoint), ServiceError>> =
+            parallel_map(self.workers, targets.len(), |i| {
+                let m4 = Mat4::try_from(targets[i]).map_err(|_| ServiceError::InvalidRequest {
+                    detail: format!(
+                        "target {i} is {}x{}, expected 4x4",
+                        targets[i].rows(),
+                        targets[i].cols()
+                    ),
+                })?;
+                if !m4.is_unitary(1e-6) {
+                    return Err(ServiceError::InvalidRequest {
+                        detail: format!("target {i} is not unitary within 1e-6"),
+                    });
+                }
+                let coords = weyl_coordinates4(&m4).canonicalize();
+                Ok((ClassKey::new(&self.basis, coords, false), coords))
+            });
+
+        // Phase 2: dedup in first-occurrence order (serial, deterministic).
+        let mut index: HashMap<ClassKey, usize> = HashMap::new();
+        let mut unique: Vec<UniqueClass> = Vec::new();
+        let mut status: Vec<Result<(usize, WeylPoint), ServiceError>> =
+            Vec::with_capacity(targets.len());
+        for (i, prep) in keyed.into_iter().enumerate() {
+            match prep {
+                Err(e) => status.push(Err(e)),
+                Ok((key, coords)) => {
+                    let uidx = *index.entry(key.clone()).or_insert_with(|| {
+                        unique.push(UniqueClass {
+                            key,
+                            rep: i,
+                            solution: Solution::Failed("unsolved".into()),
+                        });
+                        unique.len() - 1
+                    });
+                    status.push(Ok((uidx, coords)));
+                }
+            }
+        }
+
+        // Phase 3: shared-cache lookups (serial — cheap clones).
+        let mut cold: Vec<usize> = Vec::new();
+        for (uidx, class) in unique.iter_mut().enumerate() {
+            match self.cache.fetch(&class.key) {
+                Some(entry) => class.solution = Solution::Warm(entry),
+                None => cold.push(uidx),
+            }
+        }
+
+        // Phase 4: cold synthesis of the representatives over the worker
+        // pool. Each job is a pure function of its target, so results are
+        // bit-identical at any worker count.
+        let solved: Vec<Result<ClassEntry, String>> = parallel_map(self.workers, cold.len(), |j| {
+            let rep = unique[cold[j]].rep;
+            let circuit = self
+                .basis
+                .synthesize(targets[rep])
+                .map_err(|e| e.to_string())?;
+            let core = TwoQubitCircuit::try_from(circuit)
+                .map_err(|e| format!("synthesis output not a two-qubit circuit: {e}"))?;
+            Ok(ClassEntry {
+                target: targets[rep].clone(),
+                circuit: core,
+            })
+        });
+
+        // Install in deterministic order; share with future batches.
+        for (j, result) in solved.into_iter().enumerate() {
+            let uidx = cold[j];
+            match result {
+                Ok(entry) => {
+                    self.cache.store(unique[uidx].key.clone(), entry.clone());
+                    unique[uidx].solution = Solution::Cold(entry);
+                }
+                Err(detail) => unique[uidx].solution = Solution::Failed(detail),
+            }
+        }
+
+        Prepared { status, unique }
+    }
+
+    /// Serves one target from the sealed class table.
+    fn serve_target(
+        &self,
+        target: &CMat,
+        index: usize,
+        prepared: &Prepared,
+    ) -> (Tier, Result<Circuit, ServiceError>) {
+        let (uidx, coords) = match &prepared.status[index] {
+            Err(e) => return (Tier::Failed, Err(e.clone())),
+            Ok(ok) => *ok,
+        };
+        let class = &prepared.unique[uidx];
+        let (entry, cold) = match &class.solution {
+            Solution::Warm(entry) => (entry, false),
+            Solution::Cold(entry) => (entry, true),
+            Solution::Failed(detail) => {
+                return (
+                    Tier::Failed,
+                    Err(ServiceError::Synth {
+                        detail: detail.clone(),
+                    }),
+                )
+            }
+        };
+        if cold && class.rep == index {
+            // The representative IS the cold synthesis.
+            return (Tier::Cold, Ok(entry.circuit.clone().into()));
+        }
+        match serve_from_entry(target, coords, entry) {
+            Some((circuit, Lookup::ExactHit)) => (Tier::Exact, Ok(circuit)),
+            Some((circuit, _)) => (Tier::Redressed, Ok(circuit)),
+            // Drifted realization (possible only for entries loaded from a
+            // foreign scheme version): pay a private cold synthesis.
+            None => match self.basis.synthesize(target) {
+                Ok(circuit) => (Tier::Cold, Ok(circuit)),
+                Err(e) => (Tier::Failed, Err(e.into())),
+            },
+        }
+    }
+
+    /// Folds per-target tiers into [`ServiceStats`] and the shared cache's
+    /// hit/miss counters.
+    fn tally(&self, tiers: impl IntoIterator<Item = Tier>, stats: &mut ServiceStats) {
+        for tier in tiers {
+            let outcome = match tier {
+                Tier::Exact => {
+                    stats.exact_hits += 1;
+                    Lookup::ExactHit
+                }
+                Tier::Redressed => {
+                    stats.class_hits += 1;
+                    Lookup::ClassHit
+                }
+                Tier::Cold => {
+                    stats.cold_serves += 1;
+                    Lookup::Miss
+                }
+                Tier::Failed => {
+                    stats.failed += 1;
+                    Lookup::Miss
+                }
+            };
+            self.cache.record(outcome);
+        }
+    }
+
+    fn class_counts(prepared: &Prepared, stats: &mut ServiceStats) {
+        stats.unique_classes = prepared.unique.len();
+        for class in &prepared.unique {
+            match class.solution {
+                Solution::Warm(_) => stats.warm_classes += 1,
+                Solution::Cold(_) | Solution::Failed(_) => stats.cold_classes += 1,
+            }
+        }
+    }
+
+    /// Compiles a batch of raw `SU(4)` targets into native circuits.
+    ///
+    /// Identical Weyl classes across the whole batch are deduplicated
+    /// before any numerical search runs; unique cold classes fan over the
+    /// worker pool; every target is then served from the sealed class
+    /// table (exact repeats verbatim, same-class targets re-dressed).
+    /// Output is bit-identical for any worker count.
+    pub fn synthesize_batch(&self, targets: &[CMat]) -> BatchResult {
+        let t0 = Instant::now();
+        let refs: Vec<&CMat> = targets.iter().collect();
+        let prepared = self.prime(&refs);
+        let served: Vec<(Tier, Result<Circuit, ServiceError>)> =
+            parallel_map(self.workers, targets.len(), |i| {
+                self.serve_target(&targets[i], i, &prepared)
+            });
+        let mut stats = ServiceStats {
+            requests: targets.len(),
+            targets: targets.len(),
+            workers: self.workers,
+            ..ServiceStats::default()
+        };
+        Self::class_counts(&prepared, &mut stats);
+        let mut circuits = Vec::with_capacity(served.len());
+        let mut tiers = Vec::with_capacity(served.len());
+        for (tier, result) in served {
+            tiers.push(tier);
+            circuits.push(result);
+        }
+        self.tally(tiers, &mut stats);
+        stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        BatchResult { circuits, stats }
+    }
+
+    /// The service's compiled SWAP fragment, memoized in the shared cache
+    /// under the dedicated swap key (mirrors `CachedBasis::native_swap`).
+    fn swap_fragment(&self) -> Result<Circuit, ServiceError> {
+        let swap = ashn_gates::two::swap();
+        let key = ClassKey::new(
+            &self.basis,
+            ashn_gates::kak::weyl_coordinates(&swap).canonicalize(),
+            true,
+        );
+        if let Some(entry) = self.cache.fetch(&key) {
+            return Ok(entry.circuit.into());
+        }
+        let circuit = self.basis.native_swap()?;
+        if let Ok(core) = TwoQubitCircuit::try_from(circuit.clone()) {
+            self.cache.store(
+                key,
+                ClassEntry {
+                    target: swap,
+                    circuit: core,
+                },
+            );
+        }
+        Ok(circuit)
+    }
+
+    /// Compiles a batch of circuits through the full pipeline:
+    /// synthesize (batch-deduplicated) → route ([`LookaheadRouter`]) →
+    /// optimize (per-request [`OptLevel`]) → schedule (per-request noise).
+    ///
+    /// All two-qubit targets across *every* request are canonicalized and
+    /// deduplicated together before any synthesis runs, then each request
+    /// is assembled independently on the worker pool. Output is
+    /// bit-identical for any worker count.
+    pub fn compile_batch(&self, requests: &[CompileRequest]) -> BatchCompileResult {
+        let t0 = Instant::now();
+        // Gather every 2q target across the batch (request-major order)
+        // plus each request's slice into that list.
+        let mut targets: Vec<&CMat> = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(requests.len());
+        for req in requests {
+            let start = targets.len();
+            for inst in &req.circuit.instructions {
+                if inst.qubits.len() == 2 {
+                    targets.push(&inst.matrix);
+                }
+            }
+            spans.push((start, targets.len()));
+        }
+        let prepared = self.prime(&targets);
+        let swap_fragment = self.swap_fragment();
+
+        let compiled: Vec<(Vec<Tier>, Result<CompileResult, ServiceError>)> =
+            parallel_map(self.workers, requests.len(), |r| {
+                self.compile_one(
+                    &requests[r],
+                    spans[r].0,
+                    &targets,
+                    &prepared,
+                    &swap_fragment,
+                )
+            });
+
+        let mut stats = ServiceStats {
+            requests: requests.len(),
+            targets: targets.len(),
+            workers: self.workers,
+            ..ServiceStats::default()
+        };
+        Self::class_counts(&prepared, &mut stats);
+        let mut results = Vec::with_capacity(compiled.len());
+        let mut tiers = Vec::new();
+        for (request_tiers, result) in compiled {
+            tiers.extend(request_tiers);
+            results.push(result);
+        }
+        self.tally(tiers, &mut stats);
+        stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        BatchCompileResult { results, stats }
+    }
+
+    /// Routes, optimizes, and schedules one request against the sealed
+    /// class table. Pure in its inputs — safe to fan over workers.
+    fn compile_one(
+        &self,
+        req: &CompileRequest,
+        target_start: usize,
+        targets: &[&CMat],
+        prepared: &Prepared,
+        swap_fragment: &Result<Circuit, ServiceError>,
+    ) -> (Vec<Tier>, Result<CompileResult, ServiceError>) {
+        let mut tiers = Vec::new();
+        let result = self.compile_one_inner(
+            req,
+            target_start,
+            targets,
+            prepared,
+            swap_fragment,
+            &mut tiers,
+        );
+        (tiers, result)
+    }
+
+    fn compile_one_inner(
+        &self,
+        req: &CompileRequest,
+        target_start: usize,
+        targets: &[&CMat],
+        prepared: &Prepared,
+        swap_fragment: &Result<Circuit, ServiceError>,
+        tiers: &mut Vec<Tier>,
+    ) -> Result<CompileResult, ServiceError> {
+        let n = req.circuit.n_qubits();
+        let grid = req.grid.unwrap_or_else(|| Grid::for_qubits(n));
+        if grid.len() < n {
+            return Err(ServiceError::Config {
+                detail: format!("grid has {} sites but the circuit needs {n}", grid.len()),
+            });
+        }
+        let sites = grid.len();
+        let mut router = LookaheadRouter::new(grid, n);
+        let mut physical = Circuit::new(sites);
+        physical.phase = req.circuit.phase;
+        let mut tidx = target_start;
+        for inst in &req.circuit.instructions {
+            match *inst.qubits.as_slice() {
+                // Scalar instructions fold into the global phase.
+                [] => physical.phase *= inst.matrix[(0, 0)],
+                [q] => {
+                    if q >= n {
+                        return Err(ServiceError::InvalidRequest {
+                            detail: format!("wire {q} outside the {n}-qubit register"),
+                        });
+                    }
+                    let mut moved = inst.clone();
+                    moved.qubits = vec![router.position(q)];
+                    physical.try_push(moved)?;
+                }
+                [a, b] => {
+                    if a == b || a >= n || b >= n {
+                        return Err(ServiceError::InvalidRequest {
+                            detail: format!("bad wire pair ({a}, {b}) on {n} qubits"),
+                        });
+                    }
+                    let index = tidx;
+                    tidx += 1;
+                    for op in router.route_layer(&[(a, b)]) {
+                        match op {
+                            RouteOp::Swap(x, y) => {
+                                let fragment = swap_fragment.as_ref().map_err(Clone::clone)?;
+                                physical.append(fragment.embed(sites, &[x, y])?)?;
+                            }
+                            RouteOp::Gate { a: pa, b: pb, .. } => {
+                                let (tier, fragment) =
+                                    self.serve_target(targets[index], index, prepared);
+                                tiers.push(tier);
+                                physical.append(fragment?.embed(sites, &[pa, pb])?)?;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let detail = format!(
+                        "instruction {:?} acts on {} qubits; the pipeline compiles 1q/2q circuits",
+                        inst.label,
+                        inst.qubits.len()
+                    );
+                    return Err(ServiceError::InvalidRequest { detail });
+                }
+            }
+        }
+
+        let opt_stats = match req.opt {
+            OptLevel::None => None,
+            OptLevel::Light => {
+                let (optimized, stats) = structural_pipeline().run(&physical)?;
+                physical = optimized;
+                Some(stats)
+            }
+            OptLevel::Standard => {
+                let (optimized, stats) =
+                    standard_pipeline(&self.basis, OPT_ACCEPT_TOL).run(&physical)?;
+                physical = optimized;
+                Some(stats)
+            }
+        };
+
+        let circuit = match &req.noise {
+            Some(noise) => stamp_noise(&physical, noise),
+            None => physical,
+        };
+        Ok(CompileResult {
+            circuit,
+            positions: (0..n).map(|l| router.position(l)).collect(),
+            opt_stats,
+        })
+    }
+}

@@ -1,0 +1,67 @@
+//! Shared fixtures for the service integration tests.
+
+// Each integration-test binary uses a different subset of these helpers.
+#![allow(dead_code)]
+
+use ashn_ir::{Basis, Circuit, Instruction, SynthError};
+use ashn_math::randmat::haar_unitary;
+use ashn_math::CMat;
+use rand::rngs::StdRng;
+
+/// A machine-precision basis: "synthesis" emits the target verbatim as a
+/// single entangler. Cache hits served from it must therefore verify at
+/// 1e-12 — any redressing error is the cache's fault, not the basis's.
+pub struct ExactBasis;
+
+impl Basis for ExactBasis {
+    fn name(&self) -> String {
+        "Exact".into()
+    }
+
+    fn cache_params(&self) -> String {
+        "v=1".into()
+    }
+
+    fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
+        let mut circuit = Circuit::new(2);
+        let mut inst = Instruction::new(vec![0, 1], u.clone(), "U");
+        inst.duration = 1.0;
+        circuit.try_push(inst).map_err(SynthError::Ir)?;
+        Ok(circuit)
+    }
+
+    fn expected_entanglers(&self, _u: &CMat) -> usize {
+        1
+    }
+}
+
+/// `(a ⊗ b) · base · (c ⊗ d)` with Haar-random 1q dressings: same Weyl
+/// class as `base`, different unitary — a class hit that is not an exact
+/// repeat.
+pub fn dressed(base: &CMat, rng: &mut StdRng) -> CMat {
+    let pre = haar_unitary(2, rng).kron(&haar_unitary(2, rng));
+    let post = haar_unitary(2, rng).kron(&haar_unitary(2, rng));
+    &(&post * base) * &pre
+}
+
+/// Bit-exact fingerprint of a circuit: every `f64` by its IEEE-754 bits,
+/// so two circuits compare equal iff they are the same to the last ulp.
+pub fn fingerprint(circuit: &Circuit) -> Vec<u64> {
+    let mut bits = vec![
+        circuit.n_qubits() as u64,
+        circuit.phase.re.to_bits(),
+        circuit.phase.im.to_bits(),
+    ];
+    for inst in &circuit.instructions {
+        bits.push(inst.qubits.len() as u64);
+        bits.extend(inst.qubits.iter().map(|&q| q as u64));
+        bits.push(inst.duration.to_bits());
+        for i in 0..inst.matrix.rows() {
+            for j in 0..inst.matrix.cols() {
+                bits.push(inst.matrix[(i, j)].re.to_bits());
+                bits.push(inst.matrix[(i, j)].im.to_bits());
+            }
+        }
+    }
+    bits
+}

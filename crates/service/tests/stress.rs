@@ -1,0 +1,73 @@
+//! Concurrent stress: many threads hammer one [`ShardedCache`] through
+//! [`CachedBasis`]. Invariants under contention:
+//!
+//! - aggregated counters balance: `exact_hits + class_hits + misses` ==
+//!   total lookups issued across every thread;
+//! - every circuit served — fresh, exact-hit, or re-dressed class-hit —
+//!   realizes its target at machine precision (1e-12, enabled by the
+//!   machine-precision [`common::ExactBasis`]);
+//! - occupancy never exceeds the configured capacity.
+
+mod common;
+
+use ashn_ir::Basis;
+use ashn_math::randmat::haar_unitary;
+use ashn_math::CMat;
+use ashn_service::ShardedCache;
+use ashn_synth::cache::CachedBasis;
+use common::ExactBasis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sharded_cache_survives_concurrent_hammering() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 6;
+
+    let mut rng = StdRng::seed_from_u64(0x5ca1e);
+    // 12 base classes; each thread works a shuffled mix of exact repeats
+    // and same-class dressings, so exact hits, class hits, and misses all
+    // occur concurrently.
+    let bases: Vec<CMat> = (0..12).map(|_| haar_unitary(4, &mut rng)).collect();
+    let mut pool: Vec<CMat> = bases.clone();
+    for base in &bases {
+        pool.push(common::dressed(base, &mut rng));
+        pool.push(common::dressed(base, &mut rng));
+    }
+
+    let cache = ShardedCache::with_config(4, 256);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = cache.clone();
+            let pool = &pool;
+            scope.spawn(move || {
+                let cached = CachedBasis::with_store(ExactBasis, cache);
+                for round in 0..ROUNDS {
+                    for k in 0..pool.len() {
+                        // Stagger the walk per thread/round so threads
+                        // collide on different keys at different times.
+                        let target = &pool[(k + t * 7 + round * 13) % pool.len()];
+                        let circuit = cached.synthesize(target).expect("exact synthesis");
+                        assert!(
+                            circuit.error(target) < 1e-12,
+                            "served circuit drifted to {:.3e}",
+                            circuit.error(target)
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    let lookups = (THREADS * ROUNDS * pool.len()) as u64;
+    assert_eq!(
+        stats.exact_hits + stats.class_hits + stats.misses,
+        lookups,
+        "counter imbalance: {stats:?}"
+    );
+    // Every class was missed at least once and hit many times.
+    assert!(stats.misses >= bases.len() as u64);
+    assert!(stats.exact_hits + stats.class_hits > lookups / 2);
+    assert!(cache.len() <= 256);
+}

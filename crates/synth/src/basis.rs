@@ -119,6 +119,15 @@ impl Basis for AshnBasis {
         format!("AshN(r={})", self.scheme.cutoff())
     }
 
+    // The ZZ ratio h̃ changes every compiled pulse but is absent from the
+    // display name; the worker count is deliberately excluded (the EA
+    // multistart is bit-identical at any worker count). `{:?}` prints the
+    // shortest exactly-round-tripping decimal, so the key is stable across
+    // save/load.
+    fn cache_params(&self) -> String {
+        format!("h={:?};r={:?}", self.scheme.h_ratio(), self.scheme.cutoff())
+    }
+
     fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
         check_two_qubit(u, "AshN")?;
         decompose_ashn(u, &self.scheme)

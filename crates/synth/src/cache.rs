@@ -12,14 +12,22 @@
 //! routed SWAPs, repeated bench models, scoring one compilation at many
 //! noise levels) are re-dressed by exactly-identity corrections, which are
 //! trimmed away — a hit returns an instruction list identical to the cold
-//! synthesis. The cache is bounded (FIFO eviction) and internally locked,
-//! so one instance can serve every worker of a batch run.
+//! synthesis. The cache is bounded (LRU eviction by default, FIFO on
+//! request) and internally locked, so one instance can serve every worker
+//! of a batch run.
+//!
+//! The storage behind [`CachedBasis`] is pluggable via [`ClassStore`]:
+//! [`SynthCache`] is the single-mutex store used per `ashn::Compiler`;
+//! `ashn-service`'s `ShardedCache` stripes the same entries over many
+//! locks and persists them to disk, sharing [`ClassKey`]/[`ClassEntry`]
+//! and the serve logic ([`serve_from_entry`]) with this module.
 
 use crate::circuit2::{align_to_target, TwoQubitCircuit};
 use ashn_gates::kak::{weyl_coordinates, weyl_coordinates4};
+use ashn_gates::weyl::WeylPoint;
 use ashn_ir::{Basis, Circuit, SynthError};
 use ashn_math::{CMat, Mat4};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Quantization step for the Weyl-coordinate key. Coarse enough that the
@@ -32,42 +40,146 @@ const QUANT: f64 = 1e-7;
 /// treated as exact repeats and served the stored circuit verbatim.
 const REPEAT_TOL: f64 = 1e-12;
 
-/// Basis name, quantized coordinates, and a flag separating
-/// [`Basis::native_swap`] entries from plain synthesis. The basis name is
-/// part of the key because one [`SynthCache`] may be shared across wrappers
-/// of *different* bases (`with_cache`) — a CZ-basis circuit must never
-/// serve an SQiSW-basis hit. The swap flag exists because a basis may
-/// override `native_swap` with a decomposition its `synthesize` would not
-/// produce.
-type Key = (String, i64, i64, i64, bool);
+/// A stored circuit may only be re-dressed when it realizes its class
+/// within this coordinate distance ([`align_to_target`] asserts at 1e-6).
+const REDRESS_TOL: f64 = 5e-7;
+
+/// The class identity of a cached synthesis result.
+///
+/// Keys carry the basis display name **and** its [`Basis::cache_params`]
+/// because one store may be shared across wrappers of *different* bases —
+/// a CZ-basis circuit must never serve an SQiSW-basis hit, and two AshN
+/// schemes that differ only in the `ZZ` ratio `h̃` (same display name)
+/// must never serve each other. The swap flag separates
+/// [`Basis::native_swap`] entries from plain synthesis, because a basis
+/// may override `native_swap` with a decomposition its `synthesize` would
+/// not produce.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassKey {
+    /// Basis display name ([`Basis::name`]).
+    pub basis: String,
+    /// Scheme parameters ([`Basis::cache_params`]).
+    pub params: String,
+    /// Quantized canonical Weyl coordinates.
+    pub x: i64,
+    /// Quantized canonical Weyl coordinates.
+    pub y: i64,
+    /// Quantized canonical Weyl coordinates.
+    pub z: i64,
+    /// Whether this entry memoizes [`Basis::native_swap`].
+    pub swap: bool,
+}
 
 fn quantize(x: f64) -> i64 {
     (x / QUANT).round() as i64
 }
 
+impl ClassKey {
+    /// The key for `point` under `basis` (quantizing the coordinates and
+    /// capturing the basis name + parameters).
+    pub fn new(basis: &(impl Basis + ?Sized), point: WeylPoint, swap: bool) -> Self {
+        Self {
+            basis: basis.name(),
+            params: basis.cache_params(),
+            x: quantize(point.x),
+            y: quantize(point.y),
+            z: quantize(point.z),
+            swap,
+        }
+    }
+}
+
 /// One memoized class: the circuit the cold synthesis produced and the
 /// target it was synthesized for.
 #[derive(Clone, Debug)]
-struct Entry {
-    target: CMat,
-    circuit: TwoQubitCircuit,
+pub struct ClassEntry {
+    /// The target the stored circuit was synthesized for.
+    pub target: CMat,
+    /// The cold-synthesis output.
+    pub circuit: TwoQubitCircuit,
 }
 
 /// How a cache lookup resolved (see [`CacheStats`]).
-#[derive(Clone, Copy, Debug)]
-enum Lookup {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// Served the stored circuit verbatim (exact target repeat).
     ExactHit,
+    /// Served by re-dressing a same-class entry with computed locals.
     ClassHit,
+    /// Fell through to cold synthesis.
     Miss,
+}
+
+/// Storage interface behind [`CachedBasis`]: any thread-safe class→circuit
+/// map with hit/miss accounting. Implemented by [`SynthCache`] (single
+/// mutex, per-`Compiler`) and `ashn_service::ShardedCache` (lock-striped,
+/// process-wide, persistent).
+pub trait ClassStore {
+    /// Looks up a stored class (no stats side effects — attribution
+    /// happens once the caller knows how the entry was used, via
+    /// [`ClassStore::record`]).
+    fn fetch(&self, key: &ClassKey) -> Option<ClassEntry>;
+
+    /// Inserts (or replaces) a class.
+    fn store(&self, key: ClassKey, entry: ClassEntry);
+
+    /// Attributes one lookup to exact-hit/class-hit/miss.
+    fn record(&self, outcome: Lookup);
+}
+
+/// Serves a synthesis request for `u` (canonical coordinates `coords`)
+/// from a stored same-class entry, if possible.
+///
+/// An exact target repeat (within `1e-12` Frobenius) returns the stored
+/// circuit verbatim; any other same-class target is re-dressed with
+/// KAK-computed outer locals via [`align_to_target`], with the correction
+/// locals fused into the stored circuit's boundary locals so the hit
+/// carries the same single-qubit gate count (and thus the same per-gate
+/// noise charge) as a cold synthesis. Returns `None` when the stored
+/// circuit's realized class has drifted too far to re-dress safely — the
+/// caller should fall through to cold synthesis.
+pub fn serve_from_entry(
+    u: &CMat,
+    coords: WeylPoint,
+    entry: &ClassEntry,
+) -> Option<(Circuit, Lookup)> {
+    if u.dist(&entry.target) < REPEAT_TOL {
+        return Some((entry.circuit.clone().into(), Lookup::ExactHit));
+    }
+    let realized = weyl_coordinates(&entry.circuit.unitary()).canonicalize();
+    if realized.gate_dist(coords) < REDRESS_TOL {
+        let dressed: Circuit = align_to_target(u, entry.circuit.clone()).into();
+        return Some((dressed.fuse_single_qubit_runs(), Lookup::ClassHit));
+    }
+    None
+}
+
+/// Which entry a full cache discards first (see [`SynthCache::with_policy`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Discard the least-recently-*used* entry (the default — repeated hot
+    /// classes survive arbitrarily long scans of cold ones).
+    #[default]
+    Lru,
+    /// Discard the oldest-*inserted* entry (the pre-LRU behavior, kept for
+    /// differential comparisons).
+    Fifo,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    entry: ClassEntry,
+    stamp: u64,
 }
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: HashMap<Key, Entry>,
-    order: VecDeque<Key>,
+    map: HashMap<ClassKey, Slot>,
+    tick: u64,
     exact_hits: u64,
     class_hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Shared, bounded class→circuit store.
@@ -75,6 +187,7 @@ struct CacheInner {
 pub struct SynthCache {
     inner: Arc<Mutex<CacheInner>>,
     capacity: usize,
+    policy: EvictionPolicy,
 }
 
 /// Hit/miss/occupancy snapshot of a [`SynthCache`].
@@ -84,7 +197,7 @@ pub struct SynthCache {
 /// hit re-dresses the stored circuit of the same Weyl class with
 /// KAK-computed locals, and a **miss** runs cold synthesis (including
 /// lookups whose stored circuit had drifted too far to re-dress).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served verbatim (exact target repeat).
     pub exact_hits: u64,
@@ -92,6 +205,8 @@ pub struct CacheStats {
     pub class_hits: u64,
     /// Lookups that fell through to cold synthesis.
     pub misses: u64,
+    /// Entries discarded to stay within capacity.
+    pub evictions: u64,
     /// Entries currently stored.
     pub len: usize,
     /// Maximum entries retained.
@@ -118,58 +233,52 @@ impl CacheStats {
             self.hits() as f64 / total as f64
         }
     }
+
+    /// Component-wise sum (used to aggregate per-shard stats).
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            exact_hits: self.exact_hits + other.exact_hits,
+            class_hits: self.class_hits + other.class_hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            len: self.len + other.len,
+            capacity: self.capacity + other.capacity,
+        }
+    }
 }
 
 impl SynthCache {
-    /// A cache retaining at most `capacity` classes.
+    /// An LRU cache retaining at most `capacity` classes.
     ///
     /// # Panics
     ///
     /// Panics when `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::Lru)
+    }
+
+    /// A cache with an explicit eviction policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         Self {
             inner: Arc::new(Mutex::new(CacheInner::default())),
             capacity,
+            policy,
         }
     }
 
-    fn key_for(basis: &str, point: ashn_gates::weyl::WeylPoint, native_swap: bool) -> Key {
-        (
-            basis.to_string(),
-            quantize(point.x),
-            quantize(point.y),
-            quantize(point.z),
-            native_swap,
-        )
+    /// Maximum entries retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
-    /// Raw lookup; attribution to exact/class/miss happens once the caller
-    /// knows how the entry was (or wasn't) used, via [`SynthCache::count`].
-    fn get(&self, key: &Key) -> Option<Entry> {
-        let inner = self.inner.lock().expect("synth cache poisoned");
-        inner.map.get(key).cloned()
-    }
-
-    fn count(&self, outcome: Lookup) {
-        let mut inner = self.inner.lock().expect("synth cache poisoned");
-        match outcome {
-            Lookup::ExactHit => inner.exact_hits += 1,
-            Lookup::ClassHit => inner.class_hits += 1,
-            Lookup::Miss => inner.misses += 1,
-        }
-    }
-
-    fn insert(&self, key: Key, entry: Entry) {
-        let mut inner = self.inner.lock().expect("synth cache poisoned");
-        if inner.map.insert(key.clone(), entry).is_none() {
-            inner.order.push_back(key);
-            while inner.order.len() > self.capacity {
-                if let Some(evicted) = inner.order.pop_front() {
-                    inner.map.remove(&evicted);
-                }
-            }
-        }
+    /// The configured eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// Current hit/miss/occupancy counters.
@@ -179,6 +288,7 @@ impl SynthCache {
             exact_hits: inner.exact_hits,
             class_hits: inner.class_hits,
             misses: inner.misses,
+            evictions: inner.evictions,
             len: inner.map.len(),
             capacity: self.capacity,
         }
@@ -188,7 +298,71 @@ impl SynthCache {
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("synth cache poisoned");
         inner.map.clear();
-        inner.order.clear();
+    }
+
+    /// Every stored entry, sorted by key — the deterministic iteration
+    /// order the persistence layer serializes in.
+    pub fn export_entries(&self) -> Vec<(ClassKey, ClassEntry)> {
+        let inner = self.inner.lock().expect("synth cache poisoned");
+        let mut out: Vec<(ClassKey, ClassEntry)> = inner
+            .map
+            .iter()
+            .map(|(k, slot)| (k.clone(), slot.entry.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+impl ClassStore for SynthCache {
+    fn fetch(&self, key: &ClassKey) -> Option<ClassEntry> {
+        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        let touch = self.policy == EvictionPolicy::Lru;
+        if touch {
+            inner.tick += 1;
+        }
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|slot| {
+            if touch {
+                slot.stamp = tick;
+            }
+            slot.entry.clone()
+        })
+    }
+
+    fn store(&self, key: ClassKey, entry: ClassEntry) {
+        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        inner.tick += 1;
+        let stamp = inner.tick;
+        if !inner.map.contains_key(&key) {
+            while inner.map.len() >= self.capacity {
+                // Oldest stamp = least recently used (LRU) or first
+                // inserted (FIFO, where hits never re-stamp). Ties are
+                // impossible: the tick is strictly increasing.
+                let victim = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, slot)| slot.stamp)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        inner.map.remove(&k);
+                        inner.evictions += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        inner.map.insert(key, Slot { entry, stamp });
+    }
+
+    fn record(&self, outcome: Lookup) {
+        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        match outcome {
+            Lookup::ExactHit => inner.exact_hits += 1,
+            Lookup::ClassHit => inner.class_hits += 1,
+            Lookup::Miss => inner.misses += 1,
+        }
     }
 }
 
@@ -199,11 +373,13 @@ impl Default for SynthCache {
 }
 
 /// A [`Basis`] decorator adding the class-keyed memo-cache to any native
-/// gate set.
+/// gate set. Generic over the storage: the default [`SynthCache`], or any
+/// other [`ClassStore`] (e.g. `ashn_service::ShardedCache`) via
+/// [`CachedBasis::with_store`].
 #[derive(Clone, Debug)]
-pub struct CachedBasis<B> {
+pub struct CachedBasis<B, S = SynthCache> {
     inner: B,
-    cache: SynthCache,
+    cache: S,
 }
 
 impl<B: Basis> CachedBasis<B> {
@@ -224,6 +400,18 @@ impl<B: Basis> CachedBasis<B> {
     pub fn cache(&self) -> &SynthCache {
         &self.cache
     }
+}
+
+impl<B: Basis, S: ClassStore> CachedBasis<B, S> {
+    /// Wraps `inner` over any [`ClassStore`] backend.
+    pub fn with_store(inner: B, cache: S) -> Self {
+        Self { inner, cache }
+    }
+
+    /// The underlying store.
+    pub fn class_store(&self) -> &S {
+        &self.cache
+    }
 
     /// The wrapped basis.
     pub fn inner(&self) -> &B {
@@ -231,9 +419,13 @@ impl<B: Basis> CachedBasis<B> {
     }
 }
 
-impl<B: Basis> Basis for CachedBasis<B> {
+impl<B: Basis, S: ClassStore> Basis for CachedBasis<B, S> {
     fn name(&self) -> String {
         self.inner.name()
+    }
+
+    fn cache_params(&self) -> String {
+        self.inner.cache_params()
     }
 
     fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
@@ -245,36 +437,19 @@ impl<B: Basis> Basis for CachedBasis<B> {
             _ => return self.inner.synthesize(u),
         };
         let coords = weyl_coordinates4(&m4).canonicalize();
-        let key = SynthCache::key_for(&self.inner.name(), coords, false);
-        if let Some(entry) = self.cache.get(&key) {
-            // Exact repeat: the stored circuit IS the cold synthesis.
-            if u.dist(&entry.target) < REPEAT_TOL {
-                self.cache.count(Lookup::ExactHit);
-                return Ok(entry.circuit.into());
-            }
-            // Same class, new target: re-dress the stored circuit with
-            // KAK-computed outer locals instead of re-running the search —
-            // but only when the stored circuit *realizes* the class tightly
-            // enough for `align_to_target` (which asserts at 1e-6). An
-            // approximate inner basis whose realization drifts falls
-            // through to cold synthesis instead of panicking.
-            let realized = weyl_coordinates(&entry.circuit.unitary()).canonicalize();
-            if realized.gate_dist(coords) < 5e-7 {
-                // Fuse the correction locals into the stored circuit's
-                // boundary locals so the hit carries the same single-qubit
-                // gate count (and thus the same per-gate noise charge) as a
-                // cold synthesis of this target.
-                self.cache.count(Lookup::ClassHit);
-                let dressed: Circuit = align_to_target(u, entry.circuit).into();
-                return Ok(dressed.fuse_single_qubit_runs());
+        let key = ClassKey::new(&self.inner, coords, false);
+        if let Some(entry) = self.cache.fetch(&key) {
+            if let Some((circuit, outcome)) = serve_from_entry(u, coords, &entry) {
+                self.cache.record(outcome);
+                return Ok(circuit);
             }
         }
-        self.cache.count(Lookup::Miss);
+        self.cache.record(Lookup::Miss);
         let circuit = self.inner.synthesize(u)?;
         if let Ok(core) = TwoQubitCircuit::try_from(circuit.clone()) {
-            self.cache.insert(
+            self.cache.store(
                 key,
-                Entry {
+                ClassEntry {
                     target: u.clone(),
                     circuit: core,
                 },
@@ -287,21 +462,17 @@ impl<B: Basis> Basis for CachedBasis<B> {
         // Memoized under a dedicated key, and cold-served by the *inner*
         // `native_swap` so a basis's bespoke SWAP override is respected.
         let swap = ashn_gates::two::swap();
-        let key = SynthCache::key_for(
-            &self.inner.name(),
-            weyl_coordinates(&swap).canonicalize(),
-            true,
-        );
-        if let Some(entry) = self.cache.get(&key) {
-            self.cache.count(Lookup::ExactHit);
+        let key = ClassKey::new(&self.inner, weyl_coordinates(&swap).canonicalize(), true);
+        if let Some(entry) = self.cache.fetch(&key) {
+            self.cache.record(Lookup::ExactHit);
             return Ok(entry.circuit.into());
         }
-        self.cache.count(Lookup::Miss);
+        self.cache.record(Lookup::Miss);
         let circuit = self.inner.native_swap()?;
         if let Ok(core) = TwoQubitCircuit::try_from(circuit.clone()) {
-            self.cache.insert(
+            self.cache.store(
                 key,
-                Entry {
+                ClassEntry {
                     target: swap,
                     circuit: core,
                 },
@@ -381,7 +552,8 @@ mod tests {
     #[test]
     fn cache_is_bounded_with_fifo_eviction() {
         let mut rng = StdRng::seed_from_u64(603);
-        let cached = CachedBasis::with_cache(CzBasis, SynthCache::with_capacity(3));
+        let cached =
+            CachedBasis::with_cache(CzBasis, SynthCache::with_policy(3, EvictionPolicy::Fifo));
         for _ in 0..8 {
             let u = haar_unitary(4, &mut rng);
             cached.synthesize(&u).unwrap();
@@ -389,6 +561,52 @@ mod tests {
         let stats = cached.cache().stats();
         assert!(stats.len <= 3, "cache grew to {}", stats.len);
         assert_eq!(stats.misses, 8);
+        assert_eq!(stats.evictions, 5);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_hot_class() {
+        // Capacity 2: synthesize A, B, re-touch A, then C. LRU must evict
+        // B (A was used more recently); FIFO would have evicted A.
+        let mut rng = StdRng::seed_from_u64(605);
+        let a = haar_unitary(4, &mut rng);
+        let b = haar_unitary(4, &mut rng);
+        let c = haar_unitary(4, &mut rng);
+        let cached = CachedBasis::with_cache(CzBasis, SynthCache::with_capacity(2));
+        cached.synthesize(&a).unwrap();
+        cached.synthesize(&b).unwrap();
+        cached.synthesize(&a).unwrap(); // touch A
+        cached.synthesize(&c).unwrap(); // evicts B
+        let after_evict = cached.cache().stats();
+        assert_eq!(after_evict.evictions, 1);
+        cached.synthesize(&a).unwrap(); // still cached
+        assert_eq!(
+            cached.cache().stats().exact_hits,
+            after_evict.exact_hits + 1,
+            "LRU evicted the hot class"
+        );
+        cached.synthesize(&b).unwrap(); // gone: cold again
+        assert_eq!(cached.cache().stats().misses, 4);
+    }
+
+    #[test]
+    fn fifo_eviction_ignores_touches() {
+        // Same access pattern as the LRU test, FIFO policy: re-touching A
+        // does not save it — A is the oldest insert and gets evicted.
+        let mut rng = StdRng::seed_from_u64(605);
+        let a = haar_unitary(4, &mut rng);
+        let b = haar_unitary(4, &mut rng);
+        let c = haar_unitary(4, &mut rng);
+        let cached =
+            CachedBasis::with_cache(CzBasis, SynthCache::with_policy(2, EvictionPolicy::Fifo));
+        cached.synthesize(&a).unwrap();
+        cached.synthesize(&b).unwrap();
+        cached.synthesize(&a).unwrap(); // touch A (FIFO ignores it)
+        cached.synthesize(&c).unwrap(); // evicts A
+        cached.synthesize(&a).unwrap(); // cold again (its re-insert evicts B)
+        let stats = cached.cache().stats();
+        assert_eq!(stats.misses, 4, "FIFO kept the touched class");
+        assert_eq!(stats.evictions, 2);
     }
 
     #[test]
@@ -461,6 +679,26 @@ mod tests {
         }
         // And each wrapper still hits its own entry.
         let _ = cz.synthesize(&u).unwrap();
+        assert_eq!(cache.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn shared_cache_never_crosses_scheme_parameters() {
+        // Two AshN schemes with the same cutoff (identical display name
+        // "AshN(r=1.1)") but different ZZ ratios compile *different* pulses
+        // for the same Weyl class. `Basis::cache_params` keeps them apart.
+        let mut rng = StdRng::seed_from_u64(606);
+        let u = haar_unitary(4, &mut rng);
+        let cache = SynthCache::default();
+        let ideal = CachedBasis::with_cache(AshnBasis::with_cutoff(0.0, 1.1), cache.clone());
+        let zz = CachedBasis::with_cache(AshnBasis::with_cutoff(0.2, 1.1), cache.clone());
+        assert_eq!(ideal.name(), zz.name(), "names must collide for this test");
+        ideal.synthesize(&u).unwrap();
+        zz.synthesize(&u).unwrap();
+        assert_eq!(cache.stats().hits(), 0, "cross-parameter hit served");
+        assert_eq!(cache.stats().misses, 2);
+        // Each wrapper still hits its own entry.
+        ideal.synthesize(&u).unwrap();
         assert_eq!(cache.stats().exact_hits, 1);
     }
 

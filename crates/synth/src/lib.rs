@@ -43,4 +43,7 @@ pub mod sqisw_basis;
 pub mod three_qubit;
 
 pub use basis::{AshnBasis, CnotBasis, CzBasis, SqiswBasis};
-pub use cache::{CacheStats, CachedBasis, SynthCache};
+pub use cache::{
+    serve_from_entry, CacheStats, CachedBasis, ClassEntry, ClassKey, ClassStore, EvictionPolicy,
+    Lookup, SynthCache,
+};

@@ -29,6 +29,7 @@ use ashn_qv::experiment::{
 };
 use ashn_qv::{GateSet, QvNoise};
 use ashn_route::Grid;
+use ashn_service::ShardedCache;
 use ashn_sim::plan::{ExecPlan, PlanError};
 use ashn_sim::trajectory::trajectory_probabilities_batched_plan;
 use ashn_sim::{DensityMatrix, NoiseModel, Simulate, StateVector};
@@ -73,13 +74,25 @@ pub enum OptLevel {
 /// synthesize → route → schedule → simulate output bit for bit. Select
 /// [`OptLevel::Light`] for the exact structural rewrites or
 /// [`OptLevel::Default`] to add two-qubit block resynthesis.
+/// Which memo store wraps the compiler's basis at `compile` time.
+enum CacheConfig {
+    /// A compiler-private bounded LRU ([`SynthCache`]) — the default.
+    Local(SynthCache),
+    /// A caller-provided process-wide [`ShardedCache`], shared with other
+    /// compilers and `ashn_service::CompileService` instances.
+    Shared(ShardedCache),
+    /// No memoization ([`Compiler::basis_uncached`]).
+    Off,
+}
+
 pub struct Compiler {
+    /// The plain (uncached) basis; the memo layer is applied per
+    /// [`Compiler::compile`] call from [`CacheConfig`], so one compiler can
+    /// switch between local, shared, and no caching without re-wrapping.
     basis: Box<dyn Basis>,
     noise: QvNoise,
     grid: Option<Grid>,
-    /// Handle onto the memo-cache wrapped around the basis (`None` when the
-    /// caller opted out via [`Compiler::basis_uncached`]).
-    cache: Option<SynthCache>,
+    cache: CacheConfig,
     opt: OptLevel,
 }
 
@@ -92,15 +105,11 @@ impl Default for Compiler {
 impl Compiler {
     /// A compiler with the default AshN configuration.
     pub fn new() -> Self {
-        let cache = SynthCache::default();
         Self {
-            basis: Box::new(CachedBasis::with_cache(
-                AshnBasis::with_cutoff(0.0, 1.1),
-                cache.clone(),
-            )),
+            basis: Box::new(AshnBasis::with_cutoff(0.0, 1.1)),
             noise: QvNoise::with_e_cz(0.007),
             grid: None,
-            cache: Some(cache),
+            cache: CacheConfig::Local(SynthCache::default()),
             opt: OptLevel::None,
         }
     }
@@ -126,17 +135,19 @@ impl Compiler {
     /// Sets the native basis (any [`Basis`] implementation — the built-in
     /// CNOT/CZ/SQiSW/AshN sets from `ashn-synth`, or a user-defined one).
     ///
-    /// The basis is wrapped in the bounded synthesis memo-cache
+    /// At `compile` time the basis is wrapped in the synthesis memo-cache
     /// ([`ashn_synth::cache::CachedBasis`]): repeated Weyl classes across
     /// `compile` calls skip re-instantiation, observable via
-    /// [`Compiler::synth_stats`]. Pass an already-cached or deliberately
-    /// uncached basis via [`Compiler::basis_uncached`] instead —
-    /// double-wrapping would shadow the caller's cache handle.
+    /// [`Compiler::synth_stats`]. The store is a compiler-private
+    /// [`SynthCache`] unless [`Compiler::with_shared_cache`] installed a
+    /// process-wide one (which is kept); [`Compiler::basis_uncached`]
+    /// disables memoization entirely.
     #[must_use]
     pub fn basis(mut self, basis: impl Basis + 'static) -> Self {
-        let cache = SynthCache::default();
-        self.basis = Box::new(CachedBasis::with_cache(basis, cache.clone()));
-        self.cache = Some(cache);
+        self.basis = Box::new(basis);
+        if !matches!(self.cache, CacheConfig::Shared(_)) {
+            self.cache = CacheConfig::Local(SynthCache::default());
+        }
         self
     }
 
@@ -148,14 +159,31 @@ impl Compiler {
     #[must_use]
     pub fn basis_uncached(mut self, basis: impl Basis + 'static) -> Self {
         self.basis = Box::new(basis);
-        self.cache = None;
+        self.cache = CacheConfig::Off;
+        self
+    }
+
+    /// Plugs this compiler into a process-wide [`ShardedCache`]
+    /// (`ashn_service`): synthesis results are shared with every other
+    /// compiler and every `CompileService` holding a handle to the same
+    /// cache, across threads, and survive process restarts when the service
+    /// persists it. Replaces the compiler-private cache.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: &ShardedCache) -> Self {
+        self.cache = CacheConfig::Shared(cache.clone());
         self
     }
 
     /// Current synthesis-cache counters (exact hits / class hits / misses /
-    /// occupancy), or `None` when the basis was installed uncached.
+    /// occupancy), or `None` when the basis was installed uncached. With a
+    /// shared cache these aggregate over every compiler and service feeding
+    /// it, not just this one.
     pub fn synth_stats(&self) -> Option<SynthStats> {
-        self.cache.as_ref().map(|c| c.stats())
+        match &self.cache {
+            CacheConfig::Local(c) => Some(c.stats()),
+            CacheConfig::Shared(s) => Some(s.stats()),
+            CacheConfig::Off => None,
+        }
     }
 
     /// Sets the basis from the paper's [`GateSet`] enum (convenience
@@ -189,6 +217,25 @@ impl Compiler {
     /// [`AshnError::Config`] when the grid cannot hold the model;
     /// [`AshnError::Synth`]/[`AshnError::Ir`] from synthesis and assembly.
     pub fn compile(&self, model: &ModelCircuit) -> Result<Compiled, AshnError> {
+        // Wrap the plain basis in the configured memo store for this call:
+        // the compiler owns an uncached basis so the same instance can feed
+        // a private cache, a process-wide shared cache, or none.
+        match &self.cache {
+            CacheConfig::Local(c) => {
+                self.compile_with(&CachedBasis::with_cache(&self.basis, c.clone()), model)
+            }
+            CacheConfig::Shared(s) => {
+                self.compile_with(&CachedBasis::with_store(&self.basis, s.clone()), model)
+            }
+            CacheConfig::Off => self.compile_with(&&self.basis, model),
+        }
+    }
+
+    fn compile_with<B: Basis>(
+        &self,
+        basis: &B,
+        model: &ModelCircuit,
+    ) -> Result<Compiled, AshnError> {
         let grid = self.grid.unwrap_or_else(|| Grid::for_qubits(model.d));
         if grid.len() < model.d {
             return Err(AshnError::Config {
@@ -199,11 +246,10 @@ impl Compiler {
                 ),
             });
         }
-        let mut compiled =
-            compile_model_on(model, self.basis.as_ref(), Some(grid)).map_err(|e| match e {
-                ashn_ir::SynthError::Ir(ir) => AshnError::Ir(ir),
-                other => AshnError::Synth(other),
-            })?;
+        let mut compiled = compile_model_on(model, basis, Some(grid)).map_err(|e| match e {
+            ashn_ir::SynthError::Ir(ir) => AshnError::Ir(ir),
+            other => AshnError::Synth(other),
+        })?;
         // Optimize between routing and scheduling: rewrites act on the
         // physical-site circuit (wire identities preserved, so the router's
         // final placement stays valid) before noise rates are resolved.
@@ -212,7 +258,7 @@ impl Compiler {
             OptLevel::Light => Some(self.optimize(&mut compiled.circuit, structural_pipeline())?),
             OptLevel::Default => Some(self.optimize(
                 &mut compiled.circuit,
-                standard_pipeline(&self.basis, Self::OPT_ACCEPT_TOL),
+                standard_pipeline(basis, Self::OPT_ACCEPT_TOL),
             )?),
         };
         Ok(Compiled {

@@ -20,6 +20,10 @@
 //! * [`route`] — 2-D grid qubit routing and IR assembly;
 //! * [`qv`] — quantum-volume experiments (paper Fig. 7);
 //! * [`cal`] — calibration (Cartan doubles, QPE, FRB, control models);
+//! * [`service`] — batched compile-as-a-service: the process-wide
+//!   [`service::ShardedCache`] (persistent, lock-striped synthesis memo
+//!   shared via [`Compiler::with_shared_cache`]) and the deterministic
+//!   batch engine [`service::CompileService`];
 //!
 //! and provides the end-to-end entry points: the builder-style
 //! [`Compiler`] (synthesize → route → optimize → schedule → simulate over
@@ -67,6 +71,7 @@ pub use ashn_math as math;
 pub use ashn_opt as opt;
 pub use ashn_qv as qv;
 pub use ashn_route as route;
+pub use ashn_service as service;
 pub use ashn_sim as sim;
 pub use ashn_synth as synth;
 
