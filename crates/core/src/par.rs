@@ -10,16 +10,28 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// The default worker count: one per available hardware thread.
+/// The default worker count: the `ASHN_WORKERS` environment variable when
+/// set to a positive integer, otherwise one per available hardware thread
+/// (`0`, unset, or unparsable mean the hardware default — the same
+/// convention as `ashn_sim::batch::default_workers`, so the service pool
+/// and the simulation stack honor constrained CI runners consistently).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1)
+    let configured = std::env::var("ASHN_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok());
+    match configured {
+        Some(w) if w > 0 => w,
+        _ => std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
+    }
 }
 
 /// Maps `f` over `0..n` with up to `workers` scoped threads, returning
-/// results in index order. `workers == 0` means "use the default"; one
-/// worker (or one job) runs inline with no thread spawned.
+/// results in index order. `workers == 0` defers to [`default_workers`]
+/// (the zero-means-default convention `ashn_sim::BatchRunner::with_workers`
+/// states canonically); one worker (or one job) runs inline with no thread
+/// spawned.
 pub fn parallel_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,

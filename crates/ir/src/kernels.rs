@@ -26,6 +26,14 @@
 //!   of the dispatchers, so the two families agree bit-for-bit on the
 //!   amplitudes they produce (up to the sign of exact zeros).
 //!
+//! Each `*_at` kernel also has a `*_range` form ([`apply_dense_1q_range`],
+//! [`apply_diag_2q_range`], …) restricted to a `lo..hi` window of the
+//! compressed index space (half-space for 1q/Pauli, quarter-space for 2q).
+//! The full-space kernels delegate to them, and
+//! `ashn_sim::ChunkPolicy`-driven chunked execution fans disjoint windows
+//! across worker threads — same arithmetic, same order, bit-identical at
+//! any worker count.
+//!
 //! The classification helpers ([`diagonal_of_1q`], [`diagonal_of_2q`],
 //! [`pauli_of_1q`]) are the build-time half of that contract: they recognize
 //! exactly the structural zeros the dispatchers test for.
@@ -44,20 +52,42 @@ pub fn apply_1q(amps: &mut [Complex], n: usize, qubit: usize, m: &CMat) {
     debug_assert_eq!(amps.len(), 1 << n);
     debug_assert_eq!(m.rows(), 2);
     let p = n - 1 - qubit;
-    let bit = 1usize << p;
     let md = m.as_slice();
     let (m00, m01, m10, m11) = (md[0], md[1], md[2], md[3]);
     if m01 == Complex::ZERO && m10 == Complex::ZERO {
         return apply_diag_1q_at(amps, p, m00, m11);
     }
-    let half = amps.len() >> 1;
-    for i in 0..half {
-        let i0 = insert_zero(i, p);
-        let i1 = i0 | bit;
-        let a = amps[i0];
-        let b = amps[i1];
-        amps[i0] = m00 * a + m01 * b;
-        amps[i1] = m10 * a + m11 * b;
+    dense_1q_range(amps, p, (m00, m01, m10, m11), 0, amps.len() >> 1);
+}
+
+/// The shared dense 1q core over compressed half-space indices `lo..hi`
+/// (index `i` addresses the `i`-th basis pair with the target bit clear, in
+/// ascending order). Both kernel families and the chunked multi-threaded
+/// executor funnel here, so they are bit-identical by construction.
+///
+/// The loop is block-structured: within one "low block" the pair indices
+/// `(j, j + bit)` walk *contiguous* memory, so the inner loop carries no
+/// per-element bit-insertion dependency and unrolls/vectorizes cleanly.
+#[inline(always)]
+fn dense_1q_range(
+    amps: &mut [Complex],
+    p: usize,
+    (m00, m01, m10, m11): (Complex, Complex, Complex, Complex),
+    lo: usize,
+    hi: usize,
+) {
+    let bit = 1usize << p;
+    let mut i = lo;
+    while i < hi {
+        let run = (bit - (i & (bit - 1))).min(hi - i);
+        let base = insert_zero(i, p);
+        for j in base..base + run {
+            let a = amps[j];
+            let b = amps[j + bit];
+            amps[j] = m00 * a + m01 * b;
+            amps[j + bit] = m10 * a + m11 * b;
+        }
+        i += run;
     }
 }
 
@@ -66,17 +96,39 @@ pub fn apply_1q(amps: &mut [Complex], n: usize, qubit: usize, m: &CMat) {
 /// only the set-bit half is touched.
 #[inline]
 pub fn apply_diag_1q_at(amps: &mut [Complex], p: usize, d0: Complex, d1: Complex) {
+    apply_diag_1q_range(amps, p, d0, d1, 0, amps.len() >> 1);
+}
+
+/// [`apply_diag_1q_at`] restricted to compressed half-space indices
+/// `lo..hi` — each index multiplies one clear-bit/set-bit amplitude pair by
+/// `(d0, d1)`, exactly once, so any partition of the range reproduces the
+/// full kernel bit for bit.
+#[inline]
+pub fn apply_diag_1q_range(
+    amps: &mut [Complex],
+    p: usize,
+    d0: Complex,
+    d1: Complex,
+    lo: usize,
+    hi: usize,
+) {
     let bit = 1usize << p;
-    if d0 == Complex::ONE {
-        let half = amps.len() >> 1;
-        for i in 0..half {
-            let idx = insert_zero(i, p) | bit;
-            amps[idx] *= d1;
+    let phase_gate = d0 == Complex::ONE;
+    let mut i = lo;
+    while i < hi {
+        let run = (bit - (i & (bit - 1))).min(hi - i);
+        let base = insert_zero(i, p);
+        if phase_gate {
+            for j in base..base + run {
+                amps[j + bit] *= d1;
+            }
+        } else {
+            for j in base..base + run {
+                amps[j] *= d0;
+                amps[j + bit] *= d1;
+            }
         }
-    } else {
-        for (i, a) in amps.iter_mut().enumerate() {
-            *a *= if i & bit == 0 { d0 } else { d1 };
-        }
+        i += run;
     }
 }
 
@@ -88,24 +140,42 @@ pub fn apply_2q(amps: &mut [Complex], n: usize, q0: usize, q1: usize, m: &CMat) 
     debug_assert_ne!(q0, q1);
     let p0 = n - 1 - q0;
     let p1 = n - 1 - q1;
-    let (b0, b1) = (1usize << p0, 1usize << p1);
     let md = m.as_slice();
     if is_diag_4(md) {
         return apply_diag_2q_at(amps, p0, p1, [md[0], md[5], md[10], md[15]]);
     }
+    let sm = Mat4::try_from(m).expect("4x4 matrix");
+    dense_2q_range(amps, p0, p1, &sm, 0, amps.len() >> 2);
+}
+
+/// The shared dense 2q core over compressed quarter-space indices `lo..hi`
+/// (index `i` addresses the `i`-th basis quad with both target bits clear,
+/// in ascending order) — the funnel for the dispatcher, the pre-classified
+/// kernel, and the chunked multi-threaded executor.
+///
+/// Block-structured like [`dense_1q_range`]: within one low block the quad
+/// base indices walk contiguous memory.
+#[inline(always)]
+fn dense_2q_range(amps: &mut [Complex], p0: usize, p1: usize, m: &Mat4, lo: usize, hi: usize) {
+    let (b0, b1) = (1usize << p0, 1usize << p1);
     let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
-    let quarter = amps.len() >> 2;
-    for i in 0..quarter {
-        let base = insert_zero(insert_zero(i, pl), ph);
-        let (i1, i2, i3) = (base | b1, base | b0, base | b0 | b1);
-        let a0 = amps[base];
-        let a1 = amps[i1];
-        let a2 = amps[i2];
-        let a3 = amps[i3];
-        amps[base] = md[0] * a0 + md[1] * a1 + md[2] * a2 + md[3] * a3;
-        amps[i1] = md[4] * a0 + md[5] * a1 + md[6] * a2 + md[7] * a3;
-        amps[i2] = md[8] * a0 + md[9] * a1 + md[10] * a2 + md[11] * a3;
-        amps[i3] = md[12] * a0 + md[13] * a1 + md[14] * a2 + md[15] * a3;
+    let bl = 1usize << pl;
+    let mut i = lo;
+    while i < hi {
+        let run = (bl - (i & (bl - 1))).min(hi - i);
+        let start = insert_zero(insert_zero(i, pl), ph);
+        for base in start..start + run {
+            let (i1, i2, i3) = (base | b1, base | b0, base | b0 | b1);
+            let a0 = amps[base];
+            let a1 = amps[i1];
+            let a2 = amps[i2];
+            let a3 = amps[i3];
+            amps[base] = m[(0, 0)] * a0 + m[(0, 1)] * a1 + m[(0, 2)] * a2 + m[(0, 3)] * a3;
+            amps[i1] = m[(1, 0)] * a0 + m[(1, 1)] * a1 + m[(1, 2)] * a2 + m[(1, 3)] * a3;
+            amps[i2] = m[(2, 0)] * a0 + m[(2, 1)] * a1 + m[(2, 2)] * a2 + m[(2, 3)] * a3;
+            amps[i3] = m[(3, 0)] * a0 + m[(3, 1)] * a1 + m[(3, 2)] * a2 + m[(3, 3)] * a3;
+        }
+        i += run;
     }
 }
 
@@ -130,9 +200,35 @@ pub fn apply_diag_2q_at(amps: &mut [Complex], p0: usize, p1: usize, d: [Complex;
     if d[0] == Complex::ONE && d[1] == Complex::ONE && d[2] == Complex::ONE {
         return apply_cphase_at(amps, p0, p1, d[3]);
     }
-    for (i, a) in amps.iter_mut().enumerate() {
-        let s = (((i >> p0) & 1) << 1) | ((i >> p1) & 1);
-        *a *= d[s];
+    apply_diag_2q_range(amps, p0, p1, d, 0, amps.len() >> 2);
+}
+
+/// [`apply_diag_2q_at`]'s general branch restricted to compressed
+/// quarter-space indices `lo..hi` — each index multiplies one basis quad by
+/// the four diagonal entries, exactly once.
+#[inline]
+pub fn apply_diag_2q_range(
+    amps: &mut [Complex],
+    p0: usize,
+    p1: usize,
+    d: [Complex; 4],
+    lo: usize,
+    hi: usize,
+) {
+    let (b0, b1) = (1usize << p0, 1usize << p1);
+    let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
+    let bl = 1usize << pl;
+    let mut i = lo;
+    while i < hi {
+        let run = (bl - (i & (bl - 1))).min(hi - i);
+        let start = insert_zero(insert_zero(i, pl), ph);
+        for base in start..start + run {
+            amps[base] *= d[0];
+            amps[base | b1] *= d[1];
+            amps[base | b0] *= d[2];
+            amps[base | b0 | b1] *= d[3];
+        }
+        i += run;
     }
 }
 
@@ -140,12 +236,31 @@ pub fn apply_diag_2q_at(amps: &mut [Complex], p0: usize, p1: usize, d: [Complex;
 /// positions `(p0, p1)`: multiplies the both-bits-set quarter by `phase`.
 #[inline]
 pub fn apply_cphase_at(amps: &mut [Complex], p0: usize, p1: usize, phase: Complex) {
+    apply_cphase_range(amps, p0, p1, phase, 0, amps.len() >> 2);
+}
+
+/// [`apply_cphase_at`] restricted to compressed quarter-space indices
+/// `lo..hi`.
+#[inline]
+pub fn apply_cphase_range(
+    amps: &mut [Complex],
+    p0: usize,
+    p1: usize,
+    phase: Complex,
+    lo: usize,
+    hi: usize,
+) {
     let (b0, b1) = (1usize << p0, 1usize << p1);
     let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
-    let quarter = amps.len() >> 2;
-    for i in 0..quarter {
-        let idx = insert_zero(insert_zero(i, pl), ph) | b0 | b1;
-        amps[idx] *= phase;
+    let bl = 1usize << pl;
+    let mut i = lo;
+    while i < hi {
+        let run = (bl - (i & (bl - 1))).min(hi - i);
+        let start = insert_zero(insert_zero(i, pl), ph) | b0 | b1;
+        for a in &mut amps[start..start + run] {
+            *a *= phase;
+        }
+        i += run;
     }
 }
 
@@ -154,17 +269,24 @@ pub fn apply_cphase_at(amps: &mut [Complex], p0: usize, p1: usize, phase: Comple
 /// branch (same arithmetic, same order).
 #[inline]
 pub fn apply_dense_1q_at(amps: &mut [Complex], p: usize, m: &Mat2) {
-    let bit = 1usize << p;
-    let (m00, m01, m10, m11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
-    let half = amps.len() >> 1;
-    for i in 0..half {
-        let i0 = insert_zero(i, p);
-        let i1 = i0 | bit;
-        let a = amps[i0];
-        let b = amps[i1];
-        amps[i0] = m00 * a + m01 * b;
-        amps[i1] = m10 * a + m11 * b;
-    }
+    apply_dense_1q_range(amps, p, m, 0, amps.len() >> 1);
+}
+
+/// [`apply_dense_1q_at`] restricted to compressed half-space indices
+/// `lo..hi` (index `i` addresses the `i`-th clear-bit/set-bit amplitude
+/// pair, in ascending order): the unit the chunked multi-threaded executor
+/// partitions. Any partition of `0..len/2` reproduces the full kernel bit
+/// for bit, because each pair is read and written exactly once with the
+/// same arithmetic.
+#[inline]
+pub fn apply_dense_1q_range(amps: &mut [Complex], p: usize, m: &Mat2, lo: usize, hi: usize) {
+    dense_1q_range(
+        amps,
+        p,
+        (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]),
+        lo,
+        hi,
+    );
 }
 
 /// Dense two-qubit unitary at bit positions `(p0, p1)` (`p0` = high matrix
@@ -173,32 +295,44 @@ pub fn apply_dense_1q_at(amps: &mut [Complex], p: usize, m: &Mat2) {
 /// order).
 #[inline]
 pub fn apply_dense_2q_at(amps: &mut [Complex], p0: usize, p1: usize, m: &Mat4) {
-    let (b0, b1) = (1usize << p0, 1usize << p1);
-    let (pl, ph) = if p0 < p1 { (p0, p1) } else { (p1, p0) };
-    let quarter = amps.len() >> 2;
-    for i in 0..quarter {
-        let base = insert_zero(insert_zero(i, pl), ph);
-        let (i1, i2, i3) = (base | b1, base | b0, base | b0 | b1);
-        let a0 = amps[base];
-        let a1 = amps[i1];
-        let a2 = amps[i2];
-        let a3 = amps[i3];
-        amps[base] = m[(0, 0)] * a0 + m[(0, 1)] * a1 + m[(0, 2)] * a2 + m[(0, 3)] * a3;
-        amps[i1] = m[(1, 0)] * a0 + m[(1, 1)] * a1 + m[(1, 2)] * a2 + m[(1, 3)] * a3;
-        amps[i2] = m[(2, 0)] * a0 + m[(2, 1)] * a1 + m[(2, 2)] * a2 + m[(2, 3)] * a3;
-        amps[i3] = m[(3, 0)] * a0 + m[(3, 1)] * a1 + m[(3, 2)] * a2 + m[(3, 3)] * a3;
-    }
+    apply_dense_2q_range(amps, p0, p1, m, 0, amps.len() >> 2);
+}
+
+/// [`apply_dense_2q_at`] restricted to compressed quarter-space indices
+/// `lo..hi` (index `i` addresses the `i`-th both-bits-clear basis quad, in
+/// ascending order) — the partition unit for chunked multi-threading.
+#[inline]
+pub fn apply_dense_2q_range(
+    amps: &mut [Complex],
+    p0: usize,
+    p1: usize,
+    m: &Mat4,
+    lo: usize,
+    hi: usize,
+) {
+    dense_2q_range(amps, p0, p1, m, lo, hi);
 }
 
 /// Pauli `X` at bit position `p`: swaps the paired amplitudes — no complex
 /// arithmetic at all.
 #[inline]
 pub fn apply_pauli_x_at(amps: &mut [Complex], p: usize) {
+    apply_pauli_x_range(amps, p, 0, amps.len() >> 1);
+}
+
+/// [`apply_pauli_x_at`] restricted to compressed half-space indices
+/// `lo..hi`.
+#[inline]
+pub fn apply_pauli_x_range(amps: &mut [Complex], p: usize, lo: usize, hi: usize) {
     let bit = 1usize << p;
-    let half = amps.len() >> 1;
-    for i in 0..half {
-        let i0 = insert_zero(i, p);
-        amps.swap(i0, i0 | bit);
+    let mut i = lo;
+    while i < hi {
+        let run = (bit - (i & (bit - 1))).min(hi - i);
+        let base = insert_zero(i, p);
+        for j in base..base + run {
+            amps.swap(j, j | bit);
+        }
+        i += run;
     }
 }
 
@@ -206,26 +340,47 @@ pub fn apply_pauli_x_at(amps: &mut [Complex], p: usize) {
 /// computed by component shuffles instead of complex multiplication.
 #[inline]
 pub fn apply_pauli_y_at(amps: &mut [Complex], p: usize) {
+    apply_pauli_y_range(amps, p, 0, amps.len() >> 1);
+}
+
+/// [`apply_pauli_y_at`] restricted to compressed half-space indices
+/// `lo..hi`.
+#[inline]
+pub fn apply_pauli_y_range(amps: &mut [Complex], p: usize, lo: usize, hi: usize) {
     let bit = 1usize << p;
-    let half = amps.len() >> 1;
-    for i in 0..half {
-        let i0 = insert_zero(i, p);
-        let i1 = i0 | bit;
-        let a = amps[i0];
-        let b = amps[i1];
-        amps[i0] = c(b.im, -b.re);
-        amps[i1] = c(-a.im, a.re);
+    let mut i = lo;
+    while i < hi {
+        let run = (bit - (i & (bit - 1))).min(hi - i);
+        let base = insert_zero(i, p);
+        for j in base..base + run {
+            let a = amps[j];
+            let b = amps[j | bit];
+            amps[j] = c(b.im, -b.re);
+            amps[j | bit] = c(-a.im, a.re);
+        }
+        i += run;
     }
 }
 
 /// Pauli `Z` at bit position `p`: negates the set-bit half.
 #[inline]
 pub fn apply_pauli_z_at(amps: &mut [Complex], p: usize) {
+    apply_pauli_z_range(amps, p, 0, amps.len() >> 1);
+}
+
+/// [`apply_pauli_z_at`] restricted to compressed half-space indices
+/// `lo..hi`.
+#[inline]
+pub fn apply_pauli_z_range(amps: &mut [Complex], p: usize, lo: usize, hi: usize) {
     let bit = 1usize << p;
-    let half = amps.len() >> 1;
-    for i in 0..half {
-        let idx = insert_zero(i, p) | bit;
-        amps[idx] = -amps[idx];
+    let mut i = lo;
+    while i < hi {
+        let run = (bit - (i & (bit - 1))).min(hi - i);
+        let base = insert_zero(i, p) | bit;
+        for a in &mut amps[base..base + run] {
+            *a = -*a;
+        }
+        i += run;
     }
 }
 

@@ -344,7 +344,8 @@ pub fn mean_hop_sweep(
 }
 
 /// [`mean_hop`] with an explicit master seed and worker count
-/// (`workers == 0` uses the machine default): circuit `i` is sampled from
+/// (`workers` follows the [`BatchRunner::with_workers`] zero-means-default
+/// convention): circuit `i` is sampled from
 /// the [`BatchRunner`] stream for job `i`, so the estimate is bit-identical
 /// for any worker count — the reproducibility contract of the batched
 /// experiment runner.

@@ -20,11 +20,23 @@ fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The default worker count: one per available hardware thread.
+/// The default worker count: the `ASHN_WORKERS` environment variable when
+/// set to a positive integer, otherwise one per available hardware thread.
+///
+/// `ASHN_WORKERS=0`, unset, or unparsable all mean the hardware default —
+/// the same zero-means-default convention as
+/// [`BatchRunner::with_workers`]. Constrained CI runners export the
+/// variable once instead of threading `--workers` through every binary.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1)
+    let configured = std::env::var("ASHN_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok());
+    match configured {
+        Some(w) if w > 0 => w,
+        _ => std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
+    }
 }
 
 /// Fans indexed jobs across scoped worker threads with per-job
@@ -60,9 +72,13 @@ impl BatchRunner {
         }
     }
 
-    /// Overrides the worker count (results do not depend on it). Zero
-    /// means "use the default" — the convention the bench binaries'
-    /// `--workers 0` flag and the batched experiment APIs share.
+    /// Overrides the worker count (results do not depend on it).
+    ///
+    /// **Zero means "use the default"** ([`default_workers`], which honors
+    /// `ASHN_WORKERS`). This is the canonical statement of the convention:
+    /// the bench binaries' `--workers 0` flag, the batched experiment and
+    /// trajectory APIs, and `ashn_core::par::parallel_map` all defer here
+    /// rather than restating it.
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = if workers == 0 {
@@ -175,8 +191,24 @@ mod tests {
     }
 
     #[test]
-    fn zero_workers_means_default() {
+    fn zero_workers_means_default_and_env_overrides() {
+        // Env manipulation is process-global, so every assertion touching
+        // `default_workers()` lives in this one test (no cross-test race).
+        let hardware = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        std::env::remove_var("ASHN_WORKERS");
+        assert_eq!(default_workers(), hardware);
         let runner = BatchRunner::new(0).with_workers(0);
         assert_eq!(runner.workers(), default_workers());
+
+        std::env::set_var("ASHN_WORKERS", "3");
+        assert_eq!(default_workers(), 3);
+        assert_eq!(BatchRunner::new(0).with_workers(0).workers(), 3);
+        std::env::set_var("ASHN_WORKERS", "0");
+        assert_eq!(default_workers(), hardware);
+        std::env::set_var("ASHN_WORKERS", "not-a-number");
+        assert_eq!(default_workers(), hardware);
+        std::env::remove_var("ASHN_WORKERS");
     }
 }

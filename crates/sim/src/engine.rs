@@ -18,9 +18,11 @@
 //! differential reference the plan path is pinned against, and the
 //! fallback for circuits a plan cannot express (gates on ≥ 3 qubits).
 
+use crate::chunk::ChunkPolicy;
 use crate::circuit::{Circuit, NoiseModel};
+use crate::error::SimError;
 use crate::plan::ExecPlan;
-use crate::state::StateVector;
+use crate::state::{check_register, StateVector};
 use ashn_math::{c, CMat, Complex};
 use rand::Rng;
 
@@ -63,23 +65,49 @@ pub struct SimEngine {
     n: usize,
     amps: Vec<Complex>,
     paulis: [CMat; 3],
+    chunk: ChunkPolicy,
 }
 
 impl SimEngine {
     /// An engine sized for `n`-qubit circuits (the buffer grows on demand if
-    /// a larger circuit is run).
+    /// a larger circuit is run). Plan execution uses the auto
+    /// [`ChunkPolicy`]: amplitude-parallel on large registers, scalar
+    /// below the threshold.
     ///
     /// # Panics
     ///
-    /// Panics outside the `1..=24`-qubit range — the same register cap as
-    /// [`StateVector::zero`] and the rest of this crate.
+    /// Panics outside the `1..=`[`MAX_QUBITS`](crate::MAX_QUBITS) range —
+    /// the same register cap as [`StateVector::zero`] and the rest of this
+    /// crate. [`SimEngine::try_new`] reports the failure instead.
     pub fn new(n: usize) -> Self {
-        assert!((1..=24).contains(&n), "qubit count out of supported range");
-        Self {
+        Self::try_new(n).expect("qubit count out of supported range")
+    }
+
+    /// Fallible [`SimEngine::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RegisterOutOfRange`] outside
+    /// `1..=`[`MAX_QUBITS`](crate::MAX_QUBITS) qubits.
+    pub fn try_new(n: usize) -> Result<Self, SimError> {
+        check_register(n)?;
+        Ok(Self {
             n,
             amps: vec![Complex::ZERO; 1 << n],
             paulis: pauli_matrices(),
-        }
+            chunk: ChunkPolicy::auto(),
+        })
+    }
+
+    /// Replaces the engine's amplitude-parallelism policy (builder style).
+    pub fn with_chunk_policy(mut self, chunk: ChunkPolicy) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// The engine's amplitude-parallelism policy.
+    pub fn chunk_policy(&self) -> ChunkPolicy {
+        self.chunk
     }
 
     /// Current register size.
@@ -96,7 +124,7 @@ impl SimEngine {
     /// resizing the buffer only when the register size changed (or the
     /// buffer was moved out by [`SimEngine::take_state`]).
     pub fn load_zero(&mut self, n: usize, phase: Complex) {
-        assert!((1..=24).contains(&n), "qubit count out of supported range");
+        check_register(n).expect("qubit count out of supported range");
         if n != self.n || self.amps.len() != 1 << n {
             self.n = n;
             self.amps.resize(1 << n, Complex::ZERO);
@@ -111,18 +139,25 @@ impl SimEngine {
     }
 
     /// Executes a compiled [`ExecPlan`] on `phase·|0…0⟩` without noise,
-    /// leaving the final amplitudes in the workspace.
+    /// leaving the final amplitudes in the workspace. Large registers run
+    /// amplitude-parallel per the engine's [`ChunkPolicy`] — bit-identical
+    /// to the scalar path at any worker count.
     pub fn run_plan(&mut self, plan: &ExecPlan) -> &Self {
         self.load_zero(plan.n_qubits(), plan.phase());
-        plan.execute_pure(&mut self.amps);
+        let workers = self.chunk.effective_workers(self.n);
+        plan.execute_pure_chunked(&mut self.amps, workers);
         self
     }
 
     /// Executes one stochastic trajectory of a compiled [`ExecPlan`] (the
-    /// depolarizing rates were resolved at plan build).
+    /// depolarizing rates were resolved at plan build). Amplitude sweeps
+    /// follow the engine's [`ChunkPolicy`]; all randomness is drawn on the
+    /// calling thread, so the draw sequence never depends on the worker
+    /// count.
     pub fn run_plan_trajectory(&mut self, plan: &ExecPlan, rng: &mut impl Rng) -> &Self {
         self.load_zero(plan.n_qubits(), plan.phase());
-        plan.execute_trajectory(&mut self.amps, rng);
+        let workers = self.chunk.effective_workers(self.n);
+        plan.execute_trajectory_chunked(&mut self.amps, rng, workers);
         self
     }
 

@@ -1,0 +1,57 @@
+//! Structured errors for recoverable simulator failures.
+//!
+//! The seed-era constructors (`StateVector::zero`, `from_amplitudes`,
+//! `SimEngine::new`) panicked on out-of-range registers, bad amplitude
+//! counts, and non-unit norms — recoverable conditions a service handling
+//! user-supplied circuits must surface, not abort on. The `try_*`
+//! constructors return a [`SimError`] instead; the panicking originals
+//! survive as thin shims for internal call sites that uphold the
+//! invariants by construction.
+
+use crate::state::MAX_QUBITS;
+use std::fmt;
+
+/// A recoverable statevector-simulation failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimError {
+    /// The register size is outside the supported `1..=`[`MAX_QUBITS`]
+    /// range (the cap is memory-bound: `2^n` complex amplitudes of 16
+    /// bytes each).
+    RegisterOutOfRange {
+        /// The offending register size.
+        n: usize,
+    },
+    /// An amplitude buffer's length is not a power of two `>= 2`.
+    BadAmplitudeCount {
+        /// The offending length.
+        len: usize,
+    },
+    /// A state's squared norm differs from 1 beyond the construction
+    /// tolerance.
+    NotNormalized {
+        /// The offending squared norm.
+        norm_sqr: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RegisterOutOfRange { n } => write!(
+                f,
+                "register size {n} outside the supported 1..={MAX_QUBITS} range \
+                 (2^{n} amplitudes would need {} GiB)",
+                // 16 bytes per complex amplitude; saturate for absurd n.
+                (16u128 << (*n).min(100)) >> 30,
+            ),
+            SimError::BadAmplitudeCount { len } => {
+                write!(f, "amplitude count {len} is not a power of two >= 2")
+            }
+            SimError::NotNormalized { norm_sqr } => {
+                write!(f, "state is not normalised: squared norm {norm_sqr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

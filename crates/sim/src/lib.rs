@@ -40,17 +40,21 @@
 //! ```
 
 pub mod batch;
+pub mod chunk;
 pub mod circuit;
 pub mod density;
 pub mod engine;
+pub mod error;
 pub mod measure;
 pub mod plan;
 pub mod state;
 pub mod trajectory;
 
 pub use batch::BatchRunner;
+pub use chunk::ChunkPolicy;
 pub use circuit::{Circuit, Instruction, NoiseModel, Simulate};
 pub use density::DensityMatrix;
 pub use engine::SimEngine;
+pub use error::SimError;
 pub use plan::{ExecPlan, KernelOp, PlanError, PlanOp};
-pub use state::StateVector;
+pub use state::{StateVector, MAX_QUBITS};

@@ -19,8 +19,14 @@
 //! two-qubit ops where the noise annotations permit (a gate participates in
 //! fusion only when its resolved rate is exactly zero, so the trajectory
 //! RNG stream is identical to the instruction walk's — same draws, same
-//! order). Execution injects trajectory Paulis through the dedicated
-//! bit-twiddled kernels in [`ashn_ir::kernels`], never touching a `CMat`.
+//! order). Fusion also extends beyond 1q runs: adjacent same-pair 2q ops
+//! collapse into one [`Mat4`], including across in-between zero-rate
+//! diagonal ops, which commute (see [`ExecPlan::build_with`]). Execution
+//! injects trajectory Paulis through the dedicated bit-twiddled kernels
+//! in [`ashn_ir::kernels`], never touching a `CMat` — and on large
+//! registers the `*_chunked` executors split every op's amplitude sweep
+//! across scoped threads ([`crate::chunk`]), bit-identically to the
+//! scalar path.
 //!
 //! The instruction walk remains the differential reference:
 //! `crates/sim/tests/plan_differential.rs` pins plan execution against it
@@ -45,9 +51,12 @@
 //! assert!((p[0] - 0.5).abs() < 1e-12);
 //! ```
 
+use crate::chunk::run_chunked;
 use crate::circuit::NoiseModel;
+use crate::state::MAX_QUBITS;
 use ashn_ir::kernels::{
-    apply_cphase_at, apply_dense_1q_at, apply_dense_2q_at, apply_diag_1q_at, apply_diag_2q_at,
+    apply_cphase_range, apply_dense_1q_range, apply_dense_2q_range, apply_diag_1q_range,
+    apply_diag_2q_range, apply_pauli_x_range, apply_pauli_y_range, apply_pauli_z_range,
     diagonal_of_1q, diagonal_of_2q, pauli_of_1q, Pauli,
 };
 use ashn_ir::{Circuit, Instruction};
@@ -66,7 +75,8 @@ pub enum PlanError {
         /// Arity of the offending gate.
         qubits: usize,
     },
-    /// The register size is outside the supported `1..=24` range.
+    /// The register size is outside the supported
+    /// `1..=`[`MAX_QUBITS`](crate::MAX_QUBITS) range.
     RegisterOutOfRange {
         /// The offending register size.
         n: usize,
@@ -90,7 +100,10 @@ impl fmt::Display for PlanError {
                 write!(f, "no plan opcode for a {qubits}-qubit gate (max 2)")
             }
             PlanError::RegisterOutOfRange { n } => {
-                write!(f, "register size {n} outside the supported 1..=24 range")
+                write!(
+                    f,
+                    "register size {n} outside the supported 1..={MAX_QUBITS} range"
+                )
             }
             PlanError::WireOutOfRange { qubit, n } => {
                 write!(
@@ -171,25 +184,61 @@ pub enum KernelOp {
 }
 
 impl KernelOp {
-    /// Applies the op to raw amplitudes.
+    /// Size of the op's compressed index space over `len` amplitudes: the
+    /// pair space (`len / 2`) for single-qubit ops, the quad space
+    /// (`len / 4`) for two-qubit ops. Chunked execution partitions this
+    /// space — disjoint compressed ranges touch disjoint amplitudes.
     #[inline]
-    fn apply(&self, amps: &mut [Complex]) {
+    fn index_space(&self, len: usize) -> usize {
         match self {
-            KernelOp::Dense1q { p, m } => apply_dense_1q_at(amps, *p as usize, m),
-            KernelOp::Diag1q { p, d0, d1 } => apply_diag_1q_at(amps, *p as usize, *d0, *d1),
+            KernelOp::Dense1q { .. }
+            | KernelOp::Diag1q { .. }
+            | KernelOp::PauliX { .. }
+            | KernelOp::PauliY { .. }
+            | KernelOp::PauliZ { .. } => len >> 1,
+            KernelOp::Dense2q { .. } | KernelOp::Diag2q { .. } | KernelOp::CPhase { .. } => {
+                len >> 2
+            }
+        }
+    }
+
+    /// Applies the op over the compressed index range `lo..hi`.
+    #[inline]
+    fn apply_range(&self, amps: &mut [Complex], lo: usize, hi: usize) {
+        match self {
+            KernelOp::Dense1q { p, m } => apply_dense_1q_range(amps, *p as usize, m, lo, hi),
+            KernelOp::Diag1q { p, d0, d1 } => {
+                apply_diag_1q_range(amps, *p as usize, *d0, *d1, lo, hi)
+            }
             KernelOp::Dense2q { p0, p1, m } => {
-                apply_dense_2q_at(amps, *p0 as usize, *p1 as usize, m)
+                apply_dense_2q_range(amps, *p0 as usize, *p1 as usize, m, lo, hi)
             }
             KernelOp::Diag2q { p0, p1, d } => {
-                apply_diag_2q_at(amps, *p0 as usize, *p1 as usize, *d)
+                apply_diag_2q_range(amps, *p0 as usize, *p1 as usize, *d, lo, hi)
             }
             KernelOp::CPhase { p0, p1, phase } => {
-                apply_cphase_at(amps, *p0 as usize, *p1 as usize, *phase)
+                apply_cphase_range(amps, *p0 as usize, *p1 as usize, *phase, lo, hi)
             }
-            KernelOp::PauliX { p } => Pauli::X.apply_at(amps, *p as usize),
-            KernelOp::PauliY { p } => Pauli::Y.apply_at(amps, *p as usize),
-            KernelOp::PauliZ { p } => Pauli::Z.apply_at(amps, *p as usize),
+            KernelOp::PauliX { p } => apply_pauli_x_range(amps, *p as usize, lo, hi),
+            KernelOp::PauliY { p } => apply_pauli_y_range(amps, *p as usize, lo, hi),
+            KernelOp::PauliZ { p } => apply_pauli_z_range(amps, *p as usize, lo, hi),
         }
+    }
+
+    /// Applies the op to raw amplitudes, scalar (full range, one thread).
+    #[inline]
+    fn apply(&self, amps: &mut [Complex]) {
+        self.apply_range(amps, 0, self.index_space(amps.len()));
+    }
+
+    /// Applies the op across `workers` scoped threads over the fixed chunk
+    /// grid — bit-identical to [`KernelOp::apply`] at any worker count.
+    #[inline]
+    fn apply_chunked(&self, amps: &mut [Complex], workers: usize) {
+        let space = self.index_space(amps.len());
+        run_chunked(amps, space, workers, |a, lo, hi| {
+            self.apply_range(a, lo, hi)
+        });
     }
 }
 
@@ -250,7 +299,8 @@ impl ExecPlan {
     /// # Errors
     ///
     /// [`PlanError::UnsupportedArity`] when a gate acts on ≥ 3 qubits,
-    /// [`PlanError::RegisterOutOfRange`] outside `1..=24` qubits.
+    /// [`PlanError::RegisterOutOfRange`] outside `1..=`[`MAX_QUBITS`](crate::MAX_QUBITS)
+    /// qubits.
     pub fn build(circuit: &Circuit, noise: &NoiseModel) -> Result<Self, PlanError> {
         Self::build_with(circuit, |g| noise.rate_for(g))
     }
@@ -275,6 +325,17 @@ impl ExecPlan {
     /// event in the walk either, so the trajectory RNG stream is preserved
     /// draw for draw.
     ///
+    /// Beyond 1q runs, two-qubit fusion collapses an earlier **zero-rate**
+    /// 2q op on the same wire pair into an incoming 2q gate whenever the
+    /// earlier op commutes forward to the incoming gate's position:
+    /// in-between ops touching neither wire always commute, and in-between
+    /// *zero-rate diagonal* ops on a shared wire commute when the earlier
+    /// op is itself diagonal (diagonals commute among themselves — the
+    /// same computational-basis structure [`ashn_ir::classify`] keys
+    /// commutation checks on). The combined op is staged at the incoming
+    /// gate's position with the incoming gate's rate, so every noise draw
+    /// keeps its place in the RNG stream: only draw-free ops ever move.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`ExecPlan::build`].
@@ -283,10 +344,12 @@ impl ExecPlan {
         rate_of: impl Fn(&Instruction) -> f64,
     ) -> Result<Self, PlanError> {
         let n = circuit.n_qubits();
-        if !(1..=24).contains(&n) {
+        if !(1..=MAX_QUBITS).contains(&n) {
             return Err(PlanError::RegisterOutOfRange { n });
         }
-        let mut staged: Vec<Staged> = Vec::with_capacity(circuit.gates().len());
+        // Fused-away 2q ops leave a `None` tombstone so `absorber` indices
+        // stay stable.
+        let mut staged: Vec<Option<Staged>> = Vec::with_capacity(circuit.gates().len());
         // Per wire: the product of noiseless 1q gates not yet attached to an
         // op (applied-first on the right), and the index/side of the trailing
         // zero-rate 2q op that is still the wire's most recent toucher (the
@@ -306,7 +369,7 @@ impl ExecPlan {
                         None => m,
                     };
                     if rate > 0.0 {
-                        staged.push(Staged::One { q, m, rate });
+                        staged.push(Some(Staged::One { q, m, rate }));
                         absorber[q] = None;
                     } else {
                         pending[q] = Some(m);
@@ -321,8 +384,20 @@ impl ExecPlan {
                     if let Some(u) = pending[q1].take() {
                         m = m.matmul(&Mat2::identity().kron(&u));
                     }
+                    // Same-pair fusion: collapse an earlier zero-rate 2q op
+                    // on {q0, q1} that commutes forward to this position.
+                    // The combined op is staged *here*, in this gate's wire
+                    // order and with this gate's rate, so a noise draw of
+                    // this gate keeps its place in the RNG stream (the
+                    // fused-away op was draw-free).
+                    if let Some(prev_idx) = find_fusable_2q(&staged, q0, q1) {
+                        if let Some(Staged::Two { q0: a0, m: pm, .. }) = staged[prev_idx].take() {
+                            let prev = if a0 == q0 { pm } else { swap_conjugate(&pm) };
+                            m = m.matmul(&prev);
+                        }
+                    }
                     let idx = staged.len();
-                    staged.push(Staged::Two { q0, q1, m, rate });
+                    staged.push(Some(Staged::Two { q0, q1, m, rate }));
                     let eligible = rate <= 0.0;
                     absorber[q0] = eligible.then_some((idx, true));
                     absorber[q1] = eligible.then_some((idx, false));
@@ -342,7 +417,7 @@ impl ExecPlan {
             if let Some(u) = pending[q].take() {
                 match absorber[q] {
                     Some((idx, high)) => {
-                        if let Staged::Two { m, .. } = &mut staged[idx] {
+                        if let Some(Staged::Two { m, .. }) = &mut staged[idx] {
                             let e = if high {
                                 u.kron(&Mat2::identity())
                             } else {
@@ -351,11 +426,15 @@ impl ExecPlan {
                             *m = e.matmul(m);
                         }
                     }
-                    None => staged.push(Staged::One { q, m: u, rate: 0.0 }),
+                    None => staged.push(Some(Staged::One { q, m: u, rate: 0.0 })),
                 }
             }
         }
-        let ops = staged.into_iter().map(|s| classify(n, s)).collect();
+        let ops = staged
+            .into_iter()
+            .flatten()
+            .map(|s| classify(n, s))
+            .collect();
         Ok(Self {
             n,
             phase: circuit.phase,
@@ -399,9 +478,27 @@ impl ExecPlan {
     ///
     /// Panics when `amps` does not match the plan's register dimension.
     pub fn execute_pure(&self, amps: &mut [Complex]) {
+        self.execute_pure_chunked(amps, 1);
+    }
+
+    /// [`ExecPlan::execute_pure`] with each op's amplitude sweep split
+    /// across `workers` scoped threads over the fixed chunk grid
+    /// ([`crate::ChunkPolicy`]) — bit-identical to the scalar path at any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amps` does not match the plan's register dimension.
+    pub fn execute_pure_chunked(&self, amps: &mut [Complex], workers: usize) {
         assert_eq!(amps.len(), 1usize << self.n, "dimension mismatch");
+        if workers <= 1 {
+            for op in &self.ops {
+                op.kernel.apply(amps);
+            }
+            return;
+        }
         for op in &self.ops {
-            op.kernel.apply(amps);
+            op.kernel.apply_chunked(amps, workers);
         }
     }
 
@@ -415,21 +512,99 @@ impl ExecPlan {
     ///
     /// Panics when `amps` does not match the plan's register dimension.
     pub fn execute_trajectory(&self, amps: &mut [Complex], rng: &mut impl Rng) {
+        self.execute_trajectory_chunked(amps, rng, 1);
+    }
+
+    /// [`ExecPlan::execute_trajectory`] with amplitude sweeps split across
+    /// `workers` scoped threads. All randomness is drawn on the calling
+    /// thread between ops, so the draw sequence — and, by chunked
+    /// determinism, the resulting state — is bit-identical to the scalar
+    /// path at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amps` does not match the plan's register dimension.
+    pub fn execute_trajectory_chunked(
+        &self,
+        amps: &mut [Complex],
+        rng: &mut impl Rng,
+        workers: usize,
+    ) {
         assert_eq!(amps.len(), 1usize << self.n, "dimension mismatch");
         for op in &self.ops {
-            op.kernel.apply(amps);
+            if workers <= 1 {
+                op.kernel.apply(amps);
+            } else {
+                op.kernel.apply_chunked(amps, workers);
+            }
             if op.rate > 0.0 && rng.gen::<f64>() < op.rate {
                 for &p in op.noise_positions() {
-                    match rng.gen_range(0..4usize) {
-                        1 => Pauli::X.apply_at(amps, p as usize),
-                        2 => Pauli::Y.apply_at(amps, p as usize),
-                        3 => Pauli::Z.apply_at(amps, p as usize),
-                        _ => {}
+                    let pauli = match rng.gen_range(0..4usize) {
+                        1 => KernelOp::PauliX { p },
+                        2 => KernelOp::PauliY { p },
+                        3 => KernelOp::PauliZ { p },
+                        _ => continue,
+                    };
+                    if workers <= 1 {
+                        pauli.apply(amps);
+                    } else {
+                        pauli.apply_chunked(amps, workers);
                     }
                 }
             }
         }
     }
+}
+
+/// Scans the staged stream backward for an earlier zero-rate 2q op on
+/// exactly `{q0, q1}` that can be commuted forward to the stream's end.
+///
+/// Soundness: tombstones and ops on disjoint wires always commute past;
+/// an op sharing a wire blocks the commute unless both it and the
+/// candidate are diagonal in the computational basis (diagonals commute
+/// among themselves) *and* it is zero-rate (a trajectory X/Y injection on
+/// a shared wire would not commute with a diagonal). Staged 1q ops always
+/// carry noise — zero-rate ones live in `pending` — so a shared-wire 1q
+/// op blocks unconditionally. The scan stops at the first blocker.
+fn find_fusable_2q(staged: &[Option<Staged>], q0: usize, q1: usize) -> Option<usize> {
+    let mut through_diagonals = false;
+    for idx in (0..staged.len()).rev() {
+        let Some(s) = &staged[idx] else { continue };
+        match s {
+            Staged::Two {
+                q0: a0,
+                q1: a1,
+                m,
+                rate,
+            } => {
+                let same_pair = (*a0 == q0 && *a1 == q1) || (*a0 == q1 && *a1 == q0);
+                if same_pair {
+                    let ok = *rate <= 0.0 && (!through_diagonals || diagonal_of_2q(m).is_some());
+                    return ok.then_some(idx);
+                }
+                if [*a0, *a1].iter().any(|&a| a == q0 || a == q1) {
+                    if *rate > 0.0 || diagonal_of_2q(m).is_none() {
+                        return None;
+                    }
+                    through_diagonals = true;
+                }
+            }
+            Staged::One { q, .. } => {
+                if *q == q0 || *q == q1 {
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Conjugates a two-qubit matrix by SWAP — an exact entry permutation (no
+/// floating-point arithmetic), re-expressing a gate staged on `(q1, q0)`
+/// in `(q0, q1)` bit order.
+fn swap_conjugate(m: &Mat4) -> Mat4 {
+    const SIGMA: [usize; 4] = [0, 2, 1, 3];
+    Mat4::from_fn(|r, c| m[(SIGMA[r], SIGMA[c])])
 }
 
 /// Classifies one staged op into its final [`KernelOp`], recognizing the

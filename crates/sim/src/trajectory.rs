@@ -7,6 +7,7 @@
 //! `k`-qubit Pauli (identity included).
 
 use crate::batch::BatchRunner;
+use crate::chunk::ChunkPolicy;
 use crate::circuit::{Circuit, NoiseModel};
 use crate::engine::SimEngine;
 use crate::plan::ExecPlan;
@@ -64,8 +65,9 @@ fn trajectory_chunks(n_traj: usize) -> usize {
 }
 
 /// Estimates outcome probabilities by averaging `n_traj` trajectories,
-/// fanned across [`BatchRunner`] workers (`workers == 0` uses the machine
-/// default). The ensemble is split into fixed-size chunks with per-chunk
+/// fanned across [`BatchRunner`] workers (`workers` follows the
+/// [`BatchRunner::with_workers`] zero-means-default convention). The
+/// ensemble is split into fixed-size chunks with per-chunk
 /// RNG streams derived from `master_seed`, so the estimate is bit-identical
 /// for any worker count.
 ///
@@ -129,12 +131,24 @@ fn batched_ensemble(
         return vec![0.0; dim];
     }
     let chunks = trajectory_chunks(n_traj);
-    let runner = BatchRunner::new(master_seed).with_workers(workers);
+    // Above the chunked-kernel threshold, parallelism moves *inside* each
+    // trajectory (amplitude-parallel ops, trajectories in sequence): one
+    // `2^n` amplitude buffer total instead of one per worker, with every
+    // core still busy. Below it, trajectories fan out as before. Either
+    // way the RNG streams are per chunk index, so the estimate stays
+    // bit-identical for any worker count.
+    let amp_parallel = n >= ChunkPolicy::MIN_PARALLEL_QUBITS;
+    let runner = BatchRunner::new(master_seed).with_workers(if amp_parallel { 1 } else { workers });
+    let chunk_policy = if amp_parallel {
+        ChunkPolicy::with_workers(workers)
+    } else {
+        ChunkPolicy::scalar()
+    };
     let partials = runner.run(chunks, |index, rng| {
         // Chunk `index` owns trajectories [lo, hi) of the ensemble.
         let lo = index * n_traj / chunks;
         let hi = (index + 1) * n_traj / chunks;
-        let mut engine = SimEngine::new(n);
+        let mut engine = SimEngine::new(n).with_chunk_policy(chunk_policy);
         let mut acc = vec![0.0; dim];
         for _ in lo..hi {
             run_one(&mut engine, rng);

@@ -1,0 +1,262 @@
+//! Plan-fusion soundness suite for the 2q/diagonal fusion in
+//! [`ExecPlan::build_with`]:
+//!
+//! * pinned shapes — adjacent same-pair 2q ops collapse (including
+//!   reversed wire order, via the exact SWAP conjugation), zero-rate
+//!   diagonals are commuted through, dense and noisy blockers are
+//!   respected;
+//! * proptests — fusion-heavy random circuits (same-pair runs with
+//!   interleaved diagonals, mixed noise annotations) match the
+//!   `run_*_walk` reference at `1e-12`, and the trajectory RNG stream is
+//!   **draw-for-draw** identical: only draw-free ops ever move, so no
+//!   noisy gate is displaced.
+
+use ashn_math::randmat::haar_unitary;
+use ashn_math::{c, CMat, Complex};
+use ashn_sim::plan::{ExecPlan, KernelOp};
+use ashn_sim::{Circuit, Instruction, NoiseModel, SimEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cz() -> CMat {
+    CMat::diag(&[Complex::ONE, Complex::ONE, Complex::ONE, c(-1.0, 0.0)])
+}
+
+fn zz(theta: f64) -> CMat {
+    CMat::diag(&[
+        Complex::cis(theta),
+        Complex::cis(-theta),
+        Complex::cis(-theta),
+        Complex::cis(theta),
+    ])
+}
+
+fn assert_plan_matches_walk(circuit: &Circuit, tol: f64) {
+    let n = circuit.n_qubits();
+    let mut engine = SimEngine::new(n);
+    let walk = engine.run_pure_walk(circuit).state();
+    let plan = ExecPlan::pure(circuit).unwrap();
+    engine.run_plan(&plan);
+    for (i, (a, b)) in engine
+        .amplitudes()
+        .iter()
+        .zip(walk.amplitudes())
+        .enumerate()
+    {
+        assert!((*a - *b).abs() < tol, "amp {i}: {a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn adjacent_same_pair_dense_ops_collapse_to_one() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut circuit = Circuit::new(3);
+    circuit.push(Instruction::new(vec![0, 2], haar_unitary(4, &mut rng), "A"));
+    circuit.push(Instruction::new(vec![0, 2], haar_unitary(4, &mut rng), "B"));
+    circuit.push(Instruction::new(vec![0, 2], haar_unitary(4, &mut rng), "C"));
+    let plan = ExecPlan::pure(&circuit).unwrap();
+    assert_eq!(plan.ops().len(), 1, "three same-pair ops must fuse to one");
+    assert_plan_matches_walk(&circuit, 1e-12);
+}
+
+#[test]
+fn reversed_orientation_fuses_via_exact_swap_conjugation() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut circuit = Circuit::new(3);
+    circuit.push(Instruction::new(vec![1, 2], haar_unitary(4, &mut rng), "A"));
+    circuit.push(Instruction::new(vec![2, 1], haar_unitary(4, &mut rng), "B"));
+    let plan = ExecPlan::pure(&circuit).unwrap();
+    assert_eq!(plan.ops().len(), 1, "reversed same-pair ops must fuse");
+    assert_plan_matches_walk(&circuit, 1e-12);
+}
+
+#[test]
+fn zero_rate_diagonals_are_commuted_through() {
+    // CZ(0,1) · CZ(1,2) · CZ(0,1): the outer pair shares wire 1 with the
+    // middle gate, but all three are diagonal, so the outer ops fuse.
+    let mut circuit = Circuit::new(3);
+    circuit.push(Instruction::new(vec![0, 1], cz(), "CZ"));
+    circuit.push(Instruction::new(vec![1, 2], cz(), "CZ"));
+    circuit.push(Instruction::new(vec![0, 1], cz(), "CZ"));
+    let plan = ExecPlan::pure(&circuit).unwrap();
+    assert_eq!(
+        plan.ops().len(),
+        2,
+        "outer CZs must fuse through the middle"
+    );
+    assert_plan_matches_walk(&circuit, 1e-12);
+
+    // The fused outer pair is CZ·CZ = identity on the pair — classified
+    // diagonal either way; the surviving ops must both be diagonal kernels.
+    for op in plan.ops() {
+        assert!(
+            matches!(op.kernel, KernelOp::Diag2q { .. } | KernelOp::CPhase { .. }),
+            "unexpected kernel {:?}",
+            op.kernel
+        );
+    }
+}
+
+#[test]
+fn dense_candidates_do_not_jump_shared_wire_diagonals() {
+    let mut rng = StdRng::seed_from_u64(23);
+    // dense(0,1) · CZ(1,2) · dense(0,1): the dense candidate does not
+    // commute with a shared-wire diagonal, so nothing may fuse across it.
+    let mut circuit = Circuit::new(3);
+    circuit.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "A"));
+    circuit.push(Instruction::new(vec![1, 2], cz(), "CZ"));
+    circuit.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "B"));
+    let plan = ExecPlan::pure(&circuit).unwrap();
+    assert_eq!(plan.ops().len(), 3, "a dense candidate must not jump");
+    assert_plan_matches_walk(&circuit, 1e-12);
+}
+
+#[test]
+fn disjoint_ops_do_not_block_same_pair_fusion() {
+    let mut rng = StdRng::seed_from_u64(24);
+    let mut circuit = Circuit::new(4);
+    circuit.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "A"));
+    circuit.push(Instruction::new(vec![2, 3], haar_unitary(4, &mut rng), "X"));
+    circuit.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "B"));
+    let plan = ExecPlan::pure(&circuit).unwrap();
+    assert_eq!(plan.ops().len(), 2, "wire-disjoint ops always commute");
+    assert_plan_matches_walk(&circuit, 1e-12);
+}
+
+#[test]
+fn noisy_candidates_never_fuse() {
+    let mut rng = StdRng::seed_from_u64(25);
+    let mut circuit = Circuit::new(2);
+    circuit.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "A").with_error_rate(0.1));
+    circuit.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "B"));
+    let plan = ExecPlan::build(&circuit, &NoiseModel::NOISELESS).unwrap();
+    assert_eq!(
+        plan.ops().len(),
+        2,
+        "a noisy earlier op draws randomness and must stay in place"
+    );
+    // The noisy op keeps its rate; the trailing noiseless op absorbs
+    // nothing it should not.
+    assert!((plan.ops()[0].rate - 0.1).abs() < 1e-15);
+    assert!(plan.ops()[1].rate <= 0.0);
+}
+
+#[test]
+fn noisy_incoming_gate_may_absorb_a_zero_rate_predecessor() {
+    let mut rng = StdRng::seed_from_u64(26);
+    let mut circuit = Circuit::new(2);
+    circuit.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "A"));
+    circuit.push(Instruction::new(vec![0, 1], haar_unitary(4, &mut rng), "B").with_error_rate(0.2));
+    let plan = ExecPlan::build(&circuit, &NoiseModel::NOISELESS).unwrap();
+    assert_eq!(
+        plan.ops().len(),
+        1,
+        "draw-free predecessor may move forward"
+    );
+    assert!((plan.ops()[0].rate - 0.2).abs() < 1e-15);
+    assert_eq!(plan.ops()[0].noise_positions().len(), 2);
+}
+
+/// A fusion-heavy circuit: repeated 2q ops on a favored pair (sometimes
+/// reversed), zero-rate diagonals interleaved on shared wires, occasional
+/// dense 1q gates and disjoint-pair traffic, with per-gate noise chosen
+/// from `{0, p}`.
+fn fusion_heavy_circuit(n: usize, layers: usize, p: f64, rng: &mut StdRng) -> Circuit {
+    let mut circuit = Circuit::new(n);
+    circuit.phase = Complex::cis(rng.gen::<f64>());
+    let q0 = rng.gen_range(0..n);
+    let mut q1 = rng.gen_range(0..n);
+    while q1 == q0 {
+        q1 = rng.gen_range(0..n);
+    }
+    let push = |c: &mut Circuit, g: Instruction, rng: &mut StdRng| {
+        let noisy = p > 0.0 && rng.gen::<f64>() < 0.4;
+        c.push(if noisy { g.with_error_rate(p) } else { g });
+    };
+    for _ in 0..layers {
+        // A same-pair run, possibly reversed.
+        for _ in 0..rng.gen_range(1..3usize) {
+            let pair = if rng.gen::<bool>() {
+                vec![q0, q1]
+            } else {
+                vec![q1, q0]
+            };
+            let m = match rng.gen_range(0..3usize) {
+                0 => cz(),
+                1 => zz(rng.gen::<f64>()),
+                _ => haar_unitary(4, rng),
+            };
+            push(&mut circuit, Instruction::new(pair, m, "2q"), rng);
+        }
+        // Interleaved diagonals sharing a wire with the favored pair.
+        if n >= 3 {
+            let other = (0..n).find(|&q| q != q0 && q != q1).unwrap();
+            let shared = if rng.gen::<bool>() { q0 } else { q1 };
+            push(
+                &mut circuit,
+                Instruction::new(vec![shared, other], zz(rng.gen::<f64>()), "ZZ"),
+                rng,
+            );
+        }
+        // Occasional 1q traffic (dense or diagonal).
+        if rng.gen::<bool>() {
+            let q = rng.gen_range(0..n);
+            let m = if rng.gen::<bool>() {
+                haar_unitary(2, rng)
+            } else {
+                CMat::diag(&[
+                    Complex::cis(rng.gen::<f64>()),
+                    Complex::cis(rng.gen::<f64>()),
+                ])
+            };
+            push(&mut circuit, Instruction::new(vec![q], m, "1q"), rng);
+        }
+    }
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fused_pure_plans_match_the_walk(seed in 0u64..10_000, n in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = fusion_heavy_circuit(n, 5, 0.0, &mut rng);
+        let plan = ExecPlan::pure(&circuit).unwrap();
+        prop_assert!(plan.ops().len() <= circuit.gates().len());
+        let mut engine = SimEngine::new(n);
+        let walk = engine.run_pure_walk(&circuit).state();
+        engine.run_plan(&plan);
+        for (a, b) in engine.amplitudes().iter().zip(walk.amplitudes()) {
+            prop_assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_trajectories_stay_draw_for_draw(seed in 0u64..10_000, n in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = fusion_heavy_circuit(n, 4, 0.15, &mut rng);
+        let noise = NoiseModel::NOISELESS;
+        let plan = ExecPlan::build(&circuit, &noise).unwrap();
+
+        let mut rng_walk = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut rng_plan = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut engine_walk = SimEngine::new(n);
+        let mut engine_plan = SimEngine::new(n);
+        for _ in 0..10 {
+            let walk = engine_walk
+                .run_trajectory_walk(&circuit, &noise, &mut rng_walk)
+                .probabilities();
+            let plan_probs = engine_plan
+                .run_plan_trajectory(&plan, &mut rng_plan)
+                .probabilities();
+            for (a, b) in plan_probs.iter().zip(walk.iter()) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+        // Draw-for-draw: both paths consumed exactly the same number of
+        // draws (only draw-free ops were ever displaced by fusion).
+        prop_assert_eq!(rng_walk.gen::<u64>(), rng_plan.gen::<u64>());
+    }
+}

@@ -32,7 +32,7 @@ use ashn_route::Grid;
 use ashn_service::ShardedCache;
 use ashn_sim::plan::{ExecPlan, PlanError};
 use ashn_sim::trajectory::trajectory_probabilities_batched_plan;
-use ashn_sim::{DensityMatrix, NoiseModel, Simulate, StateVector};
+use ashn_sim::{DensityMatrix, NoiseModel, SimEngine, Simulate, StateVector};
 use ashn_synth::basis::AshnBasis;
 use ashn_synth::cache::{CachedBasis, SynthCache};
 
@@ -327,6 +327,21 @@ impl Compiled {
     /// Noiseless statevector simulation of the compiled circuit.
     pub fn simulate_pure(&self) -> StateVector {
         self.model.circuit.run_pure()
+    }
+
+    /// Fallible [`Compiled::simulate_pure`], surfacing register-size
+    /// failures as [`AshnError::Sim`] instead of panicking. Runs
+    /// plan-backed on a [`SimEngine`] — fused and, on large registers,
+    /// amplitude-parallel — so it is also the fast path for big circuits.
+    ///
+    /// # Errors
+    ///
+    /// [`AshnError::Sim`] when the compiled register exceeds
+    /// [`ashn_sim::MAX_QUBITS`] (memory-bound).
+    pub fn try_simulate_pure(&self) -> Result<StateVector, AshnError> {
+        let mut engine = SimEngine::try_new(self.model.circuit.n_qubits())?;
+        engine.run_pure(&self.model.circuit);
+        Ok(engine.take_state())
     }
 
     /// Exact density-matrix simulation under the scheduled noise, resolved
