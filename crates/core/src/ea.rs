@@ -44,6 +44,8 @@ pub enum EaError {
     },
     /// The computed evolution time is not positive (identity-class target).
     NonPositiveTime,
+    /// The per-request deadline expired before the search finished.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for EaError {
@@ -53,6 +55,9 @@ impl std::fmt::Display for EaError {
                 write!(f, "EA search did not converge (best distance {best:.3e})")
             }
             EaError::NonPositiveTime => write!(f, "evolution time must be positive"),
+            EaError::DeadlineExceeded => {
+                write!(f, "EA search deadline exceeded before convergence")
+            }
         }
     }
 }
@@ -152,9 +157,80 @@ pub fn ashn_ea_multistart(
     z: f64,
     workers: usize,
 ) -> Result<(f64, DriveParams), EaError> {
+    ashn_ea_search(
+        h_ratio,
+        variant,
+        x,
+        y,
+        z,
+        &EaSearch {
+            workers,
+            ..EaSearch::default()
+        },
+    )
+}
+
+/// Search-effort configuration for [`ashn_ea_search`].
+///
+/// The default (`extra_rounds = 0`, no deadline) reproduces
+/// [`ashn_ea_multistart`] bit for bit; retry layers above raise
+/// `extra_rounds` to widen the multistart with deterministically jittered
+/// seeds, and set `deadline` to bound the wall-clock budget.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EaSearch {
+    /// Worker threads for the multistart fan-out (`0` = hardware default).
+    pub workers: usize,
+    /// Escalation rounds appended after the base attempt list misses. Each
+    /// round adds progressively more, wider-stepped attempts around the
+    /// best-ranked seeds.
+    pub extra_rounds: u32,
+    /// Seed for the deterministic jitter applied by the escalation rounds
+    /// (retry layers derive it from the request, so retries explore new
+    /// starts while remaining replayable).
+    pub jitter_seed: u64,
+    /// Absolute wall-clock deadline, checked between attempt waves.
+    pub deadline: Option<std::time::Instant>,
+}
+
+/// SplitMix64 finalizer driving the escalation-round jitter.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a 64-bit word (top 53 bits).
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// [`ashn_ea_multistart`] generalized with escalation rounds and a
+/// wall-clock deadline (see [`EaSearch`]). Carries the
+/// `core::ea::convergence` failpoint, which fails the search as
+/// [`EaError::NoConvergence`] before any attempt runs.
+///
+/// # Errors
+///
+/// Same as [`ashn_ea`], plus [`EaError::DeadlineExceeded`] when
+/// `search.deadline` expires between waves.
+pub fn ashn_ea_search(
+    h_ratio: f64,
+    variant: EaVariant,
+    x: f64,
+    y: f64,
+    z: f64,
+    search: &EaSearch,
+) -> Result<(f64, DriveParams), EaError> {
+    let workers = search.workers;
     let tau = ea_time(h_ratio, variant, x, y, z);
     if tau <= 1e-12 {
         return Err(EaError::NonPositiveTime);
+    }
+    if ashn_math::failpoint!("core::ea::convergence") {
+        return Err(EaError::NoConvergence { best: f64::NAN });
     }
     let target = WeylPoint::new(x, y, z).canonicalize();
     let (g1t, g2t) = makhlin_from_coords(target.x, target.y, target.z);
@@ -227,21 +303,65 @@ pub fn ashn_ea_multistart(
 
     // Waves of `workers` attempts: within a wave all attempts run
     // concurrently, and the scan below always returns the lowest-indexed
-    // success — the same winner the serial early-exit loop picks.
+    // success — the same winner the serial early-exit loop picks. The
+    // deadline is only consulted between waves, so a `None` deadline (the
+    // default, and every pre-existing caller) never reads the clock and
+    // results stay a pure function of the inputs.
     let wave = if workers == 0 {
         crate::par::default_workers()
     } else {
         workers
     }
     .max(1);
+    let expired = || {
+        search
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+    };
     let mut best_dist = f64::INFINITY;
-    for chunk in attempts.chunks(wave) {
-        let outcomes = parallel_map(wave, chunk.len(), |i| run_attempt(&chunk[i]));
-        for outcome in outcomes {
-            match outcome {
-                Attempt::Converged(drive) => return Ok((tau, drive)),
-                Attempt::Missed(dist) => best_dist = best_dist.min(dist),
+    let run_round = |attempts: &[([f64; 2], f64)],
+                     best_dist: &mut f64|
+     -> Option<Result<(f64, DriveParams), EaError>> {
+        for chunk in attempts.chunks(wave) {
+            if expired() {
+                return Some(Err(EaError::DeadlineExceeded));
             }
+            let outcomes = parallel_map(wave, chunk.len(), |i| run_attempt(&chunk[i]));
+            for outcome in outcomes {
+                match outcome {
+                    Attempt::Converged(drive) => return Some(Ok((tau, drive))),
+                    Attempt::Missed(dist) => *best_dist = best_dist.min(dist),
+                }
+            }
+        }
+        None
+    };
+    if let Some(result) = run_round(&attempts, &mut best_dist) {
+        return result;
+    }
+
+    // Escalation rounds: progressively more and wider-stepped attempts,
+    // jittered deterministically around the best-ranked seeds so retries
+    // explore genuinely new starts yet replay exactly.
+    for round in 1..=search.extra_rounds {
+        let mut state = mix64(search.jitter_seed ^ round as u64);
+        let mut draw = || {
+            state = mix64(state);
+            unit_f64(state)
+        };
+        let pool = ranked.len().min(6);
+        let count = 6 + 4 * round as usize;
+        let step = 0.45 * (1.0 + 0.5 * round as f64);
+        let extra: Vec<([f64; 2], f64)> = (0..count)
+            .map(|k| {
+                let base = ranked[k % pool].0;
+                let omega = base[0] * (0.4 + 1.6 * draw()) + 0.4 * (draw() - 0.5);
+                let delta = base[1] * (0.4 + 1.6 * draw()) + 0.4 * (draw() - 0.5);
+                ([omega, delta], step)
+            })
+            .collect();
+        if let Some(result) = run_round(&extra, &mut best_dist) {
+            return result;
         }
     }
     Err(EaError::NoConvergence { best: best_dist })
@@ -362,6 +482,73 @@ mod tests {
         assert_eq!(d.omega1, 0.0, "EA+ uses only the antisymmetric drive");
         let (_, d) = check(0.0, EaVariant::Minus, 0.5, 0.45, -0.2);
         assert_eq!(d.omega2, 0.0, "EA− uses only the symmetric drive");
+    }
+
+    #[test]
+    fn search_with_defaults_matches_multistart_bit_for_bit() {
+        let reference = ashn_ea_multistart(0.0, EaVariant::Plus, 0.5, 0.45, 0.2, 2).unwrap();
+        let got = ashn_ea_search(
+            0.0,
+            EaVariant::Plus,
+            0.5,
+            0.45,
+            0.2,
+            &EaSearch {
+                workers: 2,
+                ..EaSearch::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(got.0.to_bits(), reference.0.to_bits());
+        assert_eq!(got.1.omega2.to_bits(), reference.1.omega2.to_bits());
+        assert_eq!(got.1.delta.to_bits(), reference.1.delta.to_bits());
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let err = ashn_ea_search(
+            0.0,
+            EaVariant::Plus,
+            0.5,
+            0.45,
+            0.2,
+            &EaSearch {
+                workers: 1,
+                deadline: Some(past),
+                ..EaSearch::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, EaError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn escalation_rounds_still_converge_and_stay_deterministic() {
+        let search = EaSearch {
+            workers: 1,
+            extra_rounds: 2,
+            jitter_seed: 17,
+            deadline: None,
+        };
+        let a = ashn_ea_search(0.0, EaVariant::Plus, 0.5, 0.45, 0.2, &search).unwrap();
+        let b = ashn_ea_search(0.0, EaVariant::Plus, 0.5, 0.45, 0.2, &search).unwrap();
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.1.omega2.to_bits(), b.1.omega2.to_bits());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn convergence_failpoint_fails_the_search() {
+        use crate::fault::{self, FaultMode};
+        let _guard = fault::exclusive();
+        fault::reset();
+        fault::configure("core::ea::convergence", FaultMode::Always);
+        let err = ashn_ea(0.0, EaVariant::Plus, 0.5, 0.45, 0.2).unwrap_err();
+        fault::reset();
+        assert!(matches!(err, EaError::NoConvergence { .. }));
+        // Disarmed again: the same target converges.
+        assert!(ashn_ea(0.0, EaVariant::Plus, 0.5, 0.45, 0.2).is_ok());
     }
 
     #[test]

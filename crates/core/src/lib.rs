@@ -22,6 +22,12 @@
 //! ```
 pub mod avg_time;
 pub mod classes;
+/// Deterministic fault injection (see [`ashn_math::fault`]): the registry
+/// lives at the bottom of the crate graph so eigendecomposition sites can
+/// share it, but `ashn_core::fault` is the canonical path.
+pub mod fault {
+    pub use ashn_math::fault::*;
+}
 pub mod ea;
 pub mod hamiltonian;
 pub mod nd;

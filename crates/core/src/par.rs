@@ -7,8 +7,10 @@
 //! output is bit-identical for any worker count — the property the EA
 //! multistart determinism suite pins down.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The default worker count: the `ASHN_WORKERS` environment variable when
 /// set to a positive integer, otherwise one per available hardware thread
@@ -37,6 +39,96 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+    let results: Vec<T> = run_caught(workers, n, f)
+        .into_iter()
+        .filter_map(|r| match r {
+            Ok(t) => Some(t),
+            Err(caught) => {
+                // Keep the lowest-indexed payload (results arrive in index
+                // order) so the propagated panic is scheduling-independent.
+                if first_panic.is_none() {
+                    first_panic = Some(caught.payload);
+                }
+                None
+            }
+        })
+        .collect();
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    results
+}
+
+/// A worker panic caught at a parallel-map task boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the job that panicked.
+    pub index: usize,
+    /// The panic message, when it was a `&str`/`String` payload.
+    pub detail: String,
+}
+
+/// [`parallel_map`] with per-job panic isolation: a panicking job yields
+/// `Err(TaskPanic)` at its own index instead of tearing down the batch, and
+/// every surviving job's result is bit-identical to what [`parallel_map`]
+/// would have produced. This is the worker-pool boundary the compile
+/// service builds its "one bad target never kills a batch" guarantee on.
+///
+/// Carries the `core::par::task` failpoint, which injects a panic into the
+/// body of each elected job.
+pub fn parallel_map_isolated<T, F>(workers: usize, n: usize, f: F) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_caught(workers, n, f)
+        .into_iter()
+        .enumerate()
+        .map(|(index, r)| {
+            r.map_err(|caught| TaskPanic {
+                index,
+                detail: caught.detail,
+            })
+        })
+        .collect()
+}
+
+struct Caught {
+    payload: Box<dyn Any + Send>,
+    detail: String,
+}
+
+fn describe_panic(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Shared engine of [`parallel_map`] and [`parallel_map_isolated`]: maps
+/// `f` over `0..n` in index order, catching each job's panic at the task
+/// boundary.
+fn run_caught<T, F>(workers: usize, n: usize, f: F) -> Vec<Result<T, Caught>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let run_one = |i: usize| -> Result<T, Caught> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if ashn_math::failpoint!("core::par::task") {
+                panic!("injected fault: core::par::task (job {i})");
+            }
+            f(i)
+        }))
+        .map_err(|payload| {
+            let detail = describe_panic(payload.as_ref());
+            Caught { payload, detail }
+        })
+    };
     let workers = if workers == 0 {
         default_workers()
     } else {
@@ -44,31 +136,33 @@ where
     }
     .min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(run_one).collect();
     }
     let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let collected: Mutex<Vec<(usize, Result<T, Caught>)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut local: Vec<(usize, T)> = Vec::new();
+                let mut local: Vec<(usize, Result<T, Caught>)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(i)));
+                    local.push((i, run_one(i)));
                 }
+                // Jobs cannot poison this mutex (panics are caught above);
+                // recover anyway so an isolated batch never wedges.
                 collected
                     .lock()
-                    .expect("parallel_map result mutex poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .extend(local);
             });
         }
     });
     let mut results = collected
         .into_inner()
-        .expect("parallel_map result mutex poisoned");
+        .unwrap_or_else(PoisonError::into_inner);
     results.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(results.len(), n);
     results.into_iter().map(|(_, t)| t).collect()
@@ -103,5 +197,72 @@ mod tests {
     fn zero_workers_means_default() {
         let out = parallel_map(0, 8, |i| i + 1);
         assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn isolated_map_converts_panics_to_errors_in_place() {
+        for workers in [1, 4] {
+            let out = parallel_map_isolated(workers, 16, |i| {
+                if i % 5 == 3 {
+                    panic!("boom at {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 16);
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, i);
+                    assert_eq!(p.detail, format!("boom at {i}"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "survivor {i} changed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_without_panics_matches_parallel_map() {
+        let plain = parallel_map(3, 12, |i| (i as f64).sin().to_bits());
+        let isolated = parallel_map_isolated(3, 12, |i| (i as f64).sin().to_bits());
+        let unwrapped: Vec<u64> = isolated.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(plain, unwrapped);
+    }
+
+    #[test]
+    fn parallel_map_still_propagates_the_lowest_indexed_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(4, 8, |i| {
+                if i >= 2 {
+                    panic!("die {i}");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "die 2", "must re-raise the lowest-indexed panic");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn task_failpoint_injects_isolated_panics() {
+        use crate::fault::{self, FaultMode};
+        let _guard = fault::exclusive();
+        fault::reset();
+        fault::configure("core::par::task", FaultMode::OnNth(3));
+        // Serial execution so call order is the job order.
+        let out = parallel_map_isolated(1, 5, |i| i);
+        fault::reset();
+        assert!(out[2].is_err(), "third task must be hit");
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+        assert!(out[2]
+            .as_ref()
+            .unwrap_err()
+            .detail
+            .contains("core::par::task"));
     }
 }

@@ -2,7 +2,7 @@
 //! Weyl-chamber class to the ND / EA+ / EA− / ND-EXT sub-scheme that attains
 //! it in optimal time (or in extended time `π − 2x` under the cutoff `r`).
 
-use crate::ea::{ashn_ea_multistart, EaVariant};
+use crate::ea::{ashn_ea_search, EaError, EaSearch, EaVariant};
 use crate::hamiltonian::{evolve, DriveParams};
 use crate::nd::{ashn_nd, ashn_nd_ext};
 use ashn_gates::cost::optimal_time_branches;
@@ -100,6 +100,9 @@ pub struct CompileError {
     pub target: WeylPoint,
     /// Human-readable reason.
     pub reason: String,
+    /// Whether the failure was a deadline expiry (so retry layers can stop
+    /// escalating instead of burning a dead budget).
+    pub timed_out: bool,
 }
 
 impl std::fmt::Display for CompileError {
@@ -217,6 +220,30 @@ impl AshnScheme {
     /// Returns [`CompileError`] when no sub-scheme realizes the target — which
     /// indicates a numerical failure, since Theorems 4–6 guarantee coverage.
     pub fn compile(&self, target: WeylPoint) -> Result<AshnPulse, CompileError> {
+        self.compile_with_search(
+            target,
+            &EaSearch {
+                workers: self.workers,
+                ..EaSearch::default()
+            },
+        )
+    }
+
+    /// [`AshnScheme::compile`] with explicit search effort: `search` sets
+    /// the EA multistart fan-out, escalation rounds, jitter seed, and
+    /// wall-clock deadline (see [`EaSearch`]; with default effort and
+    /// `search.workers == self.workers` this is bit-identical to
+    /// [`AshnScheme::compile`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AshnScheme::compile`]; a deadline expiry aborts the
+    /// sub-scheme cascade immediately and sets [`CompileError::timed_out`].
+    pub fn compile_with_search(
+        &self,
+        target: WeylPoint,
+        search: &EaSearch,
+    ) -> Result<AshnPulse, CompileError> {
         let p = target.canonicalize();
         let (t1, t2) = optimal_time_branches(self.h_ratio, p);
         let topt = t1.min(t2);
@@ -271,19 +298,24 @@ impl AshnScheme {
                     .map(|(tau, d)| (tau, d, SubScheme::Nd))
                     .map_err(|e| e.to_string()),
                 SubScheme::EaPlus => {
-                    ashn_ea_multistart(self.h_ratio, EaVariant::Plus, x, y, z, self.workers)
-                        .map(|(tau, d)| (tau, d, SubScheme::EaPlus))
-                        .map_err(|e| e.to_string())
+                    match ashn_ea_search(self.h_ratio, EaVariant::Plus, x, y, z, search) {
+                        Ok((tau, d)) => Ok((tau, d, SubScheme::EaPlus)),
+                        Err(EaError::DeadlineExceeded) => return Err(self.timed_out(p)),
+                        Err(e) => Err(e.to_string()),
+                    }
                 }
                 SubScheme::EaMinus => {
-                    ashn_ea_multistart(self.h_ratio, EaVariant::Minus, x, y, z, self.workers)
-                        .map(|(tau, d)| (tau, d, SubScheme::EaMinus))
-                        .map_err(|e| e.to_string())
+                    match ashn_ea_search(self.h_ratio, EaVariant::Minus, x, y, z, search) {
+                        Ok((tau, d)) => Ok((tau, d, SubScheme::EaMinus)),
+                        Err(EaError::DeadlineExceeded) => return Err(self.timed_out(p)),
+                        Err(e) => Err(e.to_string()),
+                    }
                 }
                 SubScheme::NdExt => {
                     return self.try_nd_ext(p).map_err(|e| CompileError {
                         target: p,
                         reason: format!("all sub-schemes failed; last: {e}"),
+                        timed_out: false,
                     });
                 }
                 SubScheme::Identity => unreachable!(),
@@ -312,7 +344,16 @@ impl AshnScheme {
         Err(CompileError {
             target: p,
             reason: last_reason,
+            timed_out: false,
         })
+    }
+
+    fn timed_out(&self, p: WeylPoint) -> CompileError {
+        CompileError {
+            target: p,
+            reason: EaError::DeadlineExceeded.to_string(),
+            timed_out: true,
+        }
     }
 
     fn try_nd_ext(&self, p: WeylPoint) -> Result<AshnPulse, String> {

@@ -23,6 +23,26 @@ pub(crate) fn swap_matrix() -> CMat {
     ])
 }
 
+/// Search-effort hints for [`Basis::synthesize_with_effort`].
+///
+/// The default value (`attempt = 0`, no deadline) asks for the basis's
+/// normal synthesis; retry layers raise `attempt` on each re-try so bases
+/// with a numerical search can widen it (e.g. AshN's EA escalation rounds),
+/// and set `deadline` to bound wall-clock time. Bases without a numerical
+/// search ignore the hints entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SynthEffort {
+    /// Zero-based retry attempt; attempt `k > 0` should search wider than
+    /// attempt `k − 1`, deterministically.
+    pub attempt: u32,
+    /// Seed for any attempt-specific jitter, derived by the retry layer
+    /// from the request so retries are replayable.
+    pub jitter_seed: u64,
+    /// Absolute wall-clock deadline; expiry surfaces as
+    /// [`SynthError::DeadlineExceeded`].
+    pub deadline: Option<std::time::Instant>,
+}
+
 /// A native two-qubit gate set with per-basis synthesis rules.
 pub trait Basis {
     /// Short display name (e.g. `"CZ"`, `"SQiSW"`, `"AshN(r=1.1)"`).
@@ -51,6 +71,25 @@ pub trait Basis {
     /// pulse-compiler rejection, malformed target).
     fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError>;
 
+    /// [`Basis::synthesize`] with explicit search effort. The default
+    /// implementation ignores the hints (correct for closed-form bases,
+    /// whose synthesis cannot fail numerically); bases with a numerical
+    /// search should widen their multistart for `effort.attempt > 0` and
+    /// respect `effort.deadline`.
+    ///
+    /// The cache-coherence contract: for any effort, a success must
+    /// realize the same target (caches may store circuits produced at any
+    /// attempt under the same class key).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Basis::synthesize`], plus
+    /// [`SynthError::DeadlineExceeded`] when the deadline expires.
+    fn synthesize_with_effort(&self, u: &CMat, effort: SynthEffort) -> Result<Circuit, SynthError> {
+        let _ = effort;
+        self.synthesize(u)
+    }
+
     /// The compiled SWAP, used by routing. The default synthesizes the SWAP
     /// matrix; bases with a cheaper native SWAP (AshN's single `3π/4`
     /// pulse arises automatically; an iSWAP-like basis might override).
@@ -78,6 +117,9 @@ impl<B: Basis + ?Sized> Basis for &B {
     fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
         (**self).synthesize(u)
     }
+    fn synthesize_with_effort(&self, u: &CMat, effort: SynthEffort) -> Result<Circuit, SynthError> {
+        (**self).synthesize_with_effort(u, effort)
+    }
     fn native_swap(&self) -> Result<Circuit, SynthError> {
         (**self).native_swap()
     }
@@ -95,6 +137,9 @@ impl Basis for Box<dyn Basis> {
     }
     fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
         (**self).synthesize(u)
+    }
+    fn synthesize_with_effort(&self, u: &CMat, effort: SynthEffort) -> Result<Circuit, SynthError> {
+        (**self).synthesize_with_effort(u, effort)
     }
     fn native_swap(&self) -> Result<Circuit, SynthError> {
         (**self).native_swap()

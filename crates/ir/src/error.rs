@@ -113,6 +113,20 @@ pub enum SynthError {
     },
     /// A structural IR error surfaced during synthesis.
     Ir(IrError),
+    /// A worker thread panicked while synthesizing this target; the panic
+    /// was caught at the task boundary and converted to this per-item
+    /// error, so the rest of the batch survives.
+    WorkerPanic {
+        /// The panic message, when one was available.
+        detail: String,
+    },
+    /// The per-request deadline budget expired before synthesis finished.
+    DeadlineExceeded {
+        /// Basis that was synthesizing.
+        basis: String,
+        /// What stage of the search ran out of budget.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SynthError {
@@ -128,6 +142,12 @@ impl fmt::Display for SynthError {
                 write!(f, "target unsupported by {basis}: {detail}")
             }
             SynthError::Ir(e) => write!(f, "ir error during synthesis: {e}"),
+            SynthError::WorkerPanic { detail } => {
+                write!(f, "synthesis worker panicked: {detail}")
+            }
+            SynthError::DeadlineExceeded { basis, detail } => {
+                write!(f, "{basis} synthesis deadline exceeded: {detail}")
+            }
         }
     }
 }

@@ -5,7 +5,40 @@
 //! it directly produces an orthonormal eigenbasis.
 
 use crate::complex::{c, Complex};
+use crate::failpoint;
 use crate::mat::CMat;
+use std::fmt;
+
+/// A recoverable eigendecomposition failure.
+///
+/// The fallible `try_*` entry points return this instead of panicking; the
+/// synthesis layers map it onto `SynthError::Convergence` so a single bad
+/// target degrades instead of killing a batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EigError {
+    /// The input was not square (`rows × cols` reported).
+    NotSquare { rows: usize, cols: usize },
+    /// Simultaneous diagonalisation failed after every mixing retry: the
+    /// input is too far from normal. `residual` is the best off-diagonal
+    /// norm achieved, relative to the matrix scale.
+    NotNormal { residual: f64 },
+}
+
+impl fmt::Display for EigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EigError::NotSquare { rows, cols } => {
+                write!(f, "eigendecomposition requires a square matrix, got {rows}x{cols}")
+            }
+            EigError::NotNormal { residual } => write!(
+                f,
+                "input is not normal enough to diagonalise (best relative off-diagonal residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EigError {}
 
 /// Result of a Hermitian eigendecomposition `A = V diag(λ) V†`.
 #[derive(Clone, Debug)]
@@ -58,7 +91,20 @@ fn off_norm(a: &CMat) -> f64 {
 /// assert!((e.values[1] - 1.0).abs() < 1e-12);
 /// ```
 pub fn eigh(a: &CMat) -> HermitianEig {
-    assert!(a.is_square(), "eigh requires a square matrix");
+    try_eigh(a).expect("eigh requires a square matrix")
+}
+
+/// Fallible variant of [`eigh`]: returns [`EigError::NotSquare`] instead of
+/// panicking on a non-square input. The Jacobi iteration itself cannot fail
+/// on a square input (it simply stops improving), so this is the only error
+/// case.
+pub fn try_eigh(a: &CMat) -> Result<HermitianEig, EigError> {
+    if !a.is_square() {
+        return Err(EigError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
     let n = a.rows();
     // Symmetrize to guard against round-off in the input.
     let mut m = (a + &a.adjoint()).scale(c(0.5, 0.0));
@@ -115,7 +161,7 @@ pub fn eigh(a: &CMat) -> HermitianEig {
     idx.sort_by(|&i, &j| vals[i].partial_cmp(&vals[j]).unwrap());
     let values: Vec<f64> = idx.iter().map(|&i| vals[i]).collect();
     let vectors = CMat::from_fn(n, n, |r, cc| v[(r, idx[cc])]);
-    HermitianEig { values, vectors }
+    Ok(HermitianEig { values, vectors })
 }
 
 /// Eigendecomposition of a unitary (or any normal) matrix.
@@ -129,7 +175,33 @@ pub fn eigh(a: &CMat) -> HermitianEig {
 /// Panics if `w` is not square, or if diagonalisation fails after retries
 /// (which indicates the input is far from normal).
 pub fn eig_unitary(w: &CMat) -> UnitaryEig {
-    assert!(w.is_square(), "eig_unitary requires a square matrix");
+    match try_eig_unitary(w) {
+        Ok(e) => e,
+        Err(EigError::NotSquare { .. }) => {
+            panic!("eig_unitary requires a square matrix")
+        }
+        Err(EigError::NotNormal { .. }) => {
+            panic!("eig_unitary: input is not normal enough to diagonalise")
+        }
+    }
+}
+
+/// Fallible variant of [`eig_unitary`]: returns an [`EigError`] instead of
+/// panicking on a non-square or non-normal input.
+///
+/// Carries the `math::eig::unitary` failpoint (fires as
+/// [`EigError::NotNormal`]) so chaos tests can inject decomposition
+/// failures here without constructing pathological matrices.
+pub fn try_eig_unitary(w: &CMat) -> Result<UnitaryEig, EigError> {
+    if !w.is_square() {
+        return Err(EigError::NotSquare {
+            rows: w.rows(),
+            cols: w.cols(),
+        });
+    }
+    if failpoint!("math::eig::unitary") {
+        return Err(EigError::NotNormal { residual: f64::NAN });
+    }
     let n = w.rows();
     let wh = w.adjoint();
     let h1 = (w + &wh).scale(c(0.5, 0.0));
@@ -145,18 +217,23 @@ pub fn eig_unitary(w: &CMat) -> UnitaryEig {
         0.5698402909980532,
     ];
     let scale = w.frobenius_norm().max(1e-300);
+    let mut best_resid = f64::INFINITY;
     for &t in &mixes {
-        let e = eigh(&(&h1 + &h2.scale(c(t, 0.0))));
+        let e = try_eigh(&(&h1 + &h2.scale(c(t, 0.0))))?;
         let d = e.vectors.adjoint().matmul(w).matmul(&e.vectors);
-        if off_norm(&d) < 1e-8 * scale {
+        let resid = off_norm(&d) / scale;
+        best_resid = best_resid.min(resid);
+        if resid < 1e-8 {
             let values = (0..n).map(|i| d[(i, i)]).collect();
-            return UnitaryEig {
+            return Ok(UnitaryEig {
                 values,
                 vectors: e.vectors,
-            };
+            });
         }
     }
-    panic!("eig_unitary: input is not normal enough to diagonalise");
+    Err(EigError::NotNormal {
+        residual: best_resid,
+    })
 }
 
 /// Hermitian logarithm of a unitary: returns `H` with `W = exp(iH)` and
@@ -167,6 +244,17 @@ pub fn eig_unitary(w: &CMat) -> UnitaryEig {
 /// Panics under the same conditions as [`eig_unitary`].
 pub fn log_unitary(w: &CMat) -> CMat {
     let e = eig_unitary(w);
+    log_from_eig(w, &e)
+}
+
+/// Fallible variant of [`log_unitary`], failing exactly when
+/// [`try_eig_unitary`] does.
+pub fn try_log_unitary(w: &CMat) -> Result<CMat, EigError> {
+    let e = try_eig_unitary(w)?;
+    Ok(log_from_eig(w, &e))
+}
+
+fn log_from_eig(w: &CMat, e: &UnitaryEig) -> CMat {
     let n = w.rows();
     let mut h = CMat::zeros(n, n);
     for j in 0..n {
@@ -266,6 +354,32 @@ mod tests {
     }
 
     #[test]
+    fn try_variants_report_errors_instead_of_panicking() {
+        let rect = CMat::zeros(2, 3);
+        assert_eq!(
+            try_eigh(&rect).unwrap_err(),
+            EigError::NotSquare { rows: 2, cols: 3 }
+        );
+        assert!(matches!(
+            try_eig_unitary(&rect),
+            Err(EigError::NotSquare { .. })
+        ));
+        // A Jordan block is maximally non-normal: no mixing retry can
+        // simultaneously diagonalise its Hermitian and anti-Hermitian parts.
+        let jordan = CMat::from_rows_f64(&[&[1.0, 1.0], &[0.0, 1.0]]);
+        match try_eig_unitary(&jordan) {
+            Err(EigError::NotNormal { residual }) => assert!(residual > 1e-8),
+            other => panic!("expected NotNormal, got {other:?}"),
+        }
+        assert!(try_log_unitary(&jordan).is_err());
+        // And the fallible paths agree with the panicking shims on good input.
+        let mut rng = StdRng::seed_from_u64(29);
+        let u = haar_unitary(4, &mut rng);
+        let e = try_eig_unitary(&u).expect("haar unitary is normal");
+        assert!(e.vectors.is_unitary(1e-9));
+    }
+
+    #[test]
     fn log_unitary_round_trip() {
         let mut rng = StdRng::seed_from_u64(13);
         let u = haar_unitary(4, &mut rng);
@@ -273,5 +387,22 @@ mod tests {
         assert!(h.is_hermitian(1e-9));
         let back = crate::expm::expm_i_hermitian(&h, 1.0);
         assert!(back.dist(&u) < 1e-8);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn eig_failpoint_fails_once_then_recovers() {
+        use crate::fault::{self, FaultMode};
+        let _guard = fault::exclusive();
+        fault::reset();
+        fault::configure("math::eig::unitary", FaultMode::OnNth(1));
+        let mut rng = StdRng::seed_from_u64(31);
+        let w = haar_unitary(4, &mut rng);
+        assert!(matches!(
+            try_eig_unitary(&w),
+            Err(EigError::NotNormal { .. })
+        ));
+        assert!(try_eig_unitary(&w).is_ok(), "site must fire only once");
+        fault::reset();
     }
 }

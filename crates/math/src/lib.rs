@@ -25,6 +25,7 @@
 pub mod complex;
 pub mod eig;
 pub mod expm;
+pub mod fault;
 pub mod mat;
 pub mod neldermead;
 pub mod randmat;

@@ -37,6 +37,12 @@ pub enum ServiceError {
         /// What was wrong.
         detail: String,
     },
+    /// A worker panicked while processing this request, and neither the
+    /// serial repair pass nor the degradation tier could produce a circuit.
+    WorkerPanic {
+        /// The panic message, when it was a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -47,6 +53,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Assembly { detail } => write!(f, "assembly failed: {detail}"),
             ServiceError::Opt { detail } => write!(f, "optimization failed: {detail}"),
             ServiceError::Config { detail } => write!(f, "configuration error: {detail}"),
+            ServiceError::WorkerPanic { detail } => write!(f, "worker panicked: {detail}"),
         }
     }
 }

@@ -39,10 +39,11 @@ pub mod persist;
 pub mod service;
 pub mod sharded;
 
+pub use ashn_synth::resilience::RetryPolicy;
 pub use error::ServiceError;
 pub use persist::{LoadOutcome, LoadReport, HEADER};
 pub use service::{
     BatchCompileResult, BatchResult, CompileRequest, CompileResult, CompileService, OptLevel,
-    ServiceStats, OPT_ACCEPT_TOL,
+    Resilience, ServiceStats, OPT_ACCEPT_TOL,
 };
 pub use sharded::{ShardedCache, DEFAULT_CAPACITY, DEFAULT_SHARDS};

@@ -196,6 +196,11 @@ pub fn save_to_path(
     path: impl AsRef<Path>,
     entries: &[(ClassKey, ClassEntry)],
 ) -> std::io::Result<usize> {
+    if ashn_math::failpoint!("service::persist::save") {
+        return Err(std::io::Error::other(
+            "injected fault: service::persist::save",
+        ));
+    }
     let mut buf = Vec::new();
     write_entries(&mut buf, entries)?;
     std::fs::write(path, buf)?;
@@ -211,6 +216,11 @@ pub fn save_to_path(
 /// unreadable, version-mismatched, or corrupt content.
 pub fn load_from_path(path: impl AsRef<Path>) -> Result<Vec<(ClassKey, ClassEntry)>, LoadOutcome> {
     let path = path.as_ref();
+    if ashn_math::failpoint!("service::persist::load") {
+        return Err(LoadOutcome::Cold(
+            "injected fault: service::persist::load".into(),
+        ));
+    }
     if !path.exists() {
         return Err(LoadOutcome::Missing);
     }

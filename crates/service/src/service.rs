@@ -32,7 +32,7 @@
 
 use crate::error::ServiceError;
 use crate::sharded::ShardedCache;
-use ashn_core::par::parallel_map;
+use ashn_core::par::{parallel_map_isolated, TaskPanic};
 use ashn_gates::kak::weyl_coordinates4;
 use ashn_gates::weyl::WeylPoint;
 use ashn_ir::{Basis, Circuit};
@@ -42,13 +42,46 @@ use ashn_qv::{stamp_noise, QvNoise};
 use ashn_route::{Grid, LookaheadRouter, RouteOp};
 use ashn_synth::cache::{serve_from_entry, ClassEntry, ClassKey, ClassStore, Lookup};
 use ashn_synth::circuit2::TwoQubitCircuit;
+use ashn_synth::cnot_basis::try_decompose_cnot;
+use ashn_synth::resilience::{synthesize_resilient, RetryPolicy};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Acceptance tolerance for resynthesized blocks under
 /// [`OptLevel::Standard`] — the fidelity scale the numerical bases
 /// synthesize to (mirrors `ashn::Compiler::OPT_ACCEPT_TOL`).
 pub const OPT_ACCEPT_TOL: f64 = 1e-5;
+
+/// Resilience knobs for a [`CompileService`]: retry/deadline policy for
+/// cold synthesis, the exact-CNOT degradation tier, and the post-serve
+/// verification tier.
+///
+/// The default — one attempt, no deadline, fallback on, verification at
+/// `1e-3` — leaves the fault-free pipeline bit-identical to a service
+/// without resilience: verification only *reads* served circuits, the
+/// fallback only engages on failure, and retries never run when the first
+/// attempt succeeds.
+#[derive(Clone, Copy, Debug)]
+pub struct Resilience {
+    /// Retry/deadline/fallback policy applied to every cold synthesis and
+    /// quarantine resynthesis. `retry.fallback` also gates the service's
+    /// per-target CNOT degradation tier.
+    pub retry: RetryPolicy,
+    /// Verify every served circuit against its target at this Frobenius
+    /// tolerance; a failing cache entry is quarantined (evicted + counted)
+    /// and the target resynthesized. `None` disables the tier.
+    pub verify_tol: Option<f64>,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Self {
+            retry: RetryPolicy::default(),
+            verify_tol: Some(1e-3),
+        }
+    }
+}
 
 /// Optimizer effort for a [`CompileRequest`] (the `ashn-opt` pipelines).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -125,6 +158,9 @@ pub struct CompileResult {
     pub positions: Vec<usize>,
     /// Optimizer accounting, when the request ran passes.
     pub opt_stats: Option<OptStats>,
+    /// Whether any two-qubit gate in this circuit was served by the exact
+    /// CNOT degradation tier instead of the requested basis.
+    pub degraded: bool,
 }
 
 /// How one synthesis target was served (the cache-tier breakdown in
@@ -138,6 +174,9 @@ enum Tier {
     /// This target's class was synthesized cold (it was the class
     /// representative, or its stored entry had drifted).
     Cold,
+    /// Served by the exact CNOT degradation tier after the requested basis
+    /// failed, timed out, or panicked.
+    Degraded,
     /// Cold synthesis of the class failed.
     Failed,
 }
@@ -165,6 +204,17 @@ pub struct ServiceStats {
     pub cold_serves: u64,
     /// Targets whose class failed to synthesize.
     pub failed: u64,
+    /// Targets served by the exact CNOT degradation tier after the
+    /// requested basis failed, timed out, or panicked.
+    pub degraded: u64,
+    /// Served circuits that failed post-serve verification: the cache
+    /// entry was evicted and the target resynthesized (counted per serve).
+    pub quarantined: u64,
+    /// Extra synthesis attempts consumed by the retry policy.
+    pub retries: u64,
+    /// Worker panics contained by the batch engine (isolated to their item
+    /// and repaired or degraded — never propagated).
+    pub worker_panics: u64,
     /// Wall-clock time for the whole batch, milliseconds.
     pub wall_ms: f64,
     /// Worker threads the batch fanned over.
@@ -207,6 +257,9 @@ impl ServiceStats {
 pub struct BatchResult {
     /// One circuit (or error) per input target, in input order.
     pub circuits: Vec<Result<Circuit, ServiceError>>,
+    /// `degraded[i]` — whether `circuits[i]` came from the exact CNOT
+    /// degradation tier instead of the requested basis.
+    pub degraded: Vec<bool>,
     /// Batch accounting.
     pub stats: ServiceStats,
 }
@@ -242,6 +295,32 @@ struct Prepared {
     /// Per target: `(unique-class index, coords)` or the validation error.
     status: Vec<Result<(usize, WeylPoint), ServiceError>>,
     unique: Vec<UniqueClass>,
+    /// Extra synthesis attempts the cold phase consumed via retries.
+    retries: u64,
+    /// Worker panics the prime phases contained.
+    panics: u64,
+}
+
+/// Per-target resilience accounting accumulated while serving.
+#[derive(Clone, Copy, Debug, Default)]
+struct ResAcct {
+    quarantined: u64,
+    retries: u64,
+}
+
+/// One served target: the tier, its resilience accounting, and the circuit.
+struct Served {
+    tier: Tier,
+    acct: ResAcct,
+    result: Result<Circuit, ServiceError>,
+}
+
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// The batched compile server: a shared [`ShardedCache`], a basis, and a
@@ -251,6 +330,7 @@ pub struct CompileService<B> {
     basis: B,
     cache: ShardedCache,
     workers: usize,
+    resilience: Resilience,
 }
 
 impl<B: Basis + Sync> CompileService<B> {
@@ -267,7 +347,21 @@ impl<B: Basis + Sync> CompileService<B> {
             basis,
             cache,
             workers: 1,
+            resilience: Resilience::default(),
         }
+    }
+
+    /// Overrides the resilience policy (retries, deadline budget, the CNOT
+    /// degradation tier, and post-serve verification).
+    #[must_use]
+    pub fn resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// The active resilience policy.
+    pub fn resilience_policy(&self) -> &Resilience {
+        &self.resilience
     }
 
     /// Fans batches over `workers` scoped threads (`0` = one per hardware
@@ -292,9 +386,11 @@ impl<B: Basis + Sync> CompileService<B> {
     /// sealing the per-batch solution table. Cold solutions are installed
     /// into the shared cache (in deterministic first-occurrence order).
     fn prime(&self, targets: &[&CMat]) -> Prepared {
-        // Phase 1: canonicalize (parallel; pure per index).
+        let mut panics = 0u64;
+        // Phase 1: canonicalize (parallel; pure per index; panic-isolated —
+        // one poisoned target never kills the batch).
         let keyed: Vec<Result<(ClassKey, WeylPoint), ServiceError>> =
-            parallel_map(self.workers, targets.len(), |i| {
+            parallel_map_isolated(self.workers, targets.len(), |i| {
                 let m4 = Mat4::try_from(targets[i]).map_err(|_| ServiceError::InvalidRequest {
                     detail: format!(
                         "target {i} is {}x{}, expected 4x4",
@@ -309,7 +405,16 @@ impl<B: Basis + Sync> CompileService<B> {
                 }
                 let coords = weyl_coordinates4(&m4).canonicalize();
                 Ok((ClassKey::new(&self.basis, coords, false), coords))
-            });
+            })
+            .into_iter()
+            .map(|r| match r {
+                Ok(keyed) => keyed,
+                Err(TaskPanic { detail, .. }) => {
+                    panics += 1;
+                    Err(ServiceError::WorkerPanic { detail })
+                }
+            })
+            .collect();
 
         // Phase 2: dedup in first-occurrence order (serial, deterministic).
         let mut index: HashMap<ClassKey, usize> = HashMap::new();
@@ -343,46 +448,82 @@ impl<B: Basis + Sync> CompileService<B> {
         }
 
         // Phase 4: cold synthesis of the representatives over the worker
-        // pool. Each job is a pure function of its target, so results are
-        // bit-identical at any worker count.
-        let solved: Vec<Result<ClassEntry, String>> = parallel_map(self.workers, cold.len(), |j| {
-            let rep = unique[cold[j]].rep;
-            let circuit = self
-                .basis
-                .synthesize(targets[rep])
-                .map_err(|e| e.to_string())?;
-            let core = TwoQubitCircuit::try_from(circuit)
-                .map_err(|e| format!("synthesis output not a two-qubit circuit: {e}"))?;
-            Ok(ClassEntry {
-                target: targets[rep].clone(),
-                circuit: core,
-            })
-        });
+        // pool, panic-isolated and driven by the retry policy. The fallback
+        // tier is disabled here on purpose: a degraded CNOT circuit must
+        // never be cached (or served to other targets) under the requested
+        // basis's class key — degradation happens per target at serve time.
+        // Each job is a pure function of its target and the (fixed) policy,
+        // so results are bit-identical at any worker count.
+        let cold_policy = self.resilience.retry.with_fallback(false);
+        // A cold job resolves to (entry, attempts) or a rendered failure;
+        // the outer layer is the task-boundary panic isolation.
+        type ColdOutcome = Result<(ClassEntry, u32), String>;
+        let solved: Vec<Result<ColdOutcome, TaskPanic>> =
+            parallel_map_isolated(self.workers, cold.len(), |j| {
+                let rep = unique[cold[j]].rep;
+                let outcome = synthesize_resilient(&self.basis, targets[rep], &cold_policy)
+                    .map_err(|e| e.to_string())?;
+                let core = TwoQubitCircuit::try_from(outcome.circuit)
+                    .map_err(|e| format!("synthesis output not a two-qubit circuit: {e}"))?;
+                Ok((
+                    ClassEntry {
+                        target: targets[rep].clone(),
+                        circuit: core,
+                    },
+                    outcome.attempts,
+                ))
+            });
 
         // Install in deterministic order; share with future batches.
+        let mut retries = 0u64;
         for (j, result) in solved.into_iter().enumerate() {
             let uidx = cold[j];
             match result {
-                Ok(entry) => {
+                Ok(Ok((entry, attempts))) => {
+                    retries += u64::from(attempts.saturating_sub(1));
                     self.cache.store(unique[uidx].key.clone(), entry.clone());
                     unique[uidx].solution = Solution::Cold(entry);
                 }
-                Err(detail) => unique[uidx].solution = Solution::Failed(detail),
+                Ok(Err(detail)) => unique[uidx].solution = Solution::Failed(detail),
+                Err(TaskPanic { detail, .. }) => {
+                    panics += 1;
+                    unique[uidx].solution =
+                        Solution::Failed(format!("synthesis worker panicked: {detail}"));
+                }
             }
         }
 
-        Prepared { status, unique }
+        Prepared {
+            status,
+            unique,
+            retries,
+            panics,
+        }
     }
 
-    /// Serves one target from the sealed class table.
-    fn serve_target(
+    /// Serves one target from the sealed class table, applying the
+    /// verification tier and (when everything else fails) the CNOT
+    /// degradation tier. Pure in its inputs except for cache eviction of
+    /// quarantined entries — which later serves never read (they read the
+    /// sealed table), so batch output stays worker-count invariant.
+    fn serve_target(&self, target: &CMat, index: usize, prepared: &Prepared) -> Served {
+        let mut acct = ResAcct::default();
+        let (tier, result) = self.serve_inner(target, index, prepared, &mut acct);
+        Served { tier, acct, result }
+    }
+
+    fn serve_inner(
         &self,
         target: &CMat,
         index: usize,
         prepared: &Prepared,
+        acct: &mut ResAcct,
     ) -> (Tier, Result<Circuit, ServiceError>) {
         let (uidx, coords) = match &prepared.status[index] {
-            Err(e) => return (Tier::Failed, Err(e.clone())),
+            // A worker panic during canonicalization is transient — the
+            // degradation tier can still serve the target. A validation
+            // error is not (the fallback would reject the same target).
+            Err(e) => return self.degrade(target, e.clone()),
             Ok(ok) => *ok,
         };
         let class = &prepared.unique[uidx];
@@ -390,27 +531,107 @@ impl<B: Basis + Sync> CompileService<B> {
             Solution::Warm(entry) => (entry, false),
             Solution::Cold(entry) => (entry, true),
             Solution::Failed(detail) => {
-                return (
-                    Tier::Failed,
-                    Err(ServiceError::Synth {
+                return self.degrade(
+                    target,
+                    ServiceError::Synth {
                         detail: detail.clone(),
-                    }),
+                    },
                 )
             }
         };
-        if cold && class.rep == index {
+        let (tier, circuit) = if cold && class.rep == index {
             // The representative IS the cold synthesis.
-            return (Tier::Cold, Ok(entry.circuit.clone().into()));
+            (Tier::Cold, entry.circuit.clone().into())
+        } else {
+            match serve_from_entry(target, coords, entry) {
+                Some((circuit, Lookup::ExactHit)) => (Tier::Exact, circuit),
+                Some((circuit, _)) => (Tier::Redressed, circuit),
+                // Drifted realization (possible only for entries loaded
+                // from a foreign scheme version): quarantine and pay a
+                // private cold synthesis.
+                None => {
+                    return self.quarantine(
+                        target,
+                        &class.key,
+                        "stored circuit drifted from its class",
+                        acct,
+                    )
+                }
+            }
+        };
+        // Verification tier: every served circuit — cache hit or fresh —
+        // must realize its target at tolerance; a failure quarantines the
+        // cache entry and resynthesizes.
+        let poisoned = ashn_math::failpoint!("service::cache::serve");
+        if let Some(tol) = self.resilience.verify_tol {
+            let err = if poisoned {
+                f64::INFINITY
+            } else {
+                circuit.error(target)
+            };
+            // NaN-safe: a corrupted entry can make the error NaN, which
+            // must quarantine, not pass a `>` comparison.
+            if err.is_nan() || err > tol {
+                return self.quarantine(
+                    target,
+                    &class.key,
+                    &format!("served circuit verification error {err:.2e} exceeds {tol:.2e}"),
+                    acct,
+                );
+            }
         }
-        match serve_from_entry(target, coords, entry) {
-            Some((circuit, Lookup::ExactHit)) => (Tier::Exact, Ok(circuit)),
-            Some((circuit, _)) => (Tier::Redressed, Ok(circuit)),
-            // Drifted realization (possible only for entries loaded from a
-            // foreign scheme version): pay a private cold synthesis.
-            None => match self.basis.synthesize(target) {
-                Ok(circuit) => (Tier::Cold, Ok(circuit)),
-                Err(e) => (Tier::Failed, Err(e.into())),
-            },
+        (tier, Ok(circuit))
+    }
+
+    /// Evicts a bad cache entry and resynthesizes the target privately
+    /// (verified, retried, never written back), degrading on failure.
+    fn quarantine(
+        &self,
+        target: &CMat,
+        key: &ClassKey,
+        reason: &str,
+        acct: &mut ResAcct,
+    ) -> (Tier, Result<Circuit, ServiceError>) {
+        self.cache.evict(key);
+        acct.quarantined += 1;
+        match synthesize_resilient(
+            &self.basis,
+            target,
+            &self.resilience.retry.with_fallback(false),
+        ) {
+            Ok(out) => {
+                acct.retries += u64::from(out.attempts.saturating_sub(1));
+                if let Some(tol) = self.resilience.verify_tol {
+                    let err = out.circuit.error(target);
+                    if err.is_nan() || err > tol {
+                        return self.degrade(
+                            target,
+                            ServiceError::Synth {
+                                detail: format!(
+                                    "resynthesis after quarantine ({reason}) still fails \
+                                     verification: error {err:.2e} exceeds {tol:.2e}"
+                                ),
+                            },
+                        );
+                    }
+                }
+                (Tier::Cold, Ok(out.circuit))
+            }
+            Err(e) => self.degrade(target, e.into()),
+        }
+    }
+
+    /// The last tier: an exact CNOT-basis decomposition, verified at
+    /// `1e-9` inside [`try_decompose_cnot`]. Disabled (surfacing `err`)
+    /// when the policy turns the fallback off or the target is itself
+    /// invalid.
+    fn degrade(&self, target: &CMat, err: ServiceError) -> (Tier, Result<Circuit, ServiceError>) {
+        if !self.resilience.retry.fallback {
+            return (Tier::Failed, Err(err));
+        }
+        match try_decompose_cnot(target) {
+            Ok(circuit) => (Tier::Degraded, Ok(circuit.into())),
+            Err(_) => (Tier::Failed, Err(err)),
         }
     }
 
@@ -429,6 +650,10 @@ impl<B: Basis + Sync> CompileService<B> {
                 }
                 Tier::Cold => {
                     stats.cold_serves += 1;
+                    Lookup::Miss
+                }
+                Tier::Degraded => {
+                    stats.degraded += 1;
                     Lookup::Miss
                 }
                 Tier::Failed => {
@@ -461,26 +686,78 @@ impl<B: Basis + Sync> CompileService<B> {
         let t0 = Instant::now();
         let refs: Vec<&CMat> = targets.iter().collect();
         let prepared = self.prime(&refs);
-        let served: Vec<(Tier, Result<Circuit, ServiceError>)> =
-            parallel_map(self.workers, targets.len(), |i| {
-                self.serve_target(&targets[i], i, &prepared)
-            });
         let mut stats = ServiceStats {
             requests: targets.len(),
             targets: targets.len(),
             workers: self.workers,
+            retries: prepared.retries,
+            worker_panics: prepared.panics,
             ..ServiceStats::default()
         };
+        // Serve phase, panic-isolated: a panicking serve is repaired
+        // serially (outside the pool), and if the repair panics too the
+        // target drops to the degradation tier — the batch never dies.
+        let isolated = parallel_map_isolated(self.workers, targets.len(), |i| {
+            self.serve_target(&targets[i], i, &prepared)
+        });
+        let served: Vec<Served> = isolated
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(s) => s,
+                Err(TaskPanic { .. }) => {
+                    stats.worker_panics += 1;
+                    self.repair_serve(&targets[i], i, &prepared)
+                }
+            })
+            .collect();
         Self::class_counts(&prepared, &mut stats);
         let mut circuits = Vec::with_capacity(served.len());
+        let mut degraded = Vec::with_capacity(served.len());
         let mut tiers = Vec::with_capacity(served.len());
-        for (tier, result) in served {
-            tiers.push(tier);
-            circuits.push(result);
+        for s in served {
+            tiers.push(s.tier);
+            degraded.push(s.tier == Tier::Degraded);
+            stats.quarantined += s.acct.quarantined;
+            stats.retries += s.acct.retries;
+            circuits.push(s.result);
         }
         self.tally(tiers, &mut stats);
         stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        BatchResult { circuits, stats }
+        BatchResult {
+            circuits,
+            degraded,
+            stats,
+        }
+    }
+
+    /// Serial second chance for a serve that panicked on the worker pool;
+    /// a second panic drops the target to the degradation tier.
+    fn repair_serve(&self, target: &CMat, index: usize, prepared: &Prepared) -> Served {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.serve_target(target, index, prepared)
+        })) {
+            Ok(served) => served,
+            Err(payload) => {
+                let detail = describe_panic(payload.as_ref());
+                let (tier, result) = match catch_unwind(AssertUnwindSafe(|| {
+                    self.degrade(target, ServiceError::WorkerPanic { detail })
+                })) {
+                    Ok(outcome) => outcome,
+                    Err(second) => (
+                        Tier::Failed,
+                        Err(ServiceError::WorkerPanic {
+                            detail: describe_panic(second.as_ref()),
+                        }),
+                    ),
+                };
+                Served {
+                    tier,
+                    acct: ResAcct::default(),
+                    result,
+                }
+            }
+        }
     }
 
     /// The service's compiled SWAP fragment, memoized in the shared cache
@@ -534,28 +811,63 @@ impl<B: Basis + Sync> CompileService<B> {
         let prepared = self.prime(&targets);
         let swap_fragment = self.swap_fragment();
 
-        let compiled: Vec<(Vec<Tier>, Result<CompileResult, ServiceError>)> =
-            parallel_map(self.workers, requests.len(), |r| {
-                self.compile_one(
-                    &requests[r],
-                    spans[r].0,
-                    &targets,
-                    &prepared,
-                    &swap_fragment,
-                )
-            });
-
         let mut stats = ServiceStats {
             requests: requests.len(),
             targets: targets.len(),
             workers: self.workers,
+            retries: prepared.retries,
+            worker_panics: prepared.panics,
             ..ServiceStats::default()
         };
+        // Request assembly, panic-isolated: a panicking request is retried
+        // once serially (outside the pool, where the worker-boundary
+        // failpoint cannot re-fire); a second panic fails only that
+        // request — the batch never dies.
+        let isolated = parallel_map_isolated(self.workers, requests.len(), |r| {
+            self.compile_one(
+                &requests[r],
+                spans[r].0,
+                &targets,
+                &prepared,
+                &swap_fragment,
+            )
+        });
+        let compiled: Vec<(Vec<Tier>, ResAcct, Result<CompileResult, ServiceError>)> = isolated
+            .into_iter()
+            .enumerate()
+            .map(|(r, outcome)| match outcome {
+                Ok(done) => done,
+                Err(TaskPanic { .. }) => {
+                    stats.worker_panics += 1;
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        self.compile_one(
+                            &requests[r],
+                            spans[r].0,
+                            &targets,
+                            &prepared,
+                            &swap_fragment,
+                        )
+                    })) {
+                        Ok(done) => done,
+                        Err(payload) => (
+                            Vec::new(),
+                            ResAcct::default(),
+                            Err(ServiceError::WorkerPanic {
+                                detail: describe_panic(payload.as_ref()),
+                            }),
+                        ),
+                    }
+                }
+            })
+            .collect();
+
         Self::class_counts(&prepared, &mut stats);
         let mut results = Vec::with_capacity(compiled.len());
         let mut tiers = Vec::new();
-        for (request_tiers, result) in compiled {
+        for (request_tiers, acct, result) in compiled {
             tiers.extend(request_tiers);
+            stats.quarantined += acct.quarantined;
+            stats.retries += acct.retries;
             results.push(result);
         }
         self.tally(tiers, &mut stats);
@@ -572,19 +884,27 @@ impl<B: Basis + Sync> CompileService<B> {
         targets: &[&CMat],
         prepared: &Prepared,
         swap_fragment: &Result<Circuit, ServiceError>,
-    ) -> (Vec<Tier>, Result<CompileResult, ServiceError>) {
+    ) -> (Vec<Tier>, ResAcct, Result<CompileResult, ServiceError>) {
         let mut tiers = Vec::new();
-        let result = self.compile_one_inner(
-            req,
-            target_start,
-            targets,
-            prepared,
-            swap_fragment,
-            &mut tiers,
-        );
-        (tiers, result)
+        let mut acct = ResAcct::default();
+        let result = self
+            .compile_one_inner(
+                req,
+                target_start,
+                targets,
+                prepared,
+                swap_fragment,
+                &mut tiers,
+                &mut acct,
+            )
+            .map(|mut compiled| {
+                compiled.degraded = tiers.contains(&Tier::Degraded);
+                compiled
+            });
+        (tiers, acct, result)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn compile_one_inner(
         &self,
         req: &CompileRequest,
@@ -593,6 +913,7 @@ impl<B: Basis + Sync> CompileService<B> {
         prepared: &Prepared,
         swap_fragment: &Result<Circuit, ServiceError>,
         tiers: &mut Vec<Tier>,
+        acct: &mut ResAcct,
     ) -> Result<CompileResult, ServiceError> {
         let n = req.circuit.n_qubits();
         let grid = req.grid.unwrap_or_else(|| Grid::for_qubits(n));
@@ -635,10 +956,11 @@ impl<B: Basis + Sync> CompileService<B> {
                                 physical.append(fragment.embed(sites, &[x, y])?)?;
                             }
                             RouteOp::Gate { a: pa, b: pb, .. } => {
-                                let (tier, fragment) =
-                                    self.serve_target(targets[index], index, prepared);
-                                tiers.push(tier);
-                                physical.append(fragment?.embed(sites, &[pa, pb])?)?;
+                                let served = self.serve_target(targets[index], index, prepared);
+                                tiers.push(served.tier);
+                                acct.quarantined += served.acct.quarantined;
+                                acct.retries += served.acct.retries;
+                                physical.append(served.result?.embed(sites, &[pa, pb])?)?;
                             }
                         }
                     }
@@ -677,6 +999,7 @@ impl<B: Basis + Sync> CompileService<B> {
             circuit,
             positions: (0..n).map(|l| router.position(l)).collect(),
             opt_stats,
+            degraded: false,
         })
     }
 }

@@ -168,4 +168,8 @@ impl ClassStore for ShardedCache {
         // what service dashboards read.
         self.shards[0].record(outcome);
     }
+
+    fn evict(&self, key: &ClassKey) -> bool {
+        self.shard_for(key).evict(key)
+    }
 }

@@ -9,13 +9,16 @@ mod common;
 use ashn_gates::kak::weyl_coordinates;
 use ashn_ir::Basis;
 use ashn_math::randmat::haar_unitary;
-use ashn_service::{LoadOutcome, ShardedCache, HEADER};
+use ashn_math::CMat;
+use ashn_service::{CompileService, LoadOutcome, Resilience, RetryPolicy, ShardedCache, HEADER};
 use ashn_synth::basis::AshnBasis;
 use ashn_synth::cache::{CachedBasis, ClassKey, ClassStore};
 use common::ExactBasis;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 fn temp_path(tag: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -167,4 +170,94 @@ fn scheme_parameters_survive_persistence_and_never_cross_hit() {
         "different h-tilde must never cross-hit the persisted cache"
     );
     std::fs::remove_file(&path).ok();
+}
+
+/// One saved cache file plus the targets that populated it, built once and
+/// shared across property cases.
+fn corruption_fixture() -> &'static (String, Vec<CMat>) {
+    static FIXTURE: OnceLock<(String, Vec<CMat>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xc0ffee);
+        let targets: Vec<CMat> = (0..4).map(|_| haar_unitary(4, &mut rng)).collect();
+        let cache = ShardedCache::with_config(4, 64);
+        let cached = CachedBasis::with_store(ExactBasis, cache.clone());
+        for t in &targets {
+            cached.synthesize(t).expect("exact synthesis");
+        }
+        let path = temp_path("proptest-fixture");
+        cache.save(&path).expect("save");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        (text, targets)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The corruption satellite: an arbitrarily byte-flipped, truncated, or
+    /// line-dropped cache file either degrades to a cold start or — when the
+    /// damage still parses — yields only circuits that the serve-time
+    /// verification tier accepts at `1e-9`. A damaged file may cost
+    /// performance (cold/quarantined serves), never correctness.
+    #[test]
+    fn mutated_cache_files_never_serve_a_wrong_circuit(
+        mode in 0u32..3,
+        pos in 0usize..1_000_000,
+        byte in 0u32..256,
+    ) {
+        let (text, targets) = corruption_fixture();
+        let mut bytes = text.clone().into_bytes();
+        match mode {
+            0 => {
+                // Overwrite one byte with an arbitrary value.
+                let i = pos % bytes.len();
+                bytes[i] = byte as u8;
+            }
+            1 => {
+                // Truncate mid-file (the format is ASCII, so any cut is a
+                // valid, possibly senseless, text file).
+                bytes.truncate(pos % (bytes.len() + 1));
+            }
+            _ => {
+                // Drop one whole line.
+                let lines: Vec<&str> = text.lines().collect();
+                let drop = pos % lines.len();
+                bytes = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, l)| format!("{l}\n"))
+                    .collect::<String>()
+                    .into_bytes();
+            }
+        }
+        let path = temp_path("proptest-mutated");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let restored = ShardedCache::with_config(4, 64);
+        let report = restored.warm_start(&path);
+        std::fs::remove_file(&path).ok();
+        if !report.is_warm() {
+            prop_assert!(restored.is_empty(), "cold start must leave no entries");
+        }
+
+        // Whether or not the damaged file parsed, serving through the
+        // verification tier must only ever return correct circuits.
+        let service = CompileService::with_cache(ExactBasis, restored)
+            .workers(2)
+            .resilience(Resilience {
+                retry: RetryPolicy::default(),
+                verify_tol: Some(1e-9),
+            });
+        let batch = service.synthesize_batch(targets);
+        for (target, circuit) in targets.iter().zip(&batch.circuits) {
+            let circuit = circuit.as_ref().expect("ExactBasis always synthesizes");
+            let err = circuit.error(target);
+            prop_assert!(
+                err <= 1e-9,
+                "served circuit off by {err:.2e} from a mutated cache (mode {mode})"
+            );
+        }
+    }
 }

@@ -8,8 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// SplitMix64 finalizer: a high-quality 64-bit mixing function.
 #[inline]
@@ -103,43 +105,129 @@ impl BatchRunner {
     /// Runs `n_jobs` jobs, each with its own seeded [`StdRng`], returning
     /// results in job order. Work is pulled from a shared counter, so
     /// stragglers do not serialize the batch.
+    ///
+    /// A panicking job does not kill the batch mid-flight: every other job
+    /// still runs to completion, then the panic with the *lowest job index*
+    /// is re-raised — independent of scheduling, so the observable behavior
+    /// matches serial execution. Use [`BatchRunner::try_run`] to keep the
+    /// surviving results instead.
     pub fn run<T, F>(&self, n_jobs: usize, job: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize, &mut StdRng) -> T + Sync,
     {
+        let mut first_panic = None;
+        let results: Vec<Option<T>> = self
+            .run_caught(n_jobs, job)
+            .into_iter()
+            .map(|r| match r {
+                Ok(t) => Some(t),
+                Err(caught) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(caught.payload);
+                    }
+                    None
+                }
+            })
+            .collect();
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        results.into_iter().map(|t| t.expect("no panics")).collect()
+    }
+
+    /// [`BatchRunner::run`] with per-job panic isolation: a job that panics
+    /// yields `Err(JobPanic)` at its index while every other job's result
+    /// is returned untouched (in job order, bit-identical to a run without
+    /// the panicking jobs).
+    pub fn try_run<T, F>(&self, n_jobs: usize, job: F) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: Fn(usize, &mut StdRng) -> T + Sync,
+    {
+        self.run_caught(n_jobs, job)
+            .into_iter()
+            .enumerate()
+            .map(|(index, r)| {
+                r.map_err(|caught| JobPanic {
+                    index,
+                    detail: caught.detail,
+                })
+            })
+            .collect()
+    }
+
+    fn run_caught<T, F>(&self, n_jobs: usize, job: F) -> Vec<Result<T, Caught>>
+    where
+        T: Send,
+        F: Fn(usize, &mut StdRng) -> T + Sync,
+    {
+        let run_one = |i: usize| -> Result<T, Caught> {
+            catch_unwind(AssertUnwindSafe(|| {
+                if ashn_math::failpoint!("sim::batch::job") {
+                    panic!("injected fault: sim::batch::job (job {i})");
+                }
+                job(i, &mut StdRng::seed_from_u64(self.job_seed(i)))
+            }))
+            .map_err(|payload| {
+                let detail = describe_panic(payload.as_ref());
+                Caught { payload, detail }
+            })
+        };
         let workers = self.workers.min(n_jobs.max(1));
         if workers <= 1 || n_jobs <= 1 {
-            return (0..n_jobs)
-                .map(|i| job(i, &mut StdRng::seed_from_u64(self.job_seed(i))))
-                .collect();
+            return (0..n_jobs).map(run_one).collect();
         }
         let next = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n_jobs));
+        let collected: Mutex<Vec<(usize, Result<T, Caught>)>> =
+            Mutex::new(Vec::with_capacity(n_jobs));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut local: Vec<(usize, T)> = Vec::new();
+                    let mut local: Vec<(usize, Result<T, Caught>)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n_jobs {
                             break;
                         }
-                        let mut rng = StdRng::seed_from_u64(self.job_seed(i));
-                        local.push((i, job(i, &mut rng)));
+                        local.push((i, run_one(i)));
                     }
                     collected
                         .lock()
-                        .expect("batch result mutex poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .extend(local);
                 });
             }
         });
-        let mut results = collected.into_inner().expect("batch result mutex poisoned");
+        let mut results = collected
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         results.sort_by_key(|(i, _)| *i);
         debug_assert_eq!(results.len(), n_jobs);
         results.into_iter().map(|(_, t)| t).collect()
     }
+}
+
+/// A job that panicked inside [`BatchRunner::try_run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job whose closure panicked.
+    pub index: usize,
+    /// The panic message when it was a string, else a placeholder.
+    pub detail: String,
+}
+
+struct Caught {
+    payload: Box<dyn Any + Send>,
+    detail: String,
+}
+
+fn describe_panic(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 #[cfg(test)]
@@ -182,6 +270,70 @@ mod tests {
         let a = BatchRunner::new(1).run(4, |_, rng| rng.gen::<u64>());
         let b = BatchRunner::new(2).run(4, |_, rng| rng.gen::<u64>());
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn try_run_isolates_panics_in_place() {
+        let out = BatchRunner::new(11).with_workers(4).try_run(16, |i, rng| {
+            if i % 5 == 3 {
+                panic!("job {i} failed");
+            }
+            (i, rng.gen::<u64>())
+        });
+        let reference = BatchRunner::new(11)
+            .with_workers(1)
+            .run(16, |i, rng| (i, rng.gen::<u64>()));
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 3 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, i);
+                assert_eq!(p.detail, format!("job {i} failed"));
+            } else {
+                // Survivors are bit-identical to an all-success run.
+                assert_eq!(r.as_ref().unwrap(), &reference[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn run_repropagates_the_lowest_indexed_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            BatchRunner::new(1).with_workers(4).run(16, |i, _| {
+                if i == 6 || i == 12 {
+                    panic!("die {i}");
+                }
+                i
+            })
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().cloned().unwrap();
+        assert_eq!(msg, "die 6");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn job_failpoint_injects_isolated_panics() {
+        use ashn_math::fault::{self, FaultMode};
+        let _guard = fault::exclusive();
+        fault::reset();
+        fault::configure("sim::batch::job", FaultMode::EveryNth(4));
+        // One worker: jobs run in index order, so calls 4 and 8 are jobs 3
+        // and 7.
+        let out = BatchRunner::new(7).with_workers(1).try_run(8, |i, _| i);
+        fault::reset();
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 || i == 7 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, i);
+                assert!(
+                    p.detail.contains("injected fault: sim::batch::job"),
+                    "detail: {}",
+                    p.detail
+                );
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &i);
+            }
+        }
     }
 
     #[test]

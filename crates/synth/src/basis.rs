@@ -6,13 +6,14 @@
 //! scoring, and the `ashn::Compiler` pipeline are generic over the native
 //! gate set. New bases (B-gate, iSWAP, …) are one `impl Basis` away.
 
-use crate::ashn_basis::decompose_ashn;
+use crate::ashn_basis::{decompose_ashn, decompose_ashn_with_search};
 use crate::cnot_basis::{cnot_count, decompose_cnot, to_cz_basis};
 use crate::sqisw_basis::{decompose_sqisw, sqisw_count};
+use ashn_core::ea::EaSearch;
 use ashn_core::scheme::AshnScheme;
 use ashn_gates::kak::weyl_coordinates;
 use ashn_gates::weyl::WeylPoint;
-use ashn_ir::{Basis, Circuit, SynthError};
+use ashn_ir::{Basis, Circuit, SynthEffort, SynthError};
 use ashn_math::CMat;
 
 /// CNOT + arbitrary single-qubit gates (0–3 entanglers,
@@ -138,13 +139,42 @@ impl Basis for AshnBasis {
             })
     }
 
+    // Retry attempt `k` widens the EA multistart by `k` escalation rounds
+    // seeded from `jitter_seed`; the deadline aborts between EA waves. With
+    // the default effort this is bit-identical to `synthesize`, so cached
+    // circuits stay reproducible.
+    fn synthesize_with_effort(&self, u: &CMat, effort: SynthEffort) -> Result<Circuit, SynthError> {
+        check_two_qubit(u, "AshN")?;
+        let search = EaSearch {
+            workers: self.scheme.workers(),
+            extra_rounds: effort.attempt,
+            jitter_seed: effort.jitter_seed,
+            deadline: effort.deadline,
+        };
+        decompose_ashn_with_search(u, &self.scheme, &search)
+            .map(|s| s.circuit.into())
+            .map_err(|e| {
+                if e.timed_out {
+                    SynthError::DeadlineExceeded {
+                        basis: self.name(),
+                        detail: e.to_string(),
+                    }
+                } else {
+                    SynthError::Pulse {
+                        basis: self.name(),
+                        detail: e.to_string(),
+                    }
+                }
+            })
+    }
+
     fn expected_entanglers(&self, u: &CMat) -> usize {
         let p = weyl_coordinates(u);
         usize::from(p.dist(WeylPoint::IDENTITY) >= 1e-9)
     }
 }
 
-fn check_two_qubit(u: &CMat, basis: &str) -> Result<(), SynthError> {
+pub(crate) fn check_two_qubit(u: &CMat, basis: &str) -> Result<(), SynthError> {
     if u.rows() != 4 || !u.is_square() {
         return Err(SynthError::InvalidTarget {
             basis: basis.into(),

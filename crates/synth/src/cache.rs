@@ -25,10 +25,10 @@
 use crate::circuit2::{align_to_target, TwoQubitCircuit};
 use ashn_gates::kak::{weyl_coordinates, weyl_coordinates4};
 use ashn_gates::weyl::WeylPoint;
-use ashn_ir::{Basis, Circuit, SynthError};
+use ashn_ir::{Basis, Circuit, SynthEffort, SynthError};
 use ashn_math::{CMat, Mat4};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Quantization step for the Weyl-coordinate key. Coarse enough that the
 /// numerical noise of `weyl_coordinates` (≲1e-9) rarely splits a class
@@ -125,6 +125,14 @@ pub trait ClassStore {
 
     /// Attributes one lookup to exact-hit/class-hit/miss.
     fn record(&self, outcome: Lookup);
+
+    /// Removes a class that failed post-serve verification (quarantine),
+    /// returning whether an entry was present. The default is a no-op for
+    /// read-only or fan-out stores that cannot evict.
+    fn evict(&self, key: &ClassKey) -> bool {
+        let _ = key;
+        false
+    }
 }
 
 /// Serves a synthesis request for `u` (canonical coordinates `coords`)
@@ -283,7 +291,7 @@ impl SynthCache {
 
     /// Current hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("synth cache poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             exact_hits: inner.exact_hits,
             class_hits: inner.class_hits,
@@ -296,14 +304,14 @@ impl SynthCache {
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.map.clear();
     }
 
     /// Every stored entry, sorted by key — the deterministic iteration
     /// order the persistence layer serializes in.
     pub fn export_entries(&self) -> Vec<(ClassKey, ClassEntry)> {
-        let inner = self.inner.lock().expect("synth cache poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out: Vec<(ClassKey, ClassEntry)> = inner
             .map
             .iter()
@@ -316,7 +324,7 @@ impl SynthCache {
 
 impl ClassStore for SynthCache {
     fn fetch(&self, key: &ClassKey) -> Option<ClassEntry> {
-        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let touch = self.policy == EvictionPolicy::Lru;
         if touch {
             inner.tick += 1;
@@ -331,7 +339,7 @@ impl ClassStore for SynthCache {
     }
 
     fn store(&self, key: ClassKey, entry: ClassEntry) {
-        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let stamp = inner.tick;
         if !inner.map.contains_key(&key) {
@@ -357,12 +365,21 @@ impl ClassStore for SynthCache {
     }
 
     fn record(&self, outcome: Lookup) {
-        let mut inner = self.inner.lock().expect("synth cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match outcome {
             Lookup::ExactHit => inner.exact_hits += 1,
             Lookup::ClassHit => inner.class_hits += 1,
             Lookup::Miss => inner.misses += 1,
         }
+    }
+
+    fn evict(&self, key: &ClassKey) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let present = inner.map.remove(key).is_some();
+        if present {
+            inner.evictions += 1;
+        }
+        present
     }
 }
 
@@ -429,12 +446,16 @@ impl<B: Basis, S: ClassStore> Basis for CachedBasis<B, S> {
     }
 
     fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
+        self.synthesize_with_effort(u, SynthEffort::default())
+    }
+
+    fn synthesize_with_effort(&self, u: &CMat, effort: SynthEffort) -> Result<Circuit, SynthError> {
         // Only well-formed two-qubit unitaries are keyable; anything else
         // goes straight to the inner basis (which reports the right error).
         // The unitarity check runs on a stack-allocated copy.
         let m4 = match Mat4::try_from(u) {
             Ok(m) if m.is_unitary(1e-6) => m,
-            _ => return self.inner.synthesize(u),
+            _ => return self.inner.synthesize_with_effort(u, effort),
         };
         let coords = weyl_coordinates4(&m4).canonicalize();
         let key = ClassKey::new(&self.inner, coords, false);
@@ -445,7 +466,7 @@ impl<B: Basis, S: ClassStore> Basis for CachedBasis<B, S> {
             }
         }
         self.cache.record(Lookup::Miss);
-        let circuit = self.inner.synthesize(u)?;
+        let circuit = self.inner.synthesize_with_effort(u, effort)?;
         if let Ok(core) = TwoQubitCircuit::try_from(circuit.clone()) {
             self.cache.store(
                 key,

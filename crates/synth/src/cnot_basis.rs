@@ -6,6 +6,7 @@ use ashn_gates::kak::{kak, weyl_coordinates};
 use ashn_gates::single::{h, rx, ry, rz};
 use ashn_gates::two::cnot;
 use ashn_gates::weyl::WeylPoint;
+use ashn_ir::SynthError;
 use ashn_math::{CMat, Complex};
 use std::f64::consts::{FRAC_PI_2, PI};
 
@@ -119,6 +120,41 @@ pub fn decompose_cnot(u: &CMat) -> TwoQubitCircuit {
             ),
         ),
     }
+}
+
+/// Fallible variant of [`decompose_cnot`]: the graceful-degradation
+/// fallback tier of the compile service. Validates the target up front,
+/// catches any panic escaping the KAK numerics at this boundary, and
+/// verifies the result before returning it — so a success is always a
+/// correct circuit.
+///
+/// # Errors
+///
+/// [`SynthError::InvalidTarget`] when `u` is not a 4×4 unitary at `1e-6`;
+/// [`SynthError::Convergence`] when the decomposition fails numerically or
+/// does not verify at `1e-9`.
+pub fn try_decompose_cnot(u: &CMat) -> Result<TwoQubitCircuit, SynthError> {
+    crate::basis::check_two_qubit(u, "CNOT")?;
+    let circuit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| decompose_cnot(u)))
+        .map_err(|payload| {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            SynthError::Convergence {
+                basis: "CNOT".into(),
+                detail: format!("KAK decomposition panicked: {detail}"),
+            }
+        })?;
+    let err = circuit.error(u);
+    if err > 1e-9 {
+        return Err(SynthError::Convergence {
+            basis: "CNOT".into(),
+            detail: format!("fallback circuit verification error {err:.2e} exceeds 1e-9"),
+        });
+    }
+    Ok(circuit)
 }
 
 /// Rewrites every CNOT entangler of a circuit as `(I⊗H)·CZ·(I⊗H)`, the

@@ -194,7 +194,10 @@ fn best_unitary_for_env(b: &CMat) -> CMat {
 /// Stack-allocated 2×2 variant of [`best_unitary_for_env`] (the SVD itself
 /// still runs on the dense type).
 fn best_unitary_for_env2(b: &Mat2) -> Mat2 {
-    Mat2::try_from(&best_unitary_for_env(&CMat::from(b))).expect("svd preserves shape")
+    // The SVD preserves the 2×2 shape, so the conversion cannot fail; the
+    // identity fallback (a valid unitary — the alternation step just stops
+    // improving) keeps this panic-free without changing the signature.
+    Mat2::try_from(&best_unitary_for_env(&CMat::from(b))).unwrap_or_else(|_| Mat2::identity())
 }
 
 /// Jointly maximizes `|tr(B₄·(A⊗B))|` over product unitaries by inner
@@ -268,8 +271,8 @@ pub fn instantiate(
         pre.push(CMat::identity(dim));
         for b in &ansatz.blocks {
             let e = embed(n, &b.qubits(), b.matrix());
-            let last = pre.last().unwrap();
-            pre.push(e.matmul(last));
+            let next = e.matmul(&pre[pre.len() - 1]);
+            pre.push(next);
         }
         let mut suf = vec![CMat::identity(dim); nblocks + 1];
         for i in (0..nblocks).rev() {
@@ -316,26 +319,30 @@ pub fn instantiate(
                 None
             };
             if let Some((ia, ib, qa, qb)) = pair_partner {
+                // The conversions hold by construction (`reduce_env` over two
+                // qubits is 4×4, `Free1` blocks are 2×2); a shape surprise
+                // simply falls through to the one-at-a-time update below
+                // rather than panicking mid-sweep.
                 let a_full = pre[ia].matmul(&target.adjoint()).matmul(&suf[ib + 1]);
-                let env = Mat4::try_from(&reduce_env(&a_full, n, &[qa, qb]))
-                    .expect("two-qubit environment is 4x4");
-                let (cur_a, cur_b) = match (&ansatz.blocks[ia], &ansatz.blocks[ib]) {
-                    (Block::Free1 { u: ua, .. }, Block::Free1 { u: ub, .. }) => (
-                        Mat2::try_from(ua).expect("single-qubit block is 2x2"),
-                        Mat2::try_from(ub).expect("single-qubit block is 2x2"),
-                    ),
-                    _ => unreachable!(),
+                let env = Mat4::try_from(&reduce_env(&a_full, n, &[qa, qb])).ok();
+                let cur = match (&ansatz.blocks[ia], &ansatz.blocks[ib]) {
+                    (Block::Free1 { u: ua, .. }, Block::Free1 { u: ub, .. }) => {
+                        Mat2::try_from(ua).ok().zip(Mat2::try_from(ub).ok())
+                    }
+                    _ => None,
                 };
-                let (ga, gb) = best_product_for_env(&env, &cur_a, &cur_b);
-                if let Block::Free1 { u, .. } = &mut ansatz.blocks[ia] {
-                    *u = ga.into();
+                if let (Some(env), Some((cur_a, cur_b))) = (env, cur) {
+                    let (ga, gb) = best_product_for_env(&env, &cur_a, &cur_b);
+                    if let Block::Free1 { u, .. } = &mut ansatz.blocks[ia] {
+                        *u = ga.into();
+                    }
+                    if let Block::Free1 { u, .. } = &mut ansatz.blocks[ib] {
+                        *u = gb.into();
+                    }
+                    refresh(ansatz, ia, &mut pre, &mut suf, forward);
+                    skip_next = Some(ib);
+                    continue;
                 }
-                if let Block::Free1 { u, .. } = &mut ansatz.blocks[ib] {
-                    *u = gb.into();
-                }
-                refresh(ansatz, ia, &mut pre, &mut suf, forward);
-                skip_next = Some(ib);
-                continue;
             }
             let (qubits, free) = match &ansatz.blocks[i] {
                 Block::Free2 { pair, .. } => (vec![pair.0, pair.1], true),
@@ -350,7 +357,8 @@ pub fn instantiate(
                 let g = best_unitary_for_env(&env);
                 match &mut ansatz.blocks[i] {
                     Block::Free2 { u, .. } | Block::Free1 { u, .. } => *u = g,
-                    Block::Fixed2 { .. } => unreachable!(),
+                    // `free` is only true for the Free* arms above.
+                    Block::Fixed2 { .. } => {}
                 }
             }
             refresh(ansatz, i, &mut pre, &mut suf, forward);

@@ -38,6 +38,7 @@ pub mod csd;
 pub mod instantiate;
 pub mod multiplexor;
 pub mod qsd;
+pub mod resilience;
 pub mod resynth;
 pub mod sqisw_basis;
 pub mod three_qubit;
@@ -47,3 +48,4 @@ pub use cache::{
     serve_from_entry, CacheStats, CachedBasis, ClassEntry, ClassKey, ClassStore, EvictionPolicy,
     Lookup, SynthCache,
 };
+pub use resilience::{synthesize_resilient, ResilientBasis, ResilientOutcome, RetryPolicy};

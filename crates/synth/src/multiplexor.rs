@@ -5,7 +5,7 @@
 use ashn_gates::single::{ry, rz};
 use ashn_gates::two::cnot;
 use ashn_ir::Instruction;
-use ashn_math::eig::eig_unitary;
+use ashn_math::eig::{try_eig_unitary, EigError};
 use ashn_math::{CMat, Complex};
 
 /// Rotation axis of a multiplexed rotation.
@@ -144,9 +144,21 @@ pub fn mux_rotation_ladder(
 /// `(V, rz_angles, W)` with
 /// `blkdiag(U0, U1) = (I⊗V) · muxRz(rz_angles) · (I⊗W)`.
 pub fn demultiplex(u0: &CMat, u1: &CMat) -> (CMat, Vec<f64>, CMat) {
+    try_demultiplex(u0, u1).unwrap_or_else(|e| panic!("demultiplex: {e}"))
+}
+
+/// Fallible variant of [`demultiplex`]: surfaces the eigendecomposition
+/// failure instead of panicking.
+///
+/// # Errors
+///
+/// Propagates [`EigError`] from [`ashn_math::eig::try_eig_unitary`] (the
+/// product `U0·U1†` of two unitaries is unitary, so this only fires on
+/// malformed inputs — or through the `math::eig::unitary` failpoint).
+pub fn try_demultiplex(u0: &CMat, u1: &CMat) -> Result<(CMat, Vec<f64>, CMat), EigError> {
     assert_eq!(u0.rows(), u1.rows());
     let prod = u0.matmul(&u1.adjoint());
-    let e = eig_unitary(&prod);
+    let e = try_eig_unitary(&prod)?;
     let half_phases: Vec<f64> = e.values.iter().map(|v| v.arg() / 2.0).collect();
     let d = CMat::diag(
         &half_phases
@@ -158,7 +170,7 @@ pub fn demultiplex(u0: &CMat, u1: &CMat) -> (CMat, Vec<f64>, CMat) {
     let w = d.adjoint().matmul(&v.adjoint()).matmul(u0);
     // muxRz convention: branch q0 = 0 applies e^{+iφ} = Rz(−2φ).
     let angles = half_phases.iter().map(|&p| -2.0 * p).collect();
-    (v, angles, w)
+    Ok((v, angles, w))
 }
 
 #[cfg(test)]

@@ -19,8 +19,8 @@
 use crate::csd::csd;
 use crate::multiplexor::{mux_rotation, Axis};
 use ashn_gates::two::cz;
-use ashn_ir::{Circuit, Instruction};
-use ashn_math::eig::eig_unitary;
+use ashn_ir::{Circuit, Instruction, SynthError};
+use ashn_math::eig::{try_eig_unitary, EigError};
 use ashn_math::{CMat, Complex};
 
 fn wrap(x: f64) -> f64 {
@@ -62,17 +62,36 @@ pub fn lemma14(
     b: usize,
     mirrored: bool,
 ) -> Vec<Instruction> {
+    try_lemma14(u0, u1, s, a, b, mirrored)
+        .unwrap_or_else(|e| panic!("lemma14: eigendecomposition failed: {e}"))
+}
+
+/// Fallible variant of [`lemma14`]: surfaces the eigendecomposition failure
+/// instead of panicking (the multiplexed product can in principle defeat
+/// the Jacobi diagonalisation for adversarial inputs).
+///
+/// # Errors
+///
+/// Propagates [`EigError`] from [`ashn_math::eig::try_eig_unitary`].
+pub fn try_lemma14(
+    u0: &CMat,
+    u1: &CMat,
+    s: usize,
+    a: usize,
+    b: usize,
+    mirrored: bool,
+) -> Result<Vec<Instruction>, EigError> {
     assert_eq!(u0.rows(), 4);
     assert_eq!(u1.rows(), 4);
     if mirrored {
         // mux(U0, U1)ᵀ = mux(U0ᵀ, U1ᵀ); transpose the natural circuit and
         // reverse the order.
-        let gates = lemma14(&u0.transpose(), &u1.transpose(), s, a, b, false);
-        return gates
+        let gates = try_lemma14(&u0.transpose(), &u1.transpose(), s, a, b, false)?;
+        return Ok(gates
             .into_iter()
             .rev()
             .map(|g| Instruction::new(g.qubits, g.matrix.transpose(), g.label))
-            .collect();
+            .collect());
     }
 
     // Normalise branch phases so det(U0·U1†) = 1; the stripped phases are
@@ -95,7 +114,7 @@ pub fn lemma14(
     debug_assert!(uprime.trace().im.abs() < 1e-7, "tr(U′) not real");
 
     // Eigenphases come in conjugate pairs; greedily match p with −p.
-    let e = eig_unitary(&uprime);
+    let e = try_eig_unitary(&uprime)?;
     let mut items: Vec<(f64, Vec<Complex>)> = (0..4)
         .map(|j| (e.values[j].arg(), e.vectors.col(j)))
         .collect();
@@ -169,13 +188,13 @@ pub fn lemma14(
     let d2 = dgate(theta2, Complex::ONE, Complex::ONE);
     let d3 = dgate(theta3, Complex::ONE, Complex::ONE);
 
-    vec![
+    Ok(vec![
         Instruction::new(vec![a, b], v2, "V2"),
         Instruction::new(vec![s, b], d3, "D3"),
         Instruction::new(vec![s, a], d2, "D2"),
         Instruction::new(vec![a, b], v1, "V1"),
         Instruction::new(vec![s, a], d1, "D1"),
-    ]
+    ])
 }
 
 /// Decomposes an arbitrary 8×8 unitary into **11** two-qubit gates
@@ -187,6 +206,32 @@ pub fn lemma14(
 pub fn decompose_three_qubit(u: &CMat) -> Circuit {
     assert_eq!(u.rows(), 8, "three-qubit unitary required");
     assert!(u.is_unitary(1e-8));
+    try_decompose_three_qubit(u).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`decompose_three_qubit`]: malformed targets,
+/// eigendecomposition failures inside the multiplexor demux, and a failed
+/// verification all surface as [`SynthError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`SynthError::InvalidTarget`] when `u` is not an 8×8 unitary;
+/// [`SynthError::Convergence`] when the KAK/demux numerics fail or the
+/// assembled circuit does not reproduce `u`.
+pub fn try_decompose_three_qubit(u: &CMat) -> Result<Circuit, SynthError> {
+    let basis = || "three-qubit QSD".to_string();
+    if u.rows() != 8 || !u.is_square() {
+        return Err(SynthError::InvalidTarget {
+            basis: basis(),
+            detail: format!("expected an 8x8 unitary, got {}x{}", u.rows(), u.cols()),
+        });
+    }
+    if !u.is_unitary(1e-8) {
+        return Err(SynthError::InvalidTarget {
+            basis: basis(),
+            detail: "target is not unitary at 1e-8".to_string(),
+        });
+    }
     let d = csd(u);
 
     // Middle muxRy angles 2θ_{l}, l = (q1 q2) big-endian; split over q2:
@@ -207,16 +252,28 @@ pub fn decompose_three_qubit(u: &CMat) -> Circuit {
     let p0 = d.r0.adjoint();
     let p1 = iz.matmul(&d.r1.adjoint());
 
-    let right = lemma14(&p0, &p1, 0, 1, 2, false);
-    let left = lemma14(&d.l0, &d.l1, 0, 1, 2, true);
+    let eig_fail = |e: EigError| SynthError::Convergence {
+        basis: basis(),
+        detail: e.to_string(),
+    };
+    let right = try_lemma14(&p0, &p1, 0, 1, 2, false).map_err(eig_fail)?;
+    let left = try_lemma14(&d.l0, &d.l1, 0, 1, 2, true).map_err(eig_fail)?;
 
     let mut out = Circuit::new(3);
     // Right side: V2, D3, D2, V1, then D1 merged with G3 (both on (0,1)).
+    // `try_lemma14` returns exactly five gates by construction.
     let mut right_iter = right.into_iter();
     for _ in 0..4 {
-        out.push(right_iter.next().expect("five gates"));
+        if let Some(g) = right_iter.next() {
+            out.push(g);
+        }
     }
-    let d1 = right_iter.next().expect("five gates");
+    let Some(d1) = right_iter.next() else {
+        return Err(SynthError::Convergence {
+            basis: basis(),
+            detail: "lemma14 returned fewer than five gates".to_string(),
+        });
+    };
     debug_assert_eq!(d1.qubits, vec![0, 1]);
     out.push(Instruction::new(
         vec![0, 1],
@@ -229,7 +286,12 @@ pub fn decompose_three_qubit(u: &CMat) -> Circuit {
 
     // Left side: D1m merged with G4 (both on (0,1)), then the remainder.
     let mut left_iter = left.into_iter();
-    let d1m = left_iter.next().expect("five gates");
+    let Some(d1m) = left_iter.next() else {
+        return Err(SynthError::Convergence {
+            basis: basis(),
+            detail: "lemma14 returned an empty gate list".to_string(),
+        });
+    };
     debug_assert_eq!(d1m.qubits, vec![0, 1]);
     out.push(Instruction::new(
         vec![0, 1],
@@ -242,11 +304,13 @@ pub fn decompose_three_qubit(u: &CMat) -> Circuit {
 
     debug_assert_eq!(out.two_qubit_count(), 11);
     let err = out.error(u);
-    assert!(
-        err < 5e-6,
-        "three-qubit decomposition failed to verify: {err:.2e}"
-    );
-    out
+    if err >= 5e-6 {
+        return Err(SynthError::Convergence {
+            basis: basis(),
+            detail: format!("three-qubit decomposition failed to verify: {err:.2e}"),
+        });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ use ashn_sim::trajectory::trajectory_probabilities_batched_plan;
 use ashn_sim::{DensityMatrix, NoiseModel, SimEngine, Simulate, StateVector};
 use ashn_synth::basis::AshnBasis;
 use ashn_synth::cache::{CachedBasis, SynthCache};
+use ashn_synth::resilience::{ResilientBasis, RetryPolicy};
 
 /// Synthesis-cache counters exposed by [`Compiler::synth_stats`]
 /// (re-exported [`ashn_synth::cache::CacheStats`]): exact hits, class hits,
@@ -94,6 +95,7 @@ pub struct Compiler {
     grid: Option<Grid>,
     cache: CacheConfig,
     opt: OptLevel,
+    retry: Option<RetryPolicy>,
 }
 
 impl Default for Compiler {
@@ -111,6 +113,7 @@ impl Compiler {
             grid: None,
             cache: CacheConfig::Local(SynthCache::default()),
             opt: OptLevel::None,
+            retry: None,
         }
     }
 
@@ -193,6 +196,23 @@ impl Compiler {
         self.basis(gate_set.basis())
     }
 
+    /// Arms the synthesis retry/degradation chain
+    /// ([`ashn_synth::resilience`]) on every `compile` call: each gate
+    /// synthesis runs under `policy` — retried with escalating effort and
+    /// deterministically derived jitter seeds, bounded by the policy's
+    /// deadline, and (when the policy allows) degraded to an exact
+    /// CNOT-basis decomposition as the last tier instead of failing the
+    /// compilation.
+    ///
+    /// The resilient layer wraps *outside* the synthesis memo-cache, so
+    /// degraded fallback circuits are never stored under the primary
+    /// basis's cache key.
+    #[must_use]
+    pub fn resilience(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
     /// Sets the noise model used for scheduling error rates and scoring.
     #[must_use]
     pub fn noise(mut self, noise: QvNoise) -> Self {
@@ -222,12 +242,22 @@ impl Compiler {
         // a private cache, a process-wide shared cache, or none.
         match &self.cache {
             CacheConfig::Local(c) => {
-                self.compile_with(&CachedBasis::with_cache(&self.basis, c.clone()), model)
+                self.dispatch(CachedBasis::with_cache(&self.basis, c.clone()), model)
             }
             CacheConfig::Shared(s) => {
-                self.compile_with(&CachedBasis::with_store(&self.basis, s.clone()), model)
+                self.dispatch(CachedBasis::with_store(&self.basis, s.clone()), model)
             }
-            CacheConfig::Off => self.compile_with(&&self.basis, model),
+            CacheConfig::Off => self.dispatch(&self.basis, model),
+        }
+    }
+
+    /// Applies the optional resilient layer outside the memo store (so
+    /// degraded circuits are never cached under the primary basis key) and
+    /// runs the pipeline.
+    fn dispatch<B: Basis>(&self, basis: B, model: &ModelCircuit) -> Result<Compiled, AshnError> {
+        match self.retry {
+            Some(policy) => self.compile_with(&ResilientBasis::new(basis, policy), model),
+            None => self.compile_with(&basis, model),
         }
     }
 

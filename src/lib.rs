@@ -79,3 +79,4 @@ pub use compiler::{Compiled, Compiler, OptLevel, SynthStats};
 pub use error::AshnError;
 pub use opt::{OptStats, PassManager};
 pub use qv::{GateSet, QvNoise};
+pub use synth::resilience::RetryPolicy;

@@ -1,0 +1,83 @@
+//! Facade resilience: `Compiler::resilience` must turn synthesis failures
+//! into degraded-but-correct compilations instead of errors, without
+//! changing the output of a healthy pipeline.
+
+use ashn::ir::{Basis, Circuit, SynthError};
+use ashn::math::CMat;
+use ashn::qv::sample_model_circuit;
+use ashn::{Compiler, RetryPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A basis whose synthesis always fails — the degradation tier is the only
+/// way a compile can succeed.
+struct AlwaysFails;
+
+impl Basis for AlwaysFails {
+    fn name(&self) -> String {
+        "AlwaysFails".into()
+    }
+
+    fn synthesize(&self, _u: &CMat) -> Result<Circuit, SynthError> {
+        Err(SynthError::Convergence {
+            basis: self.name(),
+            detail: "unconditional test failure".into(),
+        })
+    }
+
+    fn expected_entanglers(&self, _u: &CMat) -> usize {
+        3
+    }
+}
+
+#[test]
+fn resilience_degrades_failed_synthesis_instead_of_erroring() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = sample_model_circuit(3, &mut rng);
+
+    let plain = Compiler::new().basis(AlwaysFails);
+    assert!(
+        plain.compile(&model).is_err(),
+        "without resilience a dead basis must fail the compile"
+    );
+
+    let resilient = Compiler::new()
+        .basis(AlwaysFails)
+        .resilience(RetryPolicy::default().with_attempts(2));
+    let compiled = resilient
+        .compile(&model)
+        .expect("CNOT degradation tier must rescue the compile");
+    assert_eq!(compiled.positions().len(), model.d);
+    assert!(!compiled.circuit().instructions.is_empty());
+    // The degraded circuit is still semantically sound end to end.
+    assert!(compiled.score().hop > 0.5);
+}
+
+#[test]
+fn resilience_is_invisible_on_a_healthy_basis() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = sample_model_circuit(3, &mut rng);
+    let baseline = Compiler::new().compile(&model).expect("compile");
+    let resilient = Compiler::new()
+        .resilience(RetryPolicy::default().with_attempts(3))
+        .compile(&model)
+        .expect("compile");
+    let fp = |c: &Circuit| -> Vec<u64> {
+        let mut bits = Vec::new();
+        for inst in &c.instructions {
+            bits.extend(inst.qubits.iter().map(|&q| q as u64));
+            for i in 0..inst.matrix.rows() {
+                for j in 0..inst.matrix.cols() {
+                    bits.push(inst.matrix[(i, j)].re.to_bits());
+                    bits.push(inst.matrix[(i, j)].im.to_bits());
+                }
+            }
+        }
+        bits
+    };
+    assert_eq!(
+        fp(baseline.circuit()),
+        fp(resilient.circuit()),
+        "first-attempt success must be bit-identical to the unwrapped pipeline"
+    );
+}
