@@ -52,6 +52,20 @@ pub fn sqisw() -> CMat {
     ])
 }
 
+/// The echoed cross-resonance gate `ECR = (X⊗I − Y⊗X)/√2` (big-endian,
+/// first qubit is the control), the native entangler of fixed-frequency
+/// transmon stacks. Hermitian, self-inverse, and locally equivalent to
+/// CNOT (canonical class `(π/4, 0, 0)`).
+pub fn ecr() -> CMat {
+    let r = std::f64::consts::FRAC_1_SQRT_2;
+    CMat::from_rows(&[
+        &[Complex::ZERO, Complex::ZERO, c(r, 0.0), c(0.0, r)],
+        &[Complex::ZERO, Complex::ZERO, c(0.0, r), c(r, 0.0)],
+        &[c(r, 0.0), c(0.0, -r), Complex::ZERO, Complex::ZERO],
+        &[c(0.0, -r), c(r, 0.0), Complex::ZERO, Complex::ZERO],
+    ])
+}
+
 /// The canonical gate `CAN(x, y, z) = exp(i(x·XX + y·YY + z·ZZ))`.
 ///
 /// Every two-qubit gate equals `(A₁⊗A₂)·CAN(x,y,z)·(B₁⊗B₂)` up to a global
@@ -129,6 +143,7 @@ mod tests {
         for g in [
             cnot(),
             cz(),
+            ecr(),
             swap(),
             iswap(),
             sqisw(),
@@ -151,6 +166,18 @@ mod tests {
     fn cnot_is_hadamard_conjugated_cz() {
         let ih = CMat::identity(2).kron(&h());
         assert!(ih.matmul(&cz()).matmul(&ih).dist(&cnot()) < 1e-13);
+    }
+
+    #[test]
+    fn ecr_is_self_inverse() {
+        assert!(ecr().matmul(&ecr()).dist(&CMat::identity(4)) < 1e-14);
+    }
+
+    #[test]
+    fn ecr_is_in_the_cnot_weyl_class() {
+        use crate::weyl::WeylPoint;
+        let p = crate::kak::weyl_coordinates(&ecr()).canonicalize();
+        assert!(p.gate_dist(WeylPoint::CNOT) < 1e-9);
     }
 
     #[test]

@@ -23,6 +23,64 @@ pub(crate) fn swap_matrix() -> CMat {
     ])
 }
 
+/// Weyl-equivalence category of a gate set's native entangler.
+///
+/// This is the instruction-set classification used by retargeting: gate
+/// sets whose entanglers share a category are related by closed-form local
+/// dressings (CX ↔ CZ ↔ ECR), and cross-category constructions (SWAP from
+/// 3×CX, CX from an SQiSW pair) are exact table entries. The categories
+/// drive both the rule tier (`ashn_synth::retarget`) and analytic
+/// entangler-count prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeylCategory {
+    /// The CNOT family — CX, CZ, ECR: canonical class `(π/4, 0, 0)`.
+    Cnot,
+    /// The iSWAP family: canonical class `(π/4, π/4, 0)`.
+    Iswap,
+    /// The `√iSWAP` family: canonical class `(π/8, π/8, 0)`.
+    Sqisw,
+    /// Continuous schemes that realize every Weyl class in a single native
+    /// pulse (the paper's AshN instruction).
+    Continuous,
+    /// Anything else; counts fall back to [`EntanglerCounts`] buckets.
+    Other,
+}
+
+/// Expected native-entangler counts by coarse target-class kind.
+///
+/// The buckets mirror the analytic count theorems: the identity class, the
+/// CNOT class `(π/4, 0, 0)`, "flat" classes with `z = 0` (reachable in two
+/// applications for CNOT-family sets), and everything else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntanglerCounts {
+    /// Entanglers for the identity class.
+    pub identity: usize,
+    /// Entanglers for the CNOT class `(π/4, 0, 0)`.
+    pub cnot: usize,
+    /// Entanglers for non-trivial classes with `z ≈ 0`.
+    pub flat: usize,
+    /// Entanglers for a generic (full-chamber) class.
+    pub generic: usize,
+}
+
+/// Static per-[`Basis`] instruction-set metadata for the retargeting
+/// registry (`ashn_synth::retarget::GateSetRegistry`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BasisMetadata {
+    /// Canonical Weyl coordinates `(x, y, z)` of the fixed native
+    /// entangler. All zeros for [`WeylCategory::Continuous`] sets, whose
+    /// pulse realizes any class directly.
+    pub weyl: [f64; 3],
+    /// Local-equivalence family of the entangler.
+    pub category: WeylCategory,
+    /// Analytic entangler counts per target-class bucket.
+    pub counts: EntanglerCounts,
+    /// Native entangler duration in `1/g` units; for
+    /// [`WeylCategory::Continuous`] sets this is the worst-case
+    /// (SWAP-class) pulse time.
+    pub duration: f64,
+}
+
 /// Search-effort hints for [`Basis::synthesize_with_effort`].
 ///
 /// The default value (`attempt = 0`, no deadline) asks for the basis's
@@ -105,6 +163,20 @@ pub trait Basis {
     /// (the analytic count; [`Basis::synthesize`] is expected to achieve
     /// it).
     fn expected_entanglers(&self, u: &CMat) -> usize;
+
+    /// Instruction-set metadata for the retargeting registry: the native
+    /// entangler's canonical Weyl coordinates, its [`WeylCategory`], the
+    /// analytic per-class entangler counts, and the entangler duration.
+    ///
+    /// `None` (the default) means "unclassified": the rule tier skips the
+    /// basis entirely and consumers fall back to
+    /// [`Basis::expected_entanglers`]. Bases that override this get
+    /// registry-driven entangler-count prediction and, when their `name` /
+    /// `cache_params` match a registered rule table, closed-form
+    /// retargeting ahead of numeric synthesis.
+    fn metadata(&self) -> Option<BasisMetadata> {
+        None
+    }
 }
 
 impl<B: Basis + ?Sized> Basis for &B {
@@ -126,6 +198,9 @@ impl<B: Basis + ?Sized> Basis for &B {
     fn expected_entanglers(&self, u: &CMat) -> usize {
         (**self).expected_entanglers(u)
     }
+    fn metadata(&self) -> Option<BasisMetadata> {
+        (**self).metadata()
+    }
 }
 
 impl Basis for Box<dyn Basis> {
@@ -146,5 +221,8 @@ impl Basis for Box<dyn Basis> {
     }
     fn expected_entanglers(&self, u: &CMat) -> usize {
         (**self).expected_entanglers(u)
+    }
+    fn metadata(&self) -> Option<BasisMetadata> {
+        (**self).metadata()
     }
 }

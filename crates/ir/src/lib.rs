@@ -42,7 +42,7 @@ pub mod error;
 pub mod instruction;
 pub mod kernels;
 
-pub use basis::{Basis, SynthEffort};
+pub use basis::{Basis, BasisMetadata, EntanglerCounts, SynthEffort, WeylCategory};
 pub use circuit::{embed, Circuit};
 pub use classify::{matrix_on, scalar_of};
 pub use error::{IrError, SynthError};

@@ -53,7 +53,7 @@ pub mod passes;
 pub use dag::{DagCircuit, NodeId};
 pub use error::OptError;
 pub use pass::{OptStats, Pass, PassManager, PassStats, Snapshot};
-pub use passes::{CommuteCancel, Merge1q, PhaseFold, Resynthesize};
+pub use passes::{CommuteCancel, Merge1q, PhaseFold, Resynthesize, Retarget};
 
 use ashn_ir::Basis;
 
@@ -68,9 +68,15 @@ pub fn structural_pipeline<'p>() -> PassManager<'p> {
         .with_pass(CommuteCancel::default())
 }
 
-/// The full standard pipeline: the structural passes plus
-/// [`Resynthesize`] over `basis`, accepting block replacements within
-/// `accept_tol` (Frobenius) of the block unitary.
+/// The full standard pipeline: the structural passes, closed-form
+/// [`Retarget`]ing onto `basis` (exact rule rewrites of recognized
+/// foreign gates — CX, CZ, ECR, SWAP, iSWAP, SQiSW), and finally
+/// [`Resynthesize`] over `basis` for the blocks the rules do not cover,
+/// accepting block replacements within `accept_tol` (Frobenius) of the
+/// block unitary.
 pub fn standard_pipeline<'p, B: Basis + 'p>(basis: B, accept_tol: f64) -> PassManager<'p> {
-    structural_pipeline().with_pass(Resynthesize::new(basis, accept_tol))
+    let retarget = Retarget::new(&basis);
+    structural_pipeline()
+        .with_pass(retarget)
+        .with_pass(Resynthesize::new(basis, accept_tol))
 }

@@ -4,11 +4,13 @@ mod commute_cancel;
 mod merge1q;
 mod phase_fold;
 mod resynth;
+mod retarget;
 
 pub use commute_cancel::CommuteCancel;
 pub use merge1q::Merge1q;
 pub use phase_fold::PhaseFold;
 pub use resynth::Resynthesize;
+pub use retarget::Retarget;
 
 /// Default tolerance for the *exact* rewrite passes (adjacent merges,
 /// phase folds, commutation-aware cancellation).

@@ -176,8 +176,11 @@ impl<B: Basis> Pass for Resynthesize<B> {
             let cur_gates = block.nodes.len();
 
             // Already minimal? A fused resynthesis of a k-entangler class
-            // carries at most 2(k+1) single-qubit locals.
-            let expected = self.basis.expected_entanglers(&u);
+            // carries at most 2(k+1) single-qubit locals. Expected counts
+            // come from the retargeting registry's per-basis metadata when
+            // the basis publishes it (one classifier for every gate set),
+            // falling back to the basis's own estimate.
+            let expected = ashn_synth::retarget::expected_entanglers_for(&self.basis, &u);
             if cur_2q <= expected && cur_gates <= expected + 2 * (expected + 1) {
                 continue;
             }

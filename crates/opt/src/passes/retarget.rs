@@ -1,0 +1,262 @@
+//! Retarget: closed-form instruction-set rewriting ahead of numeric
+//! resynthesis.
+
+use crate::dag::{DagCircuit, NodeId};
+use crate::error::OptError;
+use crate::pass::Pass;
+use ashn_ir::{Basis, Circuit, Instruction};
+use ashn_synth::retarget::RuleSet;
+use std::sync::Arc;
+
+/// Rewrites recognized foreign gates (CX, CZ, ECR, SWAP, iSWAP, SQiSW and
+/// their wire reversals) into exact fragments over the target gate set
+/// using the closed-form rule table — no numeric synthesis, no KAK, no
+/// acceptance tolerance: every emitted fragment realizes its gate to
+/// machine precision by construction.
+///
+/// Run ahead of [`Resynthesize`](crate::Resynthesize): retargeting
+/// handles the (dominant, in ported circuits) named-gate traffic for
+/// free, and resynthesis then pays its Collect2q + KAK machinery only on
+/// the blocks the rules do not cover. Gates already native to the target
+/// set are left untouched, and rule fragments contain only target-native
+/// entanglers, so the pass is idempotent — a second sweep is a no-op,
+/// which is what lets it run inside a fixed-point
+/// [`PassManager`](crate::PassManager).
+///
+/// An optional source filter ([`Retarget::source`]) restricts rewriting
+/// to gates native to one registered source set — the "port this CX/CZ
+/// circuit onto that machine" shape — leaving any other recognized gates
+/// for downstream passes to judge.
+#[derive(Clone, Debug)]
+pub struct Retarget {
+    rules: Arc<RuleSet>,
+    target_name: String,
+    target_params: String,
+    source: Option<(String, String)>,
+}
+
+impl Retarget {
+    /// A retargeting pass emitting fragments native to `target`, armed
+    /// with the standard rule table.
+    pub fn new(target: &(impl Basis + ?Sized)) -> Self {
+        Self {
+            rules: ashn_synth::retarget::standard_rules(),
+            target_name: target.name(),
+            target_params: target.cache_params(),
+            source: None,
+        }
+    }
+
+    /// Overrides the rule table.
+    #[must_use]
+    pub fn with_rules(mut self, rules: Arc<RuleSet>) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Restricts rewriting to gates native to the registered source set
+    /// `source` (by basis identity).
+    #[must_use]
+    pub fn source(mut self, source: &(impl Basis + ?Sized)) -> Self {
+        self.source = Some((source.name(), source.cache_params()));
+        self
+    }
+
+    /// Rewrites every recognized gate regardless of which set it came
+    /// from (the default).
+    #[must_use]
+    pub fn any_source(mut self) -> Self {
+        self.source = None;
+        self
+    }
+}
+
+impl Pass for Retarget {
+    fn name(&self) -> String {
+        format!("retarget[{}]", self.target_name)
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> Result<bool, OptError> {
+        let mut changed = false;
+        for id in dag.topo_order() {
+            if !dag.is_live(id) {
+                continue;
+            }
+            let g = dag.instruction(id);
+            if g.qubits.len() != 2 || g.error_rate.is_some() {
+                continue;
+            }
+            // Idempotence: a gate native to the target set stays put (so
+            // CX→CX is the identity, and rule fragments — built from
+            // target-native entanglers — are never re-rewritten).
+            if self
+                .rules
+                .is_native(&g.matrix, &self.target_name, &self.target_params)
+            {
+                continue;
+            }
+            if let Some((src_name, src_params)) = &self.source {
+                if !self.rules.is_native(&g.matrix, src_name, src_params) {
+                    continue;
+                }
+            }
+            let Some(known) =
+                self.rules
+                    .rewrite_exact(&g.matrix, &self.target_name, &self.target_params)
+            else {
+                continue;
+            };
+            let fragment: Circuit = known.circuit.clone().into();
+            let (wa, wb) = (g.qubits[0], g.qubits[1]);
+            // Splice the fragment in before the gate's successor on each
+            // wire (the resynthesis commit pattern).
+            let anchor_a = dag.succ(id, wa);
+            let anchor_b = dag.succ(id, wb);
+            dag.remove(id);
+            dag.mul_phase(fragment.phase);
+            for gi in &fragment.instructions {
+                let qubits: Vec<usize> = gi
+                    .qubits
+                    .iter()
+                    .map(|&q| if q == 0 { wa } else { wb })
+                    .collect();
+                let anchors: Vec<Option<NodeId>> = qubits
+                    .iter()
+                    .map(|&q| if q == wa { anchor_a } else { anchor_b })
+                    .collect();
+                let mut mapped = Instruction::new(qubits, gi.matrix.clone(), gi.label.clone())
+                    .with_duration(gi.duration);
+                mapped.error_rate = gi.error_rate;
+                dag.insert_before(mapped, &anchors)?;
+            }
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ashn_gates::two::{cnot, cz, ecr, iswap, swap};
+    use ashn_ir::Circuit;
+    use ashn_math::CMat;
+    use ashn_synth::basis::{CzBasis, EcrBasis, SqiswBasis};
+
+    fn phase_dist(a: &CMat, b: &CMat) -> f64 {
+        let tr = a.adjoint().matmul(b).trace();
+        let phase = if tr.abs() > 1e-15 {
+            tr / tr.abs()
+        } else {
+            ashn_math::Complex::ONE
+        };
+        a.scale(phase).dist(b)
+    }
+
+    fn gate_circuit(gates: &[(CMat, [usize; 2])], n: usize) -> Circuit {
+        let mut circuit = Circuit::new(n);
+        for (m, q) in gates {
+            circuit
+                .try_push(Instruction::new(q.to_vec(), m.clone(), "g"))
+                .unwrap();
+        }
+        circuit
+    }
+
+    #[test]
+    fn cx_traffic_retargets_onto_cz_exactly() {
+        let circuit = gate_circuit(
+            &[
+                (cnot(), [0, 1]),
+                (cnot(), [1, 0]),
+                (swap(), [1, 2]),
+                (iswap(), [0, 2]),
+            ],
+            3,
+        );
+        let reference = circuit.unitary();
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        let pass = Retarget::new(&CzBasis);
+        assert!(pass.run(&mut dag).unwrap());
+        let out = dag.into_circuit();
+        for inst in &out.instructions {
+            if inst.is_entangler() {
+                assert!(inst.matrix.dist(&cz()) < 1e-12, "non-CZ entangler survived");
+            }
+        }
+        assert!(
+            phase_dist(&out.unitary(), &reference) < 1e-12,
+            "dist {}",
+            phase_dist(&out.unitary(), &reference)
+        );
+    }
+
+    #[test]
+    fn pass_is_idempotent() {
+        let circuit = gate_circuit(&[(cnot(), [0, 1]), (swap(), [1, 2])], 3);
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        let pass = Retarget::new(&EcrBasis);
+        assert!(pass.run(&mut dag).unwrap());
+        assert!(!pass.run(&mut dag).unwrap(), "second sweep must be clean");
+    }
+
+    #[test]
+    fn native_gates_are_left_untouched() {
+        let circuit = gate_circuit(&[(cz(), [0, 1])], 2);
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        assert!(!Retarget::new(&CzBasis).run(&mut dag).unwrap());
+        assert_eq!(dag.len(), 1);
+    }
+
+    #[test]
+    fn source_filter_restricts_rewriting() {
+        // CX is native to the CNOT source set; iSWAP is not — with the
+        // filter on, only the CX is retargeted.
+        let circuit = gate_circuit(&[(cnot(), [0, 1]), (iswap(), [0, 1])], 2);
+        let reference = circuit.unitary();
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        let pass = Retarget::new(&SqiswBasis).source(&ashn_synth::basis::CnotBasis);
+        assert!(pass.run(&mut dag).unwrap());
+        let out = dag.into_circuit();
+        assert!(
+            out.instructions
+                .iter()
+                .any(|i| i.qubits.len() == 2 && i.matrix.dist(&iswap()) < 1e-12),
+            "iSWAP outside the source set must survive"
+        );
+        assert!(phase_dist(&out.unitary(), &reference) < 1e-12);
+    }
+
+    #[test]
+    fn retarget_onto_sqisw_uses_exact_pair_identities() {
+        let circuit = gate_circuit(&[(cnot(), [0, 1]), (iswap(), [0, 1])], 2);
+        let reference = circuit.unitary();
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        assert!(Retarget::new(&SqiswBasis).run(&mut dag).unwrap());
+        let out = dag.into_circuit();
+        assert_eq!(out.entangler_count(), 4, "2 SQiSW per CX/iSWAP");
+        for inst in &out.instructions {
+            if inst.is_entangler() {
+                assert!(inst.matrix.dist(&ashn_gates::two::sqisw()) < 1e-12);
+            }
+        }
+        assert!(phase_dist(&out.unitary(), &reference) < 1e-12);
+    }
+
+    #[test]
+    fn ecr_gate_retargets_onto_cx() {
+        let circuit = gate_circuit(&[(ecr(), [0, 1])], 2);
+        let reference = circuit.unitary();
+        let mut dag = DagCircuit::from_circuit(&circuit).unwrap();
+        assert!(Retarget::new(&ashn_synth::basis::CnotBasis)
+            .run(&mut dag)
+            .unwrap());
+        let out = dag.into_circuit();
+        for inst in &out.instructions {
+            if inst.is_entangler() {
+                assert!(inst.matrix.dist(&cnot()) < 1e-12);
+            }
+        }
+        assert!(phase_dist(&out.unitary(), &reference) < 1e-12);
+    }
+}

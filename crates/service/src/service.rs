@@ -44,8 +44,10 @@ use ashn_synth::cache::{serve_from_entry, ClassEntry, ClassKey, ClassStore, Look
 use ashn_synth::circuit2::TwoQubitCircuit;
 use ashn_synth::cnot_basis::try_decompose_cnot;
 use ashn_synth::resilience::{synthesize_resilient, RetryPolicy};
+use ashn_synth::retarget::{rule_key, standard_rules, RuleSet};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Acceptance tolerance for resynthesized blocks under
@@ -171,6 +173,9 @@ enum Tier {
     Exact,
     /// Served by re-dressing a same-class entry.
     Redressed,
+    /// Served by the closed-form retargeting rule tier — no memo-cache
+    /// numeric entry and no EA/pulse search were consulted.
+    Rule,
     /// This target's class was synthesized cold (it was the class
     /// representative, or its stored entry had drifted).
     Cold,
@@ -194,12 +199,18 @@ pub struct ServiceStats {
     pub unique_classes: usize,
     /// Unique classes already present in the shared cache.
     pub warm_classes: usize,
+    /// Unique classes covered by a closed-form retargeting rule (served
+    /// without consulting the numeric cache or running a synthesis).
+    pub rule_classes: usize,
     /// Unique classes synthesized cold by this batch.
     pub cold_classes: usize,
     /// Targets served verbatim (exact repeat of a stored target).
     pub exact_hits: u64,
     /// Targets served by re-dressing a same-class entry.
     pub class_hits: u64,
+    /// Targets served by the closed-form retargeting rule tier (never a
+    /// cold synthesis, never a numeric cache miss).
+    pub rule_hits: u64,
     /// Targets that paid a cold synthesis (class representatives).
     pub cold_serves: u64,
     /// Targets whose class failed to synthesize.
@@ -237,7 +248,7 @@ impl ServiceStats {
         if self.targets == 0 {
             0.0
         } else {
-            (self.exact_hits + self.class_hits) as f64 / self.targets as f64
+            (self.exact_hits + self.class_hits + self.rule_hits) as f64 / self.targets as f64
         }
     }
 
@@ -285,6 +296,9 @@ struct UniqueClass {
 enum Solution {
     /// Found in the shared cache before the batch ran.
     Warm(ClassEntry),
+    /// Covered by a closed-form retargeting rule — the entry is the rule's
+    /// exact fragment (or core), no numeric search ever ran.
+    Rule(ClassEntry),
     /// Synthesized cold by this batch.
     Cold(ClassEntry),
     Failed(String),
@@ -331,6 +345,7 @@ pub struct CompileService<B> {
     cache: ShardedCache,
     workers: usize,
     resilience: Resilience,
+    rules: Option<Arc<RuleSet>>,
 }
 
 impl<B: Basis + Sync> CompileService<B> {
@@ -342,13 +357,30 @@ impl<B: Basis + Sync> CompileService<B> {
 
     /// A service sharing an existing cache (several services — or
     /// `ashn::Compiler`s via `with_shared_cache` — can point at one).
+    ///
+    /// The closed-form retargeting rule tier is armed with the standard
+    /// table by default; override or disable it with [`Self::rules`].
     pub fn with_cache(basis: B, cache: ShardedCache) -> Self {
         Self {
             basis,
             cache,
             workers: 1,
             resilience: Resilience::default(),
+            rules: Some(standard_rules()),
         }
+    }
+
+    /// Overrides the retargeting rule table consulted ahead of the numeric
+    /// cache and EA path (`None` disables the rule tier entirely).
+    #[must_use]
+    pub fn rules(mut self, rules: Option<Arc<RuleSet>>) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// The active retargeting rule table, if the tier is armed.
+    pub fn rule_set(&self) -> Option<&RuleSet> {
+        self.rules.as_deref()
     }
 
     /// Overrides the resilience policy (retries, deadline budget, the CNOT
@@ -438,9 +470,27 @@ impl<B: Basis + Sync> CompileService<B> {
             }
         }
 
-        // Phase 3: shared-cache lookups (serial — cheap clones).
+        // Phase 3: rule-tier consultation, then shared-cache lookups
+        // (serial — cheap clones). Rules come FIRST: a class covered by a
+        // closed-form retargeting rule never touches the numeric
+        // memo-cache or the EA path. Rule fragments are shared with future
+        // batches under the namespaced pair key, never the numeric key.
+        let basis_name = self.basis.name();
+        let basis_params = self.basis.cache_params();
         let mut cold: Vec<usize> = Vec::new();
         for (uidx, class) in unique.iter_mut().enumerate() {
+            let ruled = self.rules.as_ref().and_then(|rules| {
+                let (_, coords) = status[class.rep].as_ref().ok()?;
+                let rule = rules.class_rule(&basis_name, &basis_params, *coords)?;
+                Some((rule, *coords))
+            });
+            if let Some((rule, coords)) = ruled {
+                let entry = rule.entry(targets[class.rep]);
+                self.cache
+                    .store(rule_key(&self.basis, &rule.label, coords), entry.clone());
+                class.solution = Solution::Rule(entry);
+                continue;
+            }
             match self.cache.fetch(&class.key) {
                 Some(entry) => class.solution = Solution::Warm(entry),
                 None => cold.push(uidx),
@@ -527,9 +577,10 @@ impl<B: Basis + Sync> CompileService<B> {
             Ok(ok) => *ok,
         };
         let class = &prepared.unique[uidx];
-        let (entry, cold) = match &class.solution {
-            Solution::Warm(entry) => (entry, false),
-            Solution::Cold(entry) => (entry, true),
+        let (entry, cold, rule) = match &class.solution {
+            Solution::Warm(entry) => (entry, false, false),
+            Solution::Rule(entry) => (entry, false, true),
+            Solution::Cold(entry) => (entry, true, false),
             Solution::Failed(detail) => {
                 return self.degrade(
                     target,
@@ -542,8 +593,20 @@ impl<B: Basis + Sync> CompileService<B> {
         let (tier, circuit) = if cold && class.rep == index {
             // The representative IS the cold synthesis.
             (Tier::Cold, entry.circuit.clone().into())
+        } else if let Some(fragment) = rule
+            .then(|| self.exact_rule_fragment(target, coords))
+            .flatten()
+        {
+            // Exact known gate of a rule-covered class: its pre-dressed
+            // fragment serves verbatim. Without this, only the class
+            // representative would get the fast path — every other known
+            // gate of the class would pay a KAK re-dress per serve.
+            (Tier::Rule, fragment)
         } else {
             match serve_from_entry(target, coords, entry) {
+                // Every serve of a rule-solved class — verbatim fragment or
+                // re-dressed from the exact core — is a rule-tier serve.
+                Some((circuit, _)) if rule => (Tier::Rule, circuit),
                 Some((circuit, Lookup::ExactHit)) => (Tier::Exact, circuit),
                 Some((circuit, _)) => (Tier::Redressed, circuit),
                 // Drifted realization (possible only for entries loaded
@@ -581,6 +644,16 @@ impl<B: Basis + Sync> CompileService<B> {
             }
         }
         (tier, Ok(circuit))
+    }
+
+    /// The pre-dressed rule fragment for `target`, when `target` is an
+    /// exact known gate of a rule covering its class (`None` otherwise —
+    /// dressed class members are re-dressed from the stored exact core).
+    fn exact_rule_fragment(&self, target: &CMat, coords: WeylPoint) -> Option<Circuit> {
+        let rules = self.rules.as_ref()?;
+        let rule = rules.class_rule(&self.basis.name(), &self.basis.cache_params(), coords)?;
+        let gate = rule.match_gate(target)?;
+        Some(gate.circuit.clone().into())
     }
 
     /// Evicts a bad cache entry and resynthesizes the target privately
@@ -648,6 +721,10 @@ impl<B: Basis + Sync> CompileService<B> {
                     stats.class_hits += 1;
                     Lookup::ClassHit
                 }
+                Tier::Rule => {
+                    stats.rule_hits += 1;
+                    Lookup::RuleHit
+                }
                 Tier::Cold => {
                     stats.cold_serves += 1;
                     Lookup::Miss
@@ -670,6 +747,7 @@ impl<B: Basis + Sync> CompileService<B> {
         for class in &prepared.unique {
             match class.solution {
                 Solution::Warm(_) => stats.warm_classes += 1,
+                Solution::Rule(_) => stats.rule_classes += 1,
                 Solution::Cold(_) | Solution::Failed(_) => stats.cold_classes += 1,
             }
         }

@@ -1,0 +1,212 @@
+//! The closed-form retargeting rule tier inside the batch service: rule
+//! serves never pay a numeric synthesis or a cache miss, rule fragments
+//! live under pair keys only, and rule-heavy batches stay bit-identical
+//! at every worker count.
+
+mod common;
+
+use ashn_gates::kak::weyl_coordinates;
+use ashn_gates::two::{cnot, cz, iswap, swap};
+use ashn_ir::{Basis, BasisMetadata, Circuit, Instruction, SynthError};
+use ashn_math::randmat::haar_unitary;
+use ashn_math::CMat;
+use ashn_service::{CompileRequest, CompileService, ShardedCache};
+use ashn_synth::basis::CzBasis;
+use ashn_synth::cache::{ClassKey, ClassStore};
+use common::{dressed, fingerprint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A CZ basis that counts every numeric synthesis call. Its identity
+/// (name + params) matches [`CzBasis`], so the standard rule table's CZ
+/// rules apply to it — any rule-covered target that still reaches
+/// `synthesize` is a rule-tier bypass, and the counter catches it.
+#[derive(Clone)]
+struct CountingCz(Arc<AtomicUsize>);
+
+impl Basis for CountingCz {
+    fn name(&self) -> String {
+        CzBasis.name()
+    }
+
+    fn cache_params(&self) -> String {
+        CzBasis.cache_params()
+    }
+
+    fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
+        self.0.fetch_add(1, Ordering::SeqCst);
+        CzBasis.synthesize(u)
+    }
+
+    fn expected_entanglers(&self, u: &CMat) -> usize {
+        CzBasis.expected_entanglers(u)
+    }
+
+    fn metadata(&self) -> Option<BasisMetadata> {
+        CzBasis.metadata()
+    }
+}
+
+/// Known-gate + dressed-known-class traffic: every target the standard
+/// CZ rules cover.
+fn rule_covered_pool(seed: u64) -> Vec<CMat> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        cnot(),
+        cnot(), // exact repeat
+        cz(),
+        ashn_gates::two::ecr(),
+        swap(),
+        iswap(),
+        dressed(&cnot(), &mut rng),
+        dressed(&iswap(), &mut rng),
+        dressed(&swap(), &mut rng),
+    ]
+}
+
+#[test]
+fn rule_serves_never_increment_misses_nor_run_the_ea() {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let service = CompileService::with_cache(CountingCz(calls.clone()), ShardedCache::new());
+    let targets = rule_covered_pool(0x2e7a);
+    let batch = service.synthesize_batch(&targets);
+
+    for (target, circuit) in targets.iter().zip(&batch.circuits) {
+        let circuit = circuit.as_ref().expect("rule serve");
+        assert!(
+            circuit.error(target) < 1e-12,
+            "rule serve error {:.2e}",
+            circuit.error(target)
+        );
+    }
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        0,
+        "a rule-covered target reached the numeric synthesizer"
+    );
+    assert_eq!(batch.stats.rule_hits, targets.len() as u64);
+    // CNOT/CZ/ECR collapse to one Weyl class; iSWAP and SWAP get one each.
+    assert_eq!(batch.stats.rule_classes, 3);
+    assert_eq!(
+        (
+            batch.stats.exact_hits,
+            batch.stats.class_hits,
+            batch.stats.cold_serves,
+            batch.stats.cold_classes,
+        ),
+        (0, 0, 0, 0)
+    );
+    assert!((batch.stats.hit_rate() - 1.0).abs() < 1e-15);
+
+    let cache = service.cache().stats();
+    assert_eq!(cache.rule_hits, targets.len() as u64);
+    assert_eq!(
+        (cache.exact_hits, cache.class_hits, cache.misses),
+        (0, 0, 0),
+        "a rule serve must never count as a numeric hit or miss"
+    );
+}
+
+#[test]
+fn mixed_batch_splits_between_rule_tier_and_numeric_path() {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let service = CompileService::with_cache(CountingCz(calls.clone()), ShardedCache::new());
+    let mut rng = StdRng::seed_from_u64(0x51ab);
+    let mut targets = rule_covered_pool(0x51ab);
+    let rule_covered = targets.len();
+    let haar: Vec<CMat> = (0..3).map(|_| haar_unitary(4, &mut rng)).collect();
+    targets.extend(haar.iter().cloned());
+
+    let batch = service.synthesize_batch(&targets);
+    for (target, circuit) in targets.iter().zip(&batch.circuits) {
+        assert!(circuit.as_ref().expect("serve").error(target) < 1e-5);
+    }
+    assert_eq!(batch.stats.rule_hits, rule_covered as u64);
+    assert_eq!(batch.stats.cold_serves, haar.len() as u64);
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        haar.len(),
+        "exactly the haar classes pay a numeric synthesis"
+    );
+    let expected = (rule_covered as f64) / (targets.len() as f64);
+    assert!((batch.stats.hit_rate() - expected).abs() < 1e-15);
+}
+
+#[test]
+fn rule_fragments_cache_under_pair_keys_never_numeric_keys() {
+    let service = CompileService::with_cache(CzBasis, ShardedCache::new());
+    let batch = service.synthesize_batch(&[cnot(), iswap()]);
+    assert_eq!(batch.stats.rule_hits, 2);
+
+    // The numeric class keys for those targets must stay vacant: a later
+    // numeric lookup can never be served a rule fragment by accident.
+    for target in [cnot(), iswap()] {
+        let coords = weyl_coordinates(&target).canonicalize();
+        let numeric = ClassKey::new(&CzBasis, coords, false);
+        assert!(
+            service.cache().fetch(&numeric).is_none(),
+            "rule fragment leaked into numeric key {numeric:?}"
+        );
+    }
+    // But the fragments ARE shared: a second batch re-serves them from the
+    // pair-keyed entries without growing the cache.
+    let len = service.cache().len();
+    let again = service.synthesize_batch(&[cnot(), iswap()]);
+    assert_eq!(again.stats.rule_hits, 2);
+    assert_eq!(service.cache().len(), len);
+}
+
+#[test]
+fn rule_heavy_batch_is_bit_identical_across_worker_counts() {
+    let mut rng = StdRng::seed_from_u64(0xb175);
+    let mut targets = rule_covered_pool(0xb175);
+    targets.push(haar_unitary(4, &mut rng));
+    let mut runs: Vec<Vec<Vec<u64>>> = Vec::new();
+    for workers in [1usize, 4, 16] {
+        let service = CompileService::with_cache(CzBasis, ShardedCache::new()).workers(workers);
+        let batch = service.synthesize_batch(&targets);
+        assert_eq!(batch.stats.rule_hits, (targets.len() - 1) as u64);
+        runs.push(
+            batch
+                .circuits
+                .iter()
+                .map(|c| fingerprint(c.as_ref().expect("serve")))
+                .collect(),
+        );
+    }
+    assert_eq!(runs[0], runs[1], "1 worker vs 4 workers diverged");
+    assert_eq!(runs[0], runs[2], "1 worker vs 16 workers diverged");
+}
+
+#[test]
+fn disarming_the_rule_tier_restores_the_numeric_path() {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let service =
+        CompileService::with_cache(CountingCz(calls.clone()), ShardedCache::new()).rules(None);
+    let batch = service.synthesize_batch(&[cnot(), iswap()]);
+    assert_eq!(batch.stats.rule_hits, 0);
+    assert_eq!(batch.stats.cold_serves, 2);
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+    for (target, circuit) in [cnot(), iswap()].iter().zip(&batch.circuits) {
+        assert!(circuit.as_ref().expect("serve").error(target) < 1e-9);
+    }
+}
+
+#[test]
+fn compile_batch_reports_rule_hits_through_the_router() {
+    let service = CompileService::with_cache(CzBasis, ShardedCache::new());
+    let mut circuit = Circuit::new(4);
+    for (a, b) in [(0usize, 1usize), (1, 2), (2, 3), (0, 3)] {
+        circuit
+            .try_push(Instruction::new(vec![a, b], cnot(), "cx"))
+            .expect("push");
+    }
+    let batch = service.compile_batch(&[CompileRequest::new(circuit.clone())]);
+    let result = batch.results[0].as_ref().expect("compile");
+    assert_eq!(batch.stats.rule_hits, 4);
+    assert_eq!(batch.stats.cold_serves, 0);
+    // Routed circuit realizes the logical circuit on the final layout.
+    assert!(result.circuit.n_qubits() >= 4);
+}

@@ -7,14 +7,34 @@
 //! gate set. New bases (B-gate, iSWAP, …) are one `impl Basis` away.
 
 use crate::ashn_basis::{decompose_ashn, decompose_ashn_with_search};
-use crate::cnot_basis::{cnot_count, decompose_cnot, to_cz_basis};
-use crate::sqisw_basis::{decompose_sqisw, sqisw_count};
+use crate::cnot_basis::{cnot_count, decompose_cnot, to_cz_basis, to_ecr_basis, CZ_DURATION};
+use crate::sqisw_basis::{decompose_sqisw, sqisw_count, SQISW_DURATION};
 use ashn_core::ea::EaSearch;
 use ashn_core::scheme::AshnScheme;
 use ashn_gates::kak::weyl_coordinates;
 use ashn_gates::weyl::WeylPoint;
-use ashn_ir::{Basis, Circuit, SynthEffort, SynthError};
+use ashn_ir::{
+    Basis, BasisMetadata, Circuit, EntanglerCounts, SynthEffort, SynthError, WeylCategory,
+};
 use ashn_math::CMat;
+use std::f64::consts::{FRAC_PI_4, FRAC_PI_8};
+
+/// Metadata shared by the CNOT-family bases (CX, CZ, ECR): one entangler
+/// for the CNOT class, two for `z = 0`, three generically
+/// (Shende–Markov–Bullock).
+fn cnot_family_metadata() -> BasisMetadata {
+    BasisMetadata {
+        weyl: [FRAC_PI_4, 0.0, 0.0],
+        category: WeylCategory::Cnot,
+        counts: EntanglerCounts {
+            identity: 0,
+            cnot: 1,
+            flat: 2,
+            generic: 3,
+        },
+        duration: CZ_DURATION,
+    }
+}
 
 /// CNOT + arbitrary single-qubit gates (0–3 entanglers,
 /// Shende–Markov–Bullock).
@@ -33,6 +53,10 @@ impl Basis for CnotBasis {
 
     fn expected_entanglers(&self, u: &CMat) -> usize {
         cnot_count(u)
+    }
+
+    fn metadata(&self) -> Option<BasisMetadata> {
+        Some(cnot_family_metadata())
     }
 }
 
@@ -53,6 +77,35 @@ impl Basis for CzBasis {
 
     fn expected_entanglers(&self, u: &CMat) -> usize {
         cnot_count(u)
+    }
+
+    fn metadata(&self) -> Option<BasisMetadata> {
+        Some(cnot_family_metadata())
+    }
+}
+
+/// Echoed cross-resonance (ECR): the CNOT decomposition with every CNOT
+/// rewritten as a locally-dressed ECR — the native entangler of
+/// fixed-frequency transmon stacks, Weyl-equivalent to CNOT.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EcrBasis;
+
+impl Basis for EcrBasis {
+    fn name(&self) -> String {
+        "ECR".into()
+    }
+
+    fn synthesize(&self, u: &CMat) -> Result<Circuit, SynthError> {
+        check_two_qubit(u, "ECR")?;
+        Ok(to_ecr_basis(decompose_cnot(u)).into())
+    }
+
+    fn expected_entanglers(&self, u: &CMat) -> usize {
+        cnot_count(u)
+    }
+
+    fn metadata(&self) -> Option<BasisMetadata> {
+        Some(cnot_family_metadata())
     }
 }
 
@@ -78,6 +131,20 @@ impl Basis for SqiswBasis {
 
     fn expected_entanglers(&self, u: &CMat) -> usize {
         sqisw_count(u)
+    }
+
+    fn metadata(&self) -> Option<BasisMetadata> {
+        Some(BasisMetadata {
+            weyl: [FRAC_PI_8, FRAC_PI_8, 0.0],
+            category: WeylCategory::Sqisw,
+            counts: EntanglerCounts {
+                identity: 0,
+                cnot: 2,
+                flat: 2,
+                generic: 3,
+            },
+            duration: SQISW_DURATION,
+        })
     }
 }
 
@@ -172,6 +239,21 @@ impl Basis for AshnBasis {
         let p = weyl_coordinates(u);
         usize::from(p.dist(WeylPoint::IDENTITY) >= 1e-9)
     }
+
+    fn metadata(&self) -> Option<BasisMetadata> {
+        Some(BasisMetadata {
+            weyl: [0.0, 0.0, 0.0],
+            category: WeylCategory::Continuous,
+            counts: EntanglerCounts {
+                identity: 0,
+                cnot: 1,
+                flat: 1,
+                generic: 1,
+            },
+            // Worst-case (SWAP-class) pulse time, paper §6.1.
+            duration: 3.0 * FRAC_PI_4,
+        })
+    }
 }
 
 pub(crate) fn check_two_qubit(u: &CMat, basis: &str) -> Result<(), SynthError> {
@@ -201,6 +283,7 @@ mod tests {
         vec![
             Box::new(CnotBasis),
             Box::new(CzBasis),
+            Box::new(EcrBasis),
             Box::new(SqiswBasis),
             Box::new(AshnBasis::ideal()),
             Box::new(AshnBasis::with_cutoff(0.0, 1.1)),
@@ -234,6 +317,35 @@ mod tests {
         }
         let wrong_dim = CMat::identity(8);
         assert!(CnotBasis.synthesize(&wrong_dim).is_err());
+    }
+
+    #[test]
+    fn every_builtin_basis_publishes_metadata() {
+        for b in bases() {
+            let meta = b.metadata().unwrap_or_else(|| panic!("{}", b.name()));
+            assert!(meta.duration > 0.0, "{}", b.name());
+            // The advertised entangler class matches KAK of the entangler
+            // for fixed-entangler sets; Continuous sets advertise zeros.
+            if meta.category == ashn_ir::WeylCategory::Continuous {
+                assert_eq!(meta.weyl, [0.0, 0.0, 0.0]);
+            }
+        }
+        assert_eq!(
+            EcrBasis.metadata().unwrap().category,
+            ashn_ir::WeylCategory::Cnot
+        );
+    }
+
+    #[test]
+    fn ecr_basis_emits_only_ecr_entanglers() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let u = haar_unitary(4, &mut rng);
+        let c = EcrBasis.synthesize(&u).unwrap();
+        assert!(c.error(&u) < 1e-8, "error {}", c.error(&u));
+        assert_eq!(c.entangler_count(), 3);
+        for g in c.instructions.iter().filter(|g| g.qubits.len() == 2) {
+            assert!(g.matrix.dist(&ashn_gates::two::ecr()) < 1e-12);
+        }
     }
 
     #[test]

@@ -106,6 +106,9 @@ pub enum Lookup {
     ExactHit,
     /// Served by re-dressing a same-class entry with computed locals.
     ClassHit,
+    /// Served closed-form by the retargeting rule tier
+    /// (`crate::retarget`) — no numeric synthesis ran.
+    RuleHit,
     /// Fell through to cold synthesis.
     Miss,
 }
@@ -186,6 +189,7 @@ struct CacheInner {
     tick: u64,
     exact_hits: u64,
     class_hits: u64,
+    rule_hits: u64,
     misses: u64,
     evictions: u64,
 }
@@ -211,6 +215,9 @@ pub struct CacheStats {
     pub exact_hits: u64,
     /// Lookups served by re-dressing a same-class entry.
     pub class_hits: u64,
+    /// Lookups served closed-form by the retargeting rule tier (never
+    /// counted as misses; the numeric path did not run).
+    pub rule_hits: u64,
     /// Lookups that fell through to cold synthesis.
     pub misses: u64,
     /// Entries discarded to stay within capacity.
@@ -222,9 +229,9 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Total lookups served from the cache (exact + class).
+    /// Total lookups served without cold synthesis (exact + class + rule).
     pub fn hits(&self) -> u64 {
-        self.exact_hits + self.class_hits
+        self.exact_hits + self.class_hits + self.rule_hits
     }
 
     /// Total lookups observed.
@@ -247,6 +254,7 @@ impl CacheStats {
         CacheStats {
             exact_hits: self.exact_hits + other.exact_hits,
             class_hits: self.class_hits + other.class_hits,
+            rule_hits: self.rule_hits + other.rule_hits,
             misses: self.misses + other.misses,
             evictions: self.evictions + other.evictions,
             len: self.len + other.len,
@@ -295,6 +303,7 @@ impl SynthCache {
         CacheStats {
             exact_hits: inner.exact_hits,
             class_hits: inner.class_hits,
+            rule_hits: inner.rule_hits,
             misses: inner.misses,
             evictions: inner.evictions,
             len: inner.map.len(),
@@ -369,6 +378,7 @@ impl ClassStore for SynthCache {
         match outcome {
             Lookup::ExactHit => inner.exact_hits += 1,
             Lookup::ClassHit => inner.class_hits += 1,
+            Lookup::RuleHit => inner.rule_hits += 1,
             Lookup::Miss => inner.misses += 1,
         }
     }
@@ -397,6 +407,7 @@ impl Default for SynthCache {
 pub struct CachedBasis<B, S = SynthCache> {
     inner: B,
     cache: S,
+    rules: Option<std::sync::Arc<crate::retarget::RuleSet>>,
 }
 
 impl<B: Basis> CachedBasis<B> {
@@ -405,12 +416,17 @@ impl<B: Basis> CachedBasis<B> {
         Self {
             inner,
             cache: SynthCache::default(),
+            rules: None,
         }
     }
 
     /// Wraps `inner` with an explicit cache (sharable across wrappers).
     pub fn with_cache(inner: B, cache: SynthCache) -> Self {
-        Self { inner, cache }
+        Self {
+            inner,
+            cache,
+            rules: None,
+        }
     }
 
     /// The underlying cache (for stats and sharing).
@@ -422,7 +438,24 @@ impl<B: Basis> CachedBasis<B> {
 impl<B: Basis, S: ClassStore> CachedBasis<B, S> {
     /// Wraps `inner` over any [`ClassStore`] backend.
     pub fn with_store(inner: B, cache: S) -> Self {
-        Self { inner, cache }
+        Self {
+            inner,
+            cache,
+            rules: None,
+        }
+    }
+
+    /// Arms the closed-form retargeting rule tier
+    /// (`crate::retarget::standard_rules` or a custom table): targets
+    /// whose class the target basis has a rule for are served from the
+    /// table — recorded as [`Lookup::RuleHit`], cached under the rule's
+    /// pair key — and never reach the memo-cache or the inner basis. Off
+    /// by default, so a bare `CachedBasis` is bit-identical to the
+    /// pre-rule behavior.
+    #[must_use]
+    pub fn with_rules(mut self, rules: std::sync::Arc<crate::retarget::RuleSet>) -> Self {
+        self.rules = Some(rules);
+        self
     }
 
     /// The underlying store.
@@ -433,6 +466,11 @@ impl<B: Basis, S: ClassStore> CachedBasis<B, S> {
     /// The wrapped basis.
     pub fn inner(&self) -> &B {
         &self.inner
+    }
+
+    /// The armed rule table, if any.
+    pub fn rules(&self) -> Option<&crate::retarget::RuleSet> {
+        self.rules.as_deref()
     }
 }
 
@@ -458,6 +496,15 @@ impl<B: Basis, S: ClassStore> Basis for CachedBasis<B, S> {
             _ => return self.inner.synthesize_with_effort(u, effort),
         };
         let coords = weyl_coordinates4(&m4).canonicalize();
+        // Tier 0: closed-form retargeting rules, ahead of the memo-cache
+        // and the (possibly numeric) inner synthesis.
+        if let Some(rules) = &self.rules {
+            if let Some(circuit) =
+                crate::retarget::serve_rule_tier(rules, &self.inner, &self.cache, u, coords)
+            {
+                return Ok(circuit);
+            }
+        }
         let key = ClassKey::new(&self.inner, coords, false);
         if let Some(entry) = self.cache.fetch(&key) {
             if let Some((circuit, outcome)) = serve_from_entry(u, coords, &entry) {
@@ -504,6 +551,10 @@ impl<B: Basis, S: ClassStore> Basis for CachedBasis<B, S> {
 
     fn expected_entanglers(&self, u: &CMat) -> usize {
         self.inner.expected_entanglers(u)
+    }
+
+    fn metadata(&self) -> Option<ashn_ir::BasisMetadata> {
+        self.inner.metadata()
     }
 }
 

@@ -55,7 +55,7 @@ pub fn cnot_count_for(p: WeylPoint) -> usize {
 ///
 /// The parameter map was pinned down empirically against the KAK
 /// coordinates and is verified by the round-trip tests.
-fn three_cnot_core(t1: f64, t2: f64, t3: f64) -> TwoQubitCircuit {
+pub(crate) fn three_cnot_core(t1: f64, t2: f64, t3: f64) -> TwoQubitCircuit {
     TwoQubitCircuit {
         phase: Complex::ONE,
         ops: vec![
@@ -71,7 +71,7 @@ fn three_cnot_core(t1: f64, t2: f64, t3: f64) -> TwoQubitCircuit {
 
 /// The bare 2-CNOT core with coordinates `(x, y, 0)`:
 /// `CNOT·(Rx(2x)⊗Rz(2y))·CNOT`.
-fn two_cnot_core(x: f64, y: f64) -> TwoQubitCircuit {
+pub(crate) fn two_cnot_core(x: f64, y: f64) -> TwoQubitCircuit {
     TwoQubitCircuit {
         phase: Complex::ONE,
         ops: vec![
@@ -193,6 +193,64 @@ pub fn to_cz_basis(c: TwoQubitCircuit) -> TwoQubitCircuit {
     }
 }
 
+/// Duration of the echoed cross-resonance entangler in `1/g` units —
+/// modeled at the flux-tuned CZ gate time (both are CNOT-class natives).
+pub const ECR_DURATION: f64 = CZ_DURATION;
+
+/// The exact local dressing realizing CNOT from a single ECR, computed
+/// once by aligning the bare entangler to the CNOT matrix (both gates are
+/// in the `(π/4, 0, 0)` class, so the alignment is closed-form).
+fn cnot_over_ecr() -> &'static TwoQubitCircuit {
+    static FRAG: std::sync::OnceLock<TwoQubitCircuit> = std::sync::OnceLock::new();
+    FRAG.get_or_init(|| {
+        align_to_target(
+            &cnot(),
+            TwoQubitCircuit {
+                phase: Complex::ONE,
+                ops: vec![entangler("ECR", ashn_gates::two::ecr(), ECR_DURATION)],
+            },
+        )
+    })
+}
+
+/// Rewrites every CNOT entangler of a circuit into a locally-dressed ECR
+/// (the reversed orientation gains an extra `H⊗H` sandwich). The
+/// entangler count is unchanged.
+pub fn to_ecr_basis(c: TwoQubitCircuit) -> TwoQubitCircuit {
+    let frag = cnot_over_ecr();
+    let mut phase = c.phase;
+    let mut ops = Vec::with_capacity(c.ops.len() * 5);
+    for op in c.ops {
+        match op {
+            Op2::Entangler {
+                label,
+                matrix,
+                duration,
+            } => {
+                if matrix.dist(&cnot()) < 1e-12 {
+                    phase *= frag.phase;
+                    ops.extend(frag.ops.iter().cloned());
+                } else if matrix.dist(&cnot_reversed()) < 1e-12 {
+                    phase *= frag.phase;
+                    ops.push(Op2::L0(h()));
+                    ops.push(Op2::L1(h()));
+                    ops.extend(frag.ops.iter().cloned());
+                    ops.push(Op2::L0(h()));
+                    ops.push(Op2::L1(h()));
+                } else {
+                    ops.push(Op2::Entangler {
+                        label,
+                        matrix,
+                        duration,
+                    });
+                }
+            }
+            other => ops.push(other),
+        }
+    }
+    TwoQubitCircuit { phase, ops }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +326,26 @@ mod tests {
         let z = to_cz_basis(c.clone());
         assert_eq!(z.entangler_count(), c.entangler_count());
         assert!(z.unitary().dist(&c.unitary()) < 1e-9);
+    }
+
+    #[test]
+    fn ecr_basis_rewrite_preserves_unitary_and_count() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let u = haar_unitary(4, &mut rng);
+        let c = decompose_cnot(&u);
+        let e = to_ecr_basis(c.clone());
+        assert_eq!(e.entangler_count(), c.entangler_count());
+        assert!(e.unitary().dist(&c.unitary()) < 1e-9);
+        for op in &e.ops {
+            if let Op2::Entangler { matrix, .. } = op {
+                assert!(matrix.dist(&ashn_gates::two::ecr()) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cnot_over_ecr_dressing_is_exact() {
+        assert!(cnot_over_ecr().unitary().dist(&cnot()) < 1e-12);
     }
 
     #[test]

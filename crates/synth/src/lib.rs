@@ -40,12 +40,14 @@ pub mod multiplexor;
 pub mod qsd;
 pub mod resilience;
 pub mod resynth;
+pub mod retarget;
 pub mod sqisw_basis;
 pub mod three_qubit;
 
-pub use basis::{AshnBasis, CnotBasis, CzBasis, SqiswBasis};
+pub use basis::{AshnBasis, CnotBasis, CzBasis, EcrBasis, SqiswBasis};
 pub use cache::{
     serve_from_entry, CacheStats, CachedBasis, ClassEntry, ClassKey, ClassStore, EvictionPolicy,
     Lookup, SynthCache,
 };
 pub use resilience::{synthesize_resilient, ResilientBasis, ResilientOutcome, RetryPolicy};
+pub use retarget::{standard_rules, GateSetRegistry, RuleSet};

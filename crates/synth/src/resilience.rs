@@ -235,6 +235,10 @@ impl<B: Basis> Basis for ResilientBasis<B> {
     fn expected_entanglers(&self, u: &CMat) -> usize {
         self.inner.expected_entanglers(u)
     }
+
+    fn metadata(&self) -> Option<ashn_ir::BasisMetadata> {
+        self.inner.metadata()
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@
 
 use crate::error::AshnError;
 use ashn_ir::{Basis, Circuit};
-use ashn_opt::{standard_pipeline, structural_pipeline, OptStats, PassManager};
+use ashn_opt::{
+    standard_pipeline, structural_pipeline, OptStats, PassManager, Resynthesize, Retarget,
+};
 use ashn_qv::experiment::{
     compile_model_on, score_compiled, score_compiled_many, stamp_noise, CircuitScore,
     CompiledModel, ModelCircuit,
@@ -36,6 +38,7 @@ use ashn_sim::{DensityMatrix, NoiseModel, SimEngine, Simulate, StateVector};
 use ashn_synth::basis::AshnBasis;
 use ashn_synth::cache::{CachedBasis, SynthCache};
 use ashn_synth::resilience::{ResilientBasis, RetryPolicy};
+use ashn_synth::retarget::standard_rules;
 
 /// Synthesis-cache counters exposed by [`Compiler::synth_stats`]
 /// (re-exported [`ashn_synth::cache::CacheStats`]): exact hits, class hits,
@@ -91,6 +94,9 @@ pub struct Compiler {
     /// [`Compiler::compile`] call from [`CacheConfig`], so one compiler can
     /// switch between local, shared, and no caching without re-wrapping.
     basis: Box<dyn Basis>,
+    /// When set, [`Compiler::retarget_circuit`] only rewrites gates native
+    /// to this source set (the "port that machine's circuits" shape).
+    source: Option<Box<dyn Basis>>,
     noise: QvNoise,
     grid: Option<Grid>,
     cache: CacheConfig,
@@ -109,6 +115,7 @@ impl Compiler {
     pub fn new() -> Self {
         Self {
             basis: Box::new(AshnBasis::with_cutoff(0.0, 1.1)),
+            source: None,
             noise: QvNoise::with_e_cz(0.007),
             grid: None,
             cache: CacheConfig::Local(SynthCache::default()),
@@ -196,6 +203,58 @@ impl Compiler {
         self.basis(gate_set.basis())
     }
 
+    /// Declares the instruction set the input circuits were written for:
+    /// [`Compiler::retarget_circuit`] then only rewrites gates native to
+    /// this source set (by matrix, at `1e-12`), leaving anything else to
+    /// the numeric resynthesis tier.
+    #[must_use]
+    pub fn source_basis(mut self, basis: impl Basis + 'static) -> Self {
+        self.source = Some(Box::new(basis));
+        self
+    }
+
+    /// Retargets an existing circuit onto this compiler's basis: the
+    /// closed-form [`Retarget`] rules rewrite recognized foreign gates
+    /// (CX, CZ, ECR, SWAP, iSWAP, SQiSW and wire reversals) into exact
+    /// native fragments first, then [`Resynthesize`] sweeps the blocks
+    /// the rules did not cover through the (cached, rule-armed) basis at
+    /// [`Compiler::OPT_ACCEPT_TOL`]. Rule rewrites are exact to machine
+    /// precision; only uncovered blocks pay KAK + numeric synthesis.
+    ///
+    /// # Errors
+    ///
+    /// [`AshnError::Opt`] when a pass fails structurally (e.g. the input
+    /// contains ≥3-qubit instructions).
+    pub fn retarget_circuit(&self, circuit: &Circuit) -> Result<(Circuit, OptStats), AshnError> {
+        match &self.cache {
+            CacheConfig::Local(c) => self.retarget_with(
+                CachedBasis::with_cache(&self.basis, c.clone()).with_rules(standard_rules()),
+                circuit,
+            ),
+            CacheConfig::Shared(s) => self.retarget_with(
+                CachedBasis::with_store(&self.basis, s.clone()).with_rules(standard_rules()),
+                circuit,
+            ),
+            CacheConfig::Off => self.retarget_with(&self.basis, circuit),
+        }
+    }
+
+    fn retarget_with<B: Basis>(
+        &self,
+        basis: B,
+        circuit: &Circuit,
+    ) -> Result<(Circuit, OptStats), AshnError> {
+        let mut retarget = Retarget::new(self.basis.as_ref());
+        if let Some(source) = &self.source {
+            retarget = retarget.source(source.as_ref());
+        }
+        let pipeline = PassManager::new()
+            .with_pass(retarget)
+            .with_pass(Resynthesize::new(basis, Self::OPT_ACCEPT_TOL));
+        let (out, stats) = pipeline.run(circuit)?;
+        Ok((out, stats))
+    }
+
     /// Arms the synthesis retry/degradation chain
     /// ([`ashn_synth::resilience`]) on every `compile` call: each gate
     /// synthesis runs under `policy` — retried with escalating effort and
@@ -241,12 +300,14 @@ impl Compiler {
         // the compiler owns an uncached basis so the same instance can feed
         // a private cache, a process-wide shared cache, or none.
         match &self.cache {
-            CacheConfig::Local(c) => {
-                self.dispatch(CachedBasis::with_cache(&self.basis, c.clone()), model)
-            }
-            CacheConfig::Shared(s) => {
-                self.dispatch(CachedBasis::with_store(&self.basis, s.clone()), model)
-            }
+            CacheConfig::Local(c) => self.dispatch(
+                CachedBasis::with_cache(&self.basis, c.clone()).with_rules(standard_rules()),
+                model,
+            ),
+            CacheConfig::Shared(s) => self.dispatch(
+                CachedBasis::with_store(&self.basis, s.clone()).with_rules(standard_rules()),
+                model,
+            ),
             CacheConfig::Off => self.dispatch(&self.basis, model),
         }
     }

@@ -77,6 +77,6 @@ pub use ashn_synth as synth;
 
 pub use compiler::{Compiled, Compiler, OptLevel, SynthStats};
 pub use error::AshnError;
-pub use opt::{OptStats, PassManager};
+pub use opt::{OptStats, PassManager, Retarget};
 pub use qv::{GateSet, QvNoise};
 pub use synth::resilience::RetryPolicy;

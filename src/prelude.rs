@@ -11,9 +11,10 @@ pub use ashn_gates::kak::weyl_coordinates;
 pub use ashn_gates::weyl::WeylPoint;
 pub use ashn_ir::{Basis, Circuit, Instruction, IrError, SynthError};
 pub use ashn_math::{c, CMat, Complex, Mat2, Mat4};
-pub use ashn_opt::{OptStats, PassManager};
+pub use ashn_opt::{OptStats, PassManager, Retarget};
 pub use ashn_qv::{sample_model_circuit, GateSet, QvNoise};
 pub use ashn_route::Grid;
 pub use ashn_service::{CompileRequest, CompileService, ShardedCache};
 pub use ashn_sim::{ExecPlan, NoiseModel, SimEngine, Simulate};
-pub use ashn_synth::basis::{AshnBasis, CnotBasis, CzBasis, SqiswBasis};
+pub use ashn_synth::basis::{AshnBasis, CnotBasis, CzBasis, EcrBasis, SqiswBasis};
+pub use ashn_synth::retarget::{standard_rules, GateSetRegistry, RuleSet};
