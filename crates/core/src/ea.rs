@@ -225,6 +225,9 @@ pub fn ashn_ea_search(
     search: &EaSearch,
 ) -> Result<(f64, DriveParams), EaError> {
     let workers = search.workers;
+    let telemetry = ashn_telemetry::current();
+    let _span = telemetry.span("core.ea.search");
+    telemetry.add("core.ea.searches", 1);
     let tau = ea_time(h_ratio, variant, x, y, z);
     if tau <= 1e-12 {
         return Err(EaError::NonPositiveTime);
@@ -326,6 +329,9 @@ pub fn ashn_ea_search(
             if expired() {
                 return Some(Err(EaError::DeadlineExceeded));
             }
+            // Bulk per-wave accounting: one add per wave, never per attempt.
+            telemetry.add("core.ea.waves", 1);
+            telemetry.add("core.ea.attempts", chunk.len() as u64);
             let outcomes = parallel_map(wave, chunk.len(), |i| run_attempt(&chunk[i]));
             for outcome in outcomes {
                 match outcome {
@@ -344,6 +350,7 @@ pub fn ashn_ea_search(
     // jittered deterministically around the best-ranked seeds so retries
     // explore genuinely new starts yet replay exactly.
     for round in 1..=search.extra_rounds {
+        telemetry.add("core.ea.escalation_rounds", 1);
         let mut state = mix64(search.jitter_seed ^ round as u64);
         let mut draw = || {
             state = mix64(state);

@@ -135,14 +135,22 @@ where
         workers
     }
     .min(n.max(1));
+    if n > 0 {
+        // One bulk add per batch, not per job — hot-loop overhead stays nil.
+        ashn_telemetry::current().add("core.par.jobs", n as u64);
+    }
     if workers <= 1 || n <= 1 {
         return (0..n).map(run_one).collect();
     }
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, Result<T, Caught>)>> = Mutex::new(Vec::with_capacity(n));
+    // Workers record telemetry into whichever registry the *spawning*
+    // thread had current, so per-batch registries see their own jobs.
+    let telemetry = ashn_telemetry::current();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let _telemetry = ashn_telemetry::install(&telemetry);
                 let mut local: Vec<(usize, Result<T, Caught>)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);

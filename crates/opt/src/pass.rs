@@ -178,6 +178,15 @@ impl<'p> PassManager<'p> {
     ///
     /// Propagates the first pass error.
     pub fn run_dag(&self, dag: &mut DagCircuit) -> Result<OptStats, OptError> {
+        let telemetry = ashn_telemetry::current();
+        let _span = telemetry.span("opt.run");
+        // Per-pass histogram handles are resolved once per `run_dag`, so
+        // the fixed-point loop pays one atomic record per pass sweep.
+        let pass_timers: Vec<_> = self
+            .passes
+            .iter()
+            .map(|p| telemetry.histogram(&format!("opt.pass.{}", p.name())))
+            .collect();
         let before = Snapshot::of(dag);
         let mut per_pass: Vec<Option<PassStats>> = vec![None; self.passes.len()];
         let mut iterations = 0;
@@ -190,7 +199,9 @@ impl<'p> PassManager<'p> {
             let mut changed = false;
             for (i, pass) in self.passes.iter().enumerate() {
                 let snap_before = current;
+                let started = std::time::Instant::now();
                 let fired = pass.run(dag)?;
+                pass_timers[i].record(started.elapsed());
                 let snap_after = if fired {
                     Snapshot::of(dag)
                 } else {

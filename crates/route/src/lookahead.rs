@@ -47,6 +47,8 @@ impl LookaheadRouter {
     ///
     /// Panics when pairs overlap.
     pub fn route_layer(&mut self, pairs: &[(usize, usize)]) -> Vec<RouteOp> {
+        let telemetry = ashn_telemetry::current();
+        let _span = telemetry.span("route.layer");
         let mut seen = vec![false; self.position.len()];
         for &(a, b) in pairs {
             assert!(a != b && !seen[a] && !seen[b], "overlapping pairs");
@@ -60,11 +62,20 @@ impl LookaheadRouter {
             self.grid.distance(self.position[a], self.position[b])
         });
         let mut ops = Vec::new();
+        let mut swaps = 0u64;
+        let mut window_hits = 0u64;
         for index in order {
             let (la, lb) = pairs[index];
+            let mut stepped = false;
             loop {
                 let (pa, pb) = (self.position[la], self.position[lb]);
                 if self.grid.adjacent(pa, pb) {
+                    // A pair adjacent the moment it is scheduled — either
+                    // placed that way or dragged together by earlier pairs'
+                    // SWAPs — is a lookahead window hit.
+                    if !stepped {
+                        window_hits += 1;
+                    }
                     ops.push(RouteOp::Gate {
                         index,
                         a: pa,
@@ -72,10 +83,12 @@ impl LookaheadRouter {
                     });
                     break;
                 }
+                stepped = true;
                 // Step each endpoint one site toward the other, alternating.
                 let step_a = self.grid.shortest_path(pa, pb)[1];
                 ops.push(RouteOp::Swap(pa, step_a));
                 self.swap_sites(pa, step_a);
+                swaps += 1;
                 let (pa, pb) = (self.position[la], self.position[lb]);
                 if self.grid.adjacent(pa, pb) {
                     continue;
@@ -83,8 +96,14 @@ impl LookaheadRouter {
                 let step_b = self.grid.shortest_path(pb, pa)[1];
                 ops.push(RouteOp::Swap(pb, step_b));
                 self.swap_sites(pb, step_b);
+                swaps += 1;
             }
         }
+        // Bulk adds once per layer, not per SWAP.
+        telemetry.add("route.layers", 1);
+        telemetry.add("route.pairs", pairs.len() as u64);
+        telemetry.add("route.swaps", swaps);
+        telemetry.add("route.window_hits", window_hits);
         ops
     }
 }

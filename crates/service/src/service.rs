@@ -418,9 +418,16 @@ impl<B: Basis + Sync> CompileService<B> {
     /// sealing the per-batch solution table. Cold solutions are installed
     /// into the shared cache (in deterministic first-occurrence order).
     fn prime(&self, targets: &[&CMat]) -> Prepared {
+        // All phase telemetry lands in the thread's current registry; the
+        // journal events below are emitted only from this coordinator
+        // thread, with count-valued fields, so a zero-fault run's journal
+        // is identical at any worker count.
+        let telemetry = ashn_telemetry::current();
+        let _prime_span = telemetry.span("service.prime");
         let mut panics = 0u64;
         // Phase 1: canonicalize (parallel; pure per index; panic-isolated —
         // one poisoned target never kills the batch).
+        let canonicalize_span = telemetry.span("service.canonicalize");
         let keyed: Vec<Result<(ClassKey, WeylPoint), ServiceError>> =
             parallel_map_isolated(self.workers, targets.len(), |i| {
                 let m4 = Mat4::try_from(targets[i]).map_err(|_| ServiceError::InvalidRequest {
@@ -447,8 +454,14 @@ impl<B: Basis + Sync> CompileService<B> {
                 }
             })
             .collect();
+        drop(canonicalize_span);
+        telemetry.event(
+            "service.canonicalize",
+            &[("targets", (targets.len() as u64).into())],
+        );
 
         // Phase 2: dedup in first-occurrence order (serial, deterministic).
+        let dedup_span = telemetry.span("service.dedup");
         let mut index: HashMap<ClassKey, usize> = HashMap::new();
         let mut unique: Vec<UniqueClass> = Vec::new();
         let mut status: Vec<Result<(usize, WeylPoint), ServiceError>> =
@@ -470,15 +483,25 @@ impl<B: Basis + Sync> CompileService<B> {
             }
         }
 
-        // Phase 3: rule-tier consultation, then shared-cache lookups
-        // (serial — cheap clones). Rules come FIRST: a class covered by a
-        // closed-form retargeting rule never touches the numeric
-        // memo-cache or the EA path. Rule fragments are shared with future
-        // batches under the namespaced pair key, never the numeric key.
+        drop(dedup_span);
+        telemetry.event(
+            "service.dedup",
+            &[
+                ("targets", (targets.len() as u64).into()),
+                ("unique", (unique.len() as u64).into()),
+            ],
+        );
+
+        // Phase 3a: rule-tier consultation (serial — cheap clones). Rules
+        // come FIRST: a class covered by a closed-form retargeting rule
+        // never touches the numeric memo-cache or the EA path. Rule
+        // fragments are shared with future batches under the namespaced
+        // pair key, never the numeric key.
         let basis_name = self.basis.name();
         let basis_params = self.basis.cache_params();
-        let mut cold: Vec<usize> = Vec::new();
-        for (uidx, class) in unique.iter_mut().enumerate() {
+        let rule_span = telemetry.span("service.rule_tier");
+        let mut ruled_count = 0u64;
+        for class in unique.iter_mut() {
             let ruled = self.rules.as_ref().and_then(|rules| {
                 let (_, coords) = status[class.rep].as_ref().ok()?;
                 let rule = rules.class_rule(&basis_name, &basis_params, *coords)?;
@@ -489,6 +512,19 @@ impl<B: Basis + Sync> CompileService<B> {
                 self.cache
                     .store(rule_key(&self.basis, &rule.label, coords), entry.clone());
                 class.solution = Solution::Rule(entry);
+                ruled_count += 1;
+            }
+        }
+        drop(rule_span);
+        telemetry.event("service.rule_tier", &[("ruled", ruled_count.into())]);
+
+        // Phase 3b: shared-cache lookups for everything the rules did not
+        // cover (serial, ascending class index — the cold list order the
+        // deterministic install below depends on).
+        let fetch_span = telemetry.span("service.cache_fetch");
+        let mut cold: Vec<usize> = Vec::new();
+        for (uidx, class) in unique.iter_mut().enumerate() {
+            if matches!(class.solution, Solution::Rule(_)) {
                 continue;
             }
             match self.cache.fetch(&class.key) {
@@ -496,6 +532,17 @@ impl<B: Basis + Sync> CompileService<B> {
                 None => cold.push(uidx),
             }
         }
+        drop(fetch_span);
+        telemetry.event(
+            "service.cache_fetch",
+            &[
+                (
+                    "warm",
+                    ((unique.len() - ruled_count as usize - cold.len()) as u64).into(),
+                ),
+                ("cold", (cold.len() as u64).into()),
+            ],
+        );
 
         // Phase 4: cold synthesis of the representatives over the worker
         // pool, panic-isolated and driven by the retry policy. The fallback
@@ -505,6 +552,7 @@ impl<B: Basis + Sync> CompileService<B> {
         // Each job is a pure function of its target and the (fixed) policy,
         // so results are bit-identical at any worker count.
         let cold_policy = self.resilience.retry.with_fallback(false);
+        let cold_span = telemetry.span("service.cold_synth");
         // A cold job resolves to (entry, attempts) or a rendered failure;
         // the outer layer is the task-boundary panic isolation.
         type ColdOutcome = Result<(ClassEntry, u32), String>;
@@ -542,6 +590,15 @@ impl<B: Basis + Sync> CompileService<B> {
                 }
             }
         }
+        drop(cold_span);
+        telemetry.event(
+            "service.cold_synth",
+            &[
+                ("cold", (cold.len() as u64).into()),
+                ("retries", retries.into()),
+                ("panics", panics.into()),
+            ],
+        );
 
         Prepared {
             status,
@@ -708,9 +765,11 @@ impl<B: Basis + Sync> CompileService<B> {
         }
     }
 
-    /// Folds per-target tiers into [`ServiceStats`] and the shared cache's
-    /// hit/miss counters.
+    /// Folds per-target tiers into [`ServiceStats`], the shared cache's
+    /// hit/miss counters, and the telemetry registry — the ONE accounting
+    /// path for serve outcomes, so the three views can never disagree.
     fn tally(&self, tiers: impl IntoIterator<Item = Tier>, stats: &mut ServiceStats) {
+        let before = *stats;
         for tier in tiers {
             let outcome = match tier {
                 Tier::Exact => {
@@ -740,6 +799,24 @@ impl<B: Basis + Sync> CompileService<B> {
             };
             self.cache.record(outcome);
         }
+        // Bulk-mirror this batch's tier deltas into the registry (one add
+        // per tier, not per target).
+        let telemetry = ashn_telemetry::current();
+        for (name, delta) in [
+            ("service.serve.exact", stats.exact_hits - before.exact_hits),
+            (
+                "service.serve.redressed",
+                stats.class_hits - before.class_hits,
+            ),
+            ("service.serve.rule", stats.rule_hits - before.rule_hits),
+            ("service.serve.cold", stats.cold_serves - before.cold_serves),
+            ("service.serve.degraded", stats.degraded - before.degraded),
+            ("service.serve.failed", stats.failed - before.failed),
+        ] {
+            if delta > 0 {
+                telemetry.add(name, delta);
+            }
+        }
     }
 
     fn class_counts(prepared: &Prepared, stats: &mut ServiceStats) {
@@ -761,6 +838,11 @@ impl<B: Basis + Sync> CompileService<B> {
     /// table (exact repeats verbatim, same-class targets re-dressed).
     /// Output is bit-identical for any worker count.
     pub fn synthesize_batch(&self, targets: &[CMat]) -> BatchResult {
+        let telemetry = ashn_telemetry::current();
+        let _batch_span = telemetry.span("service.batch");
+        telemetry.add("service.batches", 1);
+        telemetry.add("service.requests", targets.len() as u64);
+        telemetry.add("service.targets", targets.len() as u64);
         let t0 = Instant::now();
         let refs: Vec<&CMat> = targets.iter().collect();
         let prepared = self.prime(&refs);
@@ -775,6 +857,7 @@ impl<B: Basis + Sync> CompileService<B> {
         // Serve phase, panic-isolated: a panicking serve is repaired
         // serially (outside the pool), and if the repair panics too the
         // target drops to the degradation tier — the batch never dies.
+        let serve_span = telemetry.span("service.serve");
         let isolated = parallel_map_isolated(self.workers, targets.len(), |i| {
             self.serve_target(&targets[i], i, &prepared)
         });
@@ -789,6 +872,11 @@ impl<B: Basis + Sync> CompileService<B> {
                 }
             })
             .collect();
+        drop(serve_span);
+        telemetry.event(
+            "service.serve",
+            &[("targets", (targets.len() as u64).into())],
+        );
         Self::class_counts(&prepared, &mut stats);
         let mut circuits = Vec::with_capacity(served.len());
         let mut degraded = Vec::with_capacity(served.len());
@@ -802,10 +890,25 @@ impl<B: Basis + Sync> CompileService<B> {
         }
         self.tally(tiers, &mut stats);
         stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Self::mirror_resilience(&telemetry, &stats);
         BatchResult {
             circuits,
             degraded,
             stats,
+        }
+    }
+
+    /// Bulk-mirrors a finished batch's resilience accounting into the
+    /// registry (one add per nonzero counter).
+    fn mirror_resilience(telemetry: &ashn_telemetry::Registry, stats: &ServiceStats) {
+        for (name, value) in [
+            ("service.quarantined", stats.quarantined),
+            ("service.retries", stats.retries),
+            ("service.worker_panics", stats.worker_panics),
+        ] {
+            if value > 0 {
+                telemetry.add(name, value);
+            }
         }
     }
 
@@ -872,6 +975,10 @@ impl<B: Basis + Sync> CompileService<B> {
     /// is assembled independently on the worker pool. Output is
     /// bit-identical for any worker count.
     pub fn compile_batch(&self, requests: &[CompileRequest]) -> BatchCompileResult {
+        let telemetry = ashn_telemetry::current();
+        let _batch_span = telemetry.span("service.batch");
+        telemetry.add("service.batches", 1);
+        telemetry.add("service.requests", requests.len() as u64);
         let t0 = Instant::now();
         // Gather every 2q target across the batch (request-major order)
         // plus each request's slice into that list.
@@ -886,6 +993,7 @@ impl<B: Basis + Sync> CompileService<B> {
             }
             spans.push((start, targets.len()));
         }
+        telemetry.add("service.targets", targets.len() as u64);
         let prepared = self.prime(&targets);
         let swap_fragment = self.swap_fragment();
 
@@ -901,6 +1009,7 @@ impl<B: Basis + Sync> CompileService<B> {
         // once serially (outside the pool, where the worker-boundary
         // failpoint cannot re-fire); a second panic fails only that
         // request — the batch never dies.
+        let serve_span = telemetry.span("service.serve");
         let isolated = parallel_map_isolated(self.workers, requests.len(), |r| {
             self.compile_one(
                 &requests[r],
@@ -938,6 +1047,11 @@ impl<B: Basis + Sync> CompileService<B> {
                 }
             })
             .collect();
+        drop(serve_span);
+        telemetry.event(
+            "service.serve",
+            &[("requests", (requests.len() as u64).into())],
+        );
 
         Self::class_counts(&prepared, &mut stats);
         let mut results = Vec::with_capacity(compiled.len());
@@ -950,7 +1064,25 @@ impl<B: Basis + Sync> CompileService<B> {
         }
         self.tally(tiers, &mut stats);
         stats.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        Self::mirror_resilience(&telemetry, &stats);
         BatchCompileResult { results, stats }
+    }
+
+    /// Point-in-time snapshot of the telemetry registry this service
+    /// records into — the thread's current registry
+    /// ([`ashn_telemetry::current`]: the innermost installed one, else the
+    /// process-wide global). Covers every layer the service drives: batch
+    /// phase timings, cache lookup tiers, EA waves, retry/degradation
+    /// events, routing counters.
+    pub fn telemetry_snapshot(&self) -> ashn_telemetry::TelemetrySnapshot {
+        ashn_telemetry::current().snapshot()
+    }
+
+    /// [`Self::telemetry_snapshot`] rendered as the human-readable text
+    /// report (see `TelemetrySnapshot::render_json` /
+    /// `render_prometheus` for the machine-readable forms).
+    pub fn telemetry_report(&self) -> String {
+        self.telemetry_snapshot().render_text()
     }
 
     /// Routes, optimizes, and schedules one request against the sealed

@@ -175,15 +175,22 @@ impl BatchRunner {
             })
         };
         let workers = self.workers.min(n_jobs.max(1));
+        if n_jobs > 0 {
+            // Bulk per-batch accounting — one add regardless of job count.
+            ashn_telemetry::current().add("sim.batch.jobs", n_jobs as u64);
+        }
         if workers <= 1 || n_jobs <= 1 {
             return (0..n_jobs).map(run_one).collect();
         }
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, Result<T, Caught>)>> =
             Mutex::new(Vec::with_capacity(n_jobs));
+        // Workers inherit the spawning thread's current telemetry registry.
+        let telemetry = ashn_telemetry::current();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    let _telemetry = ashn_telemetry::install(&telemetry);
                     let mut local: Vec<(usize, Result<T, Caught>)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

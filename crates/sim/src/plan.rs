@@ -343,6 +343,7 @@ impl ExecPlan {
         circuit: &Circuit,
         rate_of: impl Fn(&Instruction) -> f64,
     ) -> Result<Self, PlanError> {
+        let _span = ashn_telemetry::span!("sim.plan.build");
         let n = circuit.n_qubits();
         if !(1..=MAX_QUBITS).contains(&n) {
             return Err(PlanError::RegisterOutOfRange { n });
@@ -497,6 +498,12 @@ impl ExecPlan {
             }
             return;
         }
+        // The multi-worker path only runs on large registers (ms-scale
+        // sweeps), so one bulk add per execute is free; the scalar path
+        // above — the per-trajectory hot loop — stays untouched.
+        let telemetry = ashn_telemetry::current();
+        telemetry.add("sim.exec.chunked", 1);
+        telemetry.add("sim.exec.chunked_ops", self.ops.len() as u64);
         for op in &self.ops {
             op.kernel.apply_chunked(amps, workers);
         }
@@ -531,6 +538,11 @@ impl ExecPlan {
         workers: usize,
     ) {
         assert_eq!(amps.len(), 1usize << self.n, "dimension mismatch");
+        if workers > 1 {
+            // Same rule as `execute_pure_chunked`: count only the chunked
+            // (large-register) path, never the per-trajectory scalar loop.
+            ashn_telemetry::current().add("sim.exec.chunked", 1);
+        }
         for op in &self.ops {
             if workers <= 1 {
                 op.kernel.apply(amps);

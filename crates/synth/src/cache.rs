@@ -249,6 +249,21 @@ impl CacheStats {
         }
     }
 
+    /// The lookup counters as a view over a telemetry snapshot — the same
+    /// values [`SynthCache::stats`] reports, because [`ClassStore::record`]
+    /// is the one path updating both. Occupancy (`len`/`capacity`/
+    /// `evictions`) is storage state, not lookup traffic, and stays zero
+    /// here.
+    pub fn from_telemetry(snap: &ashn_telemetry::TelemetrySnapshot) -> CacheStats {
+        CacheStats {
+            exact_hits: snap.counter("cache.lookup.exact").unwrap_or(0),
+            class_hits: snap.counter("cache.lookup.class").unwrap_or(0),
+            rule_hits: snap.counter("cache.lookup.rule").unwrap_or(0),
+            misses: snap.counter("cache.lookup.miss").unwrap_or(0),
+            ..CacheStats::default()
+        }
+    }
+
     /// Component-wise sum (used to aggregate per-shard stats).
     pub fn merge(&self, other: &CacheStats) -> CacheStats {
         CacheStats {
@@ -374,12 +389,31 @@ impl ClassStore for SynthCache {
     }
 
     fn record(&self, outcome: Lookup) {
+        // The one accounting path for lookup outcomes: every store-level
+        // counter AND the telemetry registry are updated here (and only
+        // here), so `CacheStats` views and the exported snapshot can never
+        // drift apart. `ShardedCache` funnels its `record` through one
+        // shard, which lands in this same body.
+        let telemetry = ashn_telemetry::current();
+        telemetry.add("cache.lookups", 1);
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match outcome {
-            Lookup::ExactHit => inner.exact_hits += 1,
-            Lookup::ClassHit => inner.class_hits += 1,
-            Lookup::RuleHit => inner.rule_hits += 1,
-            Lookup::Miss => inner.misses += 1,
+            Lookup::ExactHit => {
+                inner.exact_hits += 1;
+                telemetry.add("cache.lookup.exact", 1);
+            }
+            Lookup::ClassHit => {
+                inner.class_hits += 1;
+                telemetry.add("cache.lookup.class", 1);
+            }
+            Lookup::RuleHit => {
+                inner.rule_hits += 1;
+                telemetry.add("cache.lookup.rule", 1);
+            }
+            Lookup::Miss => {
+                inner.misses += 1;
+                telemetry.add("cache.lookup.miss", 1);
+            }
         }
     }
 
@@ -513,7 +547,10 @@ impl<B: Basis, S: ClassStore> Basis for CachedBasis<B, S> {
             }
         }
         self.cache.record(Lookup::Miss);
-        let circuit = self.inner.synthesize_with_effort(u, effort)?;
+        let circuit = {
+            let _span = ashn_telemetry::span!("synth.cold");
+            self.inner.synthesize_with_effort(u, effort)?
+        };
         if let Ok(core) = TwoQubitCircuit::try_from(circuit.clone()) {
             self.cache.store(
                 key,

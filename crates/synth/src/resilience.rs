@@ -126,6 +126,7 @@ pub fn synthesize_resilient<B: Basis + ?Sized>(
     u: &CMat,
     policy: &RetryPolicy,
 ) -> Result<ResilientOutcome, SynthError> {
+    let telemetry = ashn_telemetry::current();
     let deadline = policy.deadline.map(|d| Instant::now() + d);
     let max_attempts = policy.max_attempts.max(1);
     let mut attempts = 0u32;
@@ -146,6 +147,9 @@ pub fn synthesize_resilient<B: Basis + ?Sized>(
             jitter_seed: mix64(policy.retry_seed ^ u64::from(attempt)),
             deadline,
         };
+        if attempt > 0 {
+            telemetry.add("synth.resilience.retries", 1);
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| basis.synthesize_with_effort(u, effort)));
         match outcome {
             Ok(Ok(circuit)) => {
@@ -166,6 +170,7 @@ pub fn synthesize_resilient<B: Basis + ?Sized>(
             }
             Ok(Err(e)) => last_err = Some(e),
             Err(payload) => {
+                telemetry.add("synth.resilience.panics_caught", 1);
                 last_err = Some(SynthError::WorkerPanic {
                     detail: panic_detail(payload.as_ref()),
                 });
@@ -180,11 +185,14 @@ pub fn synthesize_resilient<B: Basis + ?Sized>(
         return Err(err);
     }
     match try_decompose_cnot(u) {
-        Ok(circuit) => Ok(ResilientOutcome {
-            circuit: circuit.into(),
-            attempts,
-            degraded: Some(err.to_string()),
-        }),
+        Ok(circuit) => {
+            telemetry.add("synth.resilience.degraded", 1);
+            Ok(ResilientOutcome {
+                circuit: circuit.into(),
+                attempts,
+                degraded: Some(err.to_string()),
+            })
+        }
         // The original basis error explains the failure better than the
         // fallback's rejection of the same target.
         Err(_) => Err(err),

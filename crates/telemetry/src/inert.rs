@@ -1,0 +1,148 @@
+//! No-op mirror of [`crate::active`] — compiled when the `telemetry`
+//! feature is off. Every type is zero-sized and every method is an empty
+//! inline body, so instrumented call sites optimize away entirely and
+//! never need `cfg` guards.
+
+use crate::snapshot::{EventRecord, FieldValue, TelemetrySnapshot};
+
+/// Inert counter: accepts adds, stores nothing.
+#[derive(Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Inert histogram: accepts samples, stores nothing.
+#[derive(Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline(always)]
+    pub fn record_ns(&self, _ns: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _d: std::time::Duration) {}
+}
+
+/// Inert span: no timer, records nothing on drop.
+#[must_use = "a span records its timing when dropped; binding it to `_` drops immediately"]
+#[derive(Default)]
+pub struct Span;
+
+impl Span {
+    /// Always zero.
+    #[inline(always)]
+    pub fn elapsed_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// Inert registry: same API as the active one, all storage elided.
+#[derive(Clone, Copy, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// An inert registry.
+    #[inline(always)]
+    pub fn new() -> Self {
+        Registry
+    }
+
+    /// An inert registry (capacity ignored).
+    #[inline(always)]
+    pub fn with_journal_capacity(_capacity: usize) -> Self {
+        Registry
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn set_enabled(&self, _on: bool) {}
+
+    /// Always false.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        false
+    }
+
+    /// An inert counter.
+    #[inline(always)]
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _name: &str, _n: u64) {}
+
+    /// An inert histogram.
+    #[inline(always)]
+    pub fn histogram(&self, _name: &str) -> Histogram {
+        Histogram
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_ns(&self, _name: &str, _ns: u64) {}
+
+    /// An inert span.
+    #[inline(always)]
+    pub fn span(&self, _name: &str) -> Span {
+        Span
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn event(&self, _span: &str, _fields: &[(&str, FieldValue)]) {}
+
+    /// Always the empty snapshot.
+    #[inline(always)]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::default()
+    }
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn journal_snapshot(&self) -> Vec<EventRecord> {
+        Vec::new()
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn clear_journal(&self) {}
+}
+
+/// The inert process-wide registry.
+#[inline(always)]
+pub fn global() -> Registry {
+    Registry
+}
+
+/// Always the inert registry.
+#[inline(always)]
+pub fn current() -> Registry {
+    Registry
+}
+
+/// No-op install; the guard is zero-sized.
+#[inline(always)]
+pub fn install(_reg: &Registry) -> CurrentGuard {
+    CurrentGuard
+}
+
+/// Zero-sized guard returned by [`install`].
+pub struct CurrentGuard;

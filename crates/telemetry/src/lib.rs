@@ -1,0 +1,68 @@
+//! # ashn-telemetry
+//!
+//! Zero-dependency tracing, metrics, and profiling for the AshN stack:
+//! a process-wide [`Registry`] of lock-free atomic counters and log2
+//! latency histograms, RAII [`Span`] timers (via the [`span!`] macro),
+//! and a bounded structured event journal — the flight recorder replayed
+//! by the chaos suites.
+//!
+//! ```
+//! let reg = ashn_telemetry::Registry::new();
+//! let _guard = ashn_telemetry::install(&reg); // thread-local override
+//! {
+//!     let _s = ashn_telemetry::span!("synth.ea_multistart");
+//!     ashn_telemetry::current().add("cache.lookup.exact", 1);
+//! }
+//! let snap = reg.snapshot();
+//! # #[cfg(feature = "telemetry")]
+//! assert_eq!(snap.counter("cache.lookup.exact"), Some(1));
+//! println!("{}", snap.render_prometheus());
+//! ```
+//!
+//! Everything routes through [`current()`]: the innermost registry
+//! [`install`]ed on this thread, else the process-wide [`global()`] one.
+//! Worker pools ([`ashn_core::par`], `BatchRunner`) capture the caller's
+//! current registry and re-install it on their worker threads, so batch
+//! telemetry lands in one place regardless of the worker count.
+//!
+//! With the `telemetry` cargo feature disabled (default on), the same API
+//! compiles to zero-sized no-ops: spans cost nothing, counters vanish,
+//! snapshots are empty. Call sites never need `cfg` guards.
+
+pub mod snapshot;
+
+pub use snapshot::{
+    CounterSnapshot, EventRecord, FieldValue, HistogramSnapshot, TelemetrySnapshot,
+    HISTOGRAM_BUCKETS,
+};
+
+/// Opens a [`Span`] on the [`current()`] registry; the timer records into
+/// the span's histogram when the returned guard drops.
+///
+/// ```
+/// let _s = ashn_telemetry::span!("service.cold_synth");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::current().span($name)
+    };
+}
+
+/// Environment variable overriding the journal ring capacity (default
+/// 4096 events; `0` disables the journal). Read once per registry, at
+/// construction.
+pub const JOURNAL_ENV: &str = "ASHN_TELEMETRY_JOURNAL";
+
+/// Default journal ring capacity when [`JOURNAL_ENV`] is unset.
+pub const JOURNAL_DEFAULT_CAPACITY: usize = 4096;
+
+#[cfg(feature = "telemetry")]
+mod active;
+#[cfg(feature = "telemetry")]
+pub use active::{current, global, install, Counter, CurrentGuard, Histogram, Registry, Span};
+
+#[cfg(not(feature = "telemetry"))]
+mod inert;
+#[cfg(not(feature = "telemetry"))]
+pub use inert::{current, global, install, Counter, CurrentGuard, Histogram, Registry, Span};

@@ -196,6 +196,22 @@ impl Compiler {
         }
     }
 
+    /// Point-in-time snapshot of the telemetry registry compilations on
+    /// this thread record into ([`ashn_telemetry::current`]: the innermost
+    /// installed registry, else the process-wide global one): cache lookup
+    /// tiers, synthesis/EA timings, optimizer pass timings, routing
+    /// counters, simulation batch accounting.
+    pub fn telemetry(&self) -> ashn_telemetry::TelemetrySnapshot {
+        ashn_telemetry::current().snapshot()
+    }
+
+    /// [`Compiler::telemetry`] rendered as the human-readable text report
+    /// (use `render_json`/`render_prometheus` on the snapshot for the
+    /// machine-readable forms).
+    pub fn telemetry_report(&self) -> String {
+        self.telemetry().render_text()
+    }
+
     /// Sets the basis from the paper's [`GateSet`] enum (convenience
     /// wrapper over [`Compiler::basis`]).
     #[must_use]

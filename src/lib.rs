@@ -74,6 +74,7 @@ pub use ashn_route as route;
 pub use ashn_service as service;
 pub use ashn_sim as sim;
 pub use ashn_synth as synth;
+pub use ashn_telemetry as telemetry;
 
 pub use compiler::{Compiled, Compiler, OptLevel, SynthStats};
 pub use error::AshnError;
